@@ -1,0 +1,98 @@
+// Ablation of the sec. 5.4 adjustments: the paper replaces C4.5's
+// pessimistic pruning with the integrated expected-error-confidence
+// strategy (Def. 9) plus minInst pre-pruning. This bench compares:
+//   * no pruning,
+//   * classic pessimistic pruning (unadjusted C4.5),
+//   * the paper's expected-error-confidence pruning,
+// and additionally expected-error-confidence *without* the minInst
+// pre-pruning (min_error_confidence = 0 inside the tree), measuring
+// detection quality and model size.
+
+#include "bench_util.h"
+#include "mining/c45.h"
+
+using namespace dq;
+using namespace dq::bench;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  PruningMode mode;
+  bool min_inst;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const Variant variants[] = {
+      {"no pruning", PruningMode::kNone, true},
+      {"pessimistic (C4.5)", PruningMode::kPessimistic, true},
+      {"expErrorConf (paper)", PruningMode::kExpectedErrorConfidence, true},
+      {"expErrorConf, no minInst", PruningMode::kExpectedErrorConfidence,
+       false},
+  };
+  std::printf("# Pruning-strategy ablation (sec. 5.4 adjustments)\n");
+  std::printf("%-26s %12s %12s %10s %10s\n", "variant", "sensitivity",
+              "specificity", "flagged", "ms");
+  for (const Variant& v : variants) {
+    TestEnvironmentConfig cfg;
+    cfg.num_records = quick ? 2000 : 8000;
+    cfg.num_rules = quick ? 40 : 100;
+    cfg.auditor.min_error_confidence = 0.8;
+    cfg.auditor.c45.pruning = v.mode;
+    // The auditor copies its min_error_confidence into the tree config;
+    // disabling minInst is modelled by dropping the tree-internal
+    // threshold while keeping the audit-level flag threshold.
+    if (!v.min_inst) {
+      cfg.auditor.c45.min_split_weight = 2.0;
+      // Run with min-conf-driven pre-pruning off: use a dedicated auditor
+      // configuration where the tree sees min_error_confidence 0. The
+      // Auditor forwards its own value, so emulate by setting the audit
+      // threshold via post-filtering: keep audit threshold at 0.8 but
+      // induce with a zero tree threshold.
+    }
+    TestEnvironment env(cfg);
+    if (!v.min_inst) {
+      // Manual pipeline for the no-minInst variant.
+      auto base = TestEnvironment(cfg).Run();  // reuse generation
+      if (!base.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", v.label,
+                     base.status().ToString().c_str());
+        continue;
+      }
+      AuditorConfig acfg = cfg.auditor;
+      C45Config c45 = acfg.c45;
+      c45.pruning = v.mode;
+      c45.min_error_confidence = 0.0;
+      c45.confidence_level = acfg.confidence_level;
+      // Induce trees with the modified config via a custom auditor run.
+      // AuditorConfig copies min_error_confidence into the tree, so set
+      // the auditor threshold to 0 for induction and re-apply the 0.8
+      // threshold when counting flags.
+      AuditorConfig induce_cfg = acfg;
+      induce_cfg.min_error_confidence = 0.0;
+      induce_cfg.c45 = c45;
+      Auditor inducer(induce_cfg);
+      auto model = inducer.Induce(base->pollution.dirty);
+      if (!model.ok()) continue;
+      AuditorConfig audit_cfg = acfg;  // threshold 0.8
+      Auditor checker(audit_cfg);
+      auto report = checker.Audit(*model, base->pollution.dirty);
+      if (!report.ok()) continue;
+      DetectionMatrix m = EvaluateDetection(base->pollution, *report);
+      std::printf("%-26s %12.4f %12.4f %10zu %10s\n", v.label,
+                  m.Sensitivity(), m.Specificity(), report->NumFlagged(),
+                  "-");
+      continue;
+    }
+    SweepPoint p = RunAveraged(cfg, 1);
+    std::printf("%-26s %12.4f %12.4f %10.1f %10.0f\n", v.label, p.sensitivity,
+                p.specificity, p.flagged, p.total_ms);
+  }
+  std::printf(
+      "# expected: the paper's integrated strategy matches or beats the\n"
+      "# unadjusted C4.5 pruning on the sensitivity/specificity trade-off\n");
+  return 0;
+}

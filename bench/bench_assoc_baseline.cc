@@ -1,0 +1,85 @@
+// Related-work baseline (sec. 5.2 / sec. 7): association-rule deviation
+// scoring a la Hipp et al. versus the paper's C4.5-based auditor, plus the
+// Def. 8 combination ablation.
+//
+// The paper argues two points against the association-rule approach:
+//  (1) "association rules cannot directly model dependencies between
+//      numerical attributes" (the miner only sees the nominal attributes,
+//      so limiter corruption on numeric/date attributes is invisible);
+//  (2) adding the confidences of all violated rules (Hipp's scoring) "is,
+//      strictly speaking, only valid if all rules predict values for the
+//      same attributes" — Def. 8 therefore takes the maximum.
+
+#include "bench_util.h"
+#include "mining/assoc_rules.h"
+
+using namespace dq;
+using namespace dq::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  TestEnvironmentConfig cfg;
+  cfg.num_records = quick ? 2000 : 8000;
+  cfg.num_rules = quick ? 40 : 100;
+  cfg.seed = 2003;
+  cfg.auditor.min_error_confidence = 0.8;
+  auto result = TestEnvironment(cfg).Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# C4.5 auditor vs association-rule deviation scoring\n");
+  std::printf("%-34s %12s %12s %10s\n", "detector", "sensitivity",
+              "specificity", "flagged");
+  std::printf("%-34s %12.4f %12.4f %10zu\n", "C4.5 multiple classification",
+              result->sensitivity, result->specificity, result->flagged);
+
+  AssocMinerConfig mcfg;
+  mcfg.min_support = quick ? 20.0 : 40.0;
+  mcfg.min_confidence = 0.9;
+  mcfg.max_premise_items = 2;
+  AssociationRuleAuditor assoc(mcfg);
+  Status mined = assoc.Mine(result->pollution.dirty);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n", mined.ToString().c_str());
+    return 1;
+  }
+
+  // Flag threshold above the miner's minimum confidence, so a single
+  // violated borderline rule does not flag by itself — this is where the
+  // sum and max combinations genuinely part ways.
+  const double assoc_threshold = 0.95;
+  for (ScoreCombination combination :
+       {ScoreCombination::kMax, ScoreCombination::kSum}) {
+    std::vector<bool> flagged;
+    assoc.ScoreTable(result->pollution.dirty, combination, assoc_threshold,
+                     &flagged);
+    DetectionMatrix m;
+    for (size_t r = 0; r < flagged.size(); ++r) {
+      const bool corrupted = result->pollution.is_corrupted[r];
+      if (corrupted && flagged[r]) {
+        ++m.true_positive;
+      } else if (corrupted) {
+        ++m.false_negative;
+      } else if (flagged[r]) {
+        ++m.false_positive;
+      } else {
+        ++m.true_negative;
+      }
+    }
+    char label[80];
+    std::snprintf(label, sizeof(label), "assoc rules (%zu rules, %s)",
+                  assoc.num_rules(),
+                  combination == ScoreCombination::kMax ? "max comb."
+                                                        : "sum comb.");
+    size_t total_flagged = m.true_positive + m.false_positive;
+    std::printf("%-34s %12.4f %12.4f %10zu\n", label, m.Sensitivity(),
+                m.Specificity(), total_flagged);
+  }
+  std::printf(
+      "# expected: the sum combination over-flags (lower specificity) and\n"
+      "# the association baseline misses numeric/date corruption entirely\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Sec. 5 reproduction: "For the QUIS domain we evaluated different
+// alternatives (instance based classifiers, naive Bayes classifiers,
+// classification rule inducers, and decision trees). This led to the
+// decision to base our structure inducer and deviation detector on ...
+// C4.5." All four inducers run through the identical audit pipeline.
+
+#include "bench_util.h"
+
+using namespace dq;
+using namespace dq::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  std::printf("# Inducer comparison on the base configuration\n");
+  std::printf("%-14s %12s %12s %10s %12s %10s\n", "inducer", "sensitivity",
+              "specificity", "flagged", "improvement", "ms");
+  for (InducerKind kind : {InducerKind::kC45, InducerKind::kNaiveBayes,
+                           InducerKind::kKnn, InducerKind::kOneR}) {
+    TestEnvironmentConfig cfg;
+    cfg.num_records = quick ? 2000 : 8000;
+    cfg.num_rules = quick ? 40 : 100;
+    cfg.auditor.min_error_confidence = 0.8;
+    cfg.auditor.inducer = kind;
+    // A Def. 7 flag at minConf 0.8 needs support >= ~35 (minInst); k-NN's
+    // support IS k, so give it a sufficient neighbourhood — with the
+    // default k = 25 an instance-based auditor can never flag anything,
+    // which is the crux of the paper's case against it.
+    cfg.auditor.knn.k = 64;
+    cfg.auditor.knn.max_training_instances = 2000;
+    SweepPoint p = RunAveraged(cfg, 1);
+    std::printf("%-14s %12.4f %12.4f %10.1f %12.4f %10.0f\n",
+                InducerKindToString(kind), p.sensitivity, p.specificity,
+                p.flagged, p.correction_improvement, p.total_ms);
+  }
+  std::printf(
+      "# paper outcome: the C4.5-based tool wins on the combined\n"
+      "# sensitivity/specificity trade-off, motivating its selection\n");
+  return 0;
+}

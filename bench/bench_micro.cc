@@ -1,0 +1,182 @@
+// Micro benchmarks (google-benchmark) for the library's hot paths:
+// satisfiability checking, rule generation, rule-conformant record
+// generation, pollution, C4.5 induction and audit-time prediction.
+
+#include <benchmark/benchmark.h>
+
+#include "audit/auditor.h"
+#include "eval/test_environment.h"
+#include "pollution/pipeline.h"
+#include "tdg/data_generator.h"
+#include "tdg/rule_generator.h"
+
+namespace dq {
+namespace {
+
+const Schema& BaseSchema() {
+  static const Schema schema = MakeBaseSchema();
+  return schema;
+}
+
+std::vector<Rule> BaseRules(int n) {
+  RuleGenConfig cfg;
+  cfg.num_rules = n;
+  cfg.seed = 11;
+  RuleGenerator gen(&BaseSchema(), cfg);
+  auto rules = gen.Generate();
+  return rules.ok() ? *rules : std::vector<Rule>{};
+}
+
+void BM_SatisfiabilityCheck(benchmark::State& state) {
+  const Schema& schema = BaseSchema();
+  SatChecker sat(&schema);
+  std::vector<Rule> rules = BaseRules(30);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Rule& r = rules[i++ % rules.size()];
+    auto result = sat.Satisfiable(Formula::And({r.premise, r.consequent}));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SatisfiabilityCheck);
+
+void BM_ImplicationCheck(benchmark::State& state) {
+  const Schema& schema = BaseSchema();
+  SatChecker sat(&schema);
+  std::vector<Rule> rules = BaseRules(30);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Rule& a = rules[i % rules.size()];
+    const Rule& b = rules[(i + 1) % rules.size()];
+    ++i;
+    auto result = sat.Implies(a.premise, b.premise);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ImplicationCheck);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    RuleGenConfig cfg;
+    cfg.num_rules = n;
+    cfg.seed = ++seed;
+    RuleGenerator gen(&BaseSchema(), cfg);
+    auto rules = gen.Generate();
+    benchmark::DoNotOptimize(rules);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RuleGeneration)->Arg(10)->Arg(25);
+
+void BM_DataGeneration(benchmark::State& state) {
+  const size_t records = static_cast<size_t>(state.range(0));
+  const Schema& schema = BaseSchema();
+  std::vector<Rule> rules = BaseRules(25);
+  std::vector<DistributionSpec> specs(schema.num_attributes(),
+                                      DistributionSpec::Uniform());
+  DataGenerator gen(&schema, specs, nullptr, rules);
+  DataGenConfig cfg;
+  cfg.num_records = records;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    auto data = gen.Generate(cfg);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(records));
+}
+BENCHMARK(BM_DataGeneration)->Arg(1000)->Arg(5000);
+
+void BM_Pollution(benchmark::State& state) {
+  const Schema& schema = BaseSchema();
+  std::vector<DistributionSpec> specs(schema.num_attributes(),
+                                      DistributionSpec::Uniform());
+  DataGenerator gen(&schema, specs, nullptr, {});
+  DataGenConfig cfg;
+  cfg.num_records = 10000;
+  auto data = gen.Generate(cfg);
+  if (!data.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    PollutionPipeline pipeline(DefaultPolluterMix(), ++seed);
+    auto result = pipeline.Apply(data->table);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_Pollution);
+
+void BM_C45Induction(benchmark::State& state) {
+  const size_t records = static_cast<size_t>(state.range(0));
+  const Schema& schema = BaseSchema();
+  std::vector<Rule> rules = BaseRules(25);
+  std::vector<DistributionSpec> specs(schema.num_attributes(),
+                                      DistributionSpec::Uniform());
+  DataGenerator gen(&schema, specs, nullptr, rules);
+  DataGenConfig cfg;
+  cfg.num_records = records;
+  auto data = gen.Generate(cfg);
+  if (!data.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  auto encoder = ClassEncoder::Fit(data->table, 0, 8);
+  if (!encoder.ok()) {
+    state.SkipWithError("encoder failed");
+    return;
+  }
+  TrainingData td;
+  td.table = &data->table;
+  td.class_attr = 0;
+  td.base_attrs = {1, 2, 3, 4, 5, 6, 7};
+  td.encoder = &*encoder;
+  for (auto _ : state) {
+    C45Config tree_cfg;
+    tree_cfg.min_error_confidence = 0.8;
+    C45Tree tree(tree_cfg);
+    auto status = tree.Train(td);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(records));
+}
+BENCHMARK(BM_C45Induction)->Arg(2000)->Arg(10000);
+
+void BM_AuditPrediction(benchmark::State& state) {
+  const Schema& schema = BaseSchema();
+  std::vector<Rule> rules = BaseRules(25);
+  std::vector<DistributionSpec> specs(schema.num_attributes(),
+                                      DistributionSpec::Uniform());
+  DataGenerator gen(&schema, specs, nullptr, rules);
+  DataGenConfig cfg;
+  cfg.num_records = 5000;
+  auto data = gen.Generate(cfg);
+  if (!data.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  Auditor auditor;
+  auto model = auditor.Induce(data->table);
+  if (!model.ok()) {
+    state.SkipWithError("induction failed");
+    return;
+  }
+  size_t row = 0;
+  for (auto _ : state) {
+    for (const AttributeModel& am : model->models()) {
+      benchmark::DoNotOptimize(
+          am.classifier->Predict(data->table.row(row % 5000)));
+    }
+    ++row;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(model->num_models()));
+}
+BENCHMARK(BM_AuditPrediction);
+
+}  // namespace
+}  // namespace dq

@@ -1,0 +1,68 @@
+// Shared helpers for the figure/table reproduction binaries.
+
+#ifndef DQ_BENCH_BENCH_UTIL_H_
+#define DQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "eval/test_environment.h"
+
+namespace dq::bench {
+
+/// Aggregated outcome of one sweep point, averaged over seeds.
+struct SweepPoint {
+  double sensitivity = 0.0;
+  double specificity = 0.0;
+  double correction_improvement = 0.0;
+  double flagged = 0.0;
+  double corrupted = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Runs the test environment for `seeds` seeds and averages the measures.
+inline SweepPoint RunAveraged(TestEnvironmentConfig cfg, int seeds) {
+  SweepPoint p;
+  int ok_runs = 0;
+  for (int s = 0; s < seeds; ++s) {
+    cfg.seed = 1000 + static_cast<uint64_t>(s) * 77;
+    auto result = TestEnvironment(cfg).Run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed (seed %d): %s\n", s,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    ++ok_runs;
+    p.sensitivity += result->sensitivity;
+    p.specificity += result->specificity;
+    p.correction_improvement += result->correction_improvement;
+    p.flagged += static_cast<double>(result->flagged);
+    p.corrupted += static_cast<double>(result->corrupted);
+    p.total_ms += result->generate_ms + result->pollute_ms +
+                  result->induce_ms + result->audit_ms;
+  }
+  if (ok_runs == 0) {
+    std::fprintf(stderr, "all runs failed\n");
+    std::exit(1);
+  }
+  p.sensitivity /= ok_runs;
+  p.specificity /= ok_runs;
+  p.correction_improvement /= ok_runs;
+  p.flagged /= ok_runs;
+  p.corrupted /= ok_runs;
+  p.total_ms /= ok_runs;
+  return p;
+}
+
+/// "--quick" on the command line shrinks a sweep for smoke runs.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+}  // namespace dq::bench
+
+#endif  // DQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,12 @@
+#include "audit/audit_model.h"
+
+namespace dq {
+
+const AttributeModel* AuditModel::ModelFor(int attr) const {
+  for (const AttributeModel& m : models_) {
+    if (m.class_attr == attr) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace dq

@@ -1,0 +1,170 @@
+#include "audit/auditor.h"
+
+#include <algorithm>
+
+#include "audit/error_confidence.h"
+
+namespace dq {
+
+const char* InducerKindToString(InducerKind kind) {
+  switch (kind) {
+    case InducerKind::kC45:
+      return "c4.5";
+    case InducerKind::kNaiveBayes:
+      return "naive-bayes";
+    case InducerKind::kKnn:
+      return "knn";
+    case InducerKind::kOneR:
+      return "oner";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Classifier> Auditor::MakeClassifier() const {
+  switch (config_.inducer) {
+    case InducerKind::kC45: {
+      C45Config c = config_.c45;
+      // The audit-wide thresholds parameterize the tree adjustments
+      // (minInst pre-pruning and Def. 9 truncation, sec. 5.4).
+      c.min_error_confidence = config_.min_error_confidence;
+      c.confidence_level = config_.confidence_level;
+      return std::make_unique<C45Tree>(c);
+    }
+    case InducerKind::kNaiveBayes:
+      return std::make_unique<NaiveBayesClassifier>(config_.naive_bayes);
+    case InducerKind::kKnn:
+      return std::make_unique<KnnClassifier>(config_.knn);
+    case InducerKind::kOneR:
+      return std::make_unique<OneRClassifier>(config_.oner);
+  }
+  return nullptr;
+}
+
+Result<AuditModel> Auditor::Induce(const Table& train) const {
+  if (train.num_rows() == 0) {
+    return Status::FailedPrecondition("cannot induce structure on empty table");
+  }
+  const Schema& schema = train.schema();
+  AuditModel model;
+
+  for (size_t attr = 0; attr < schema.num_attributes(); ++attr) {
+    const int class_attr = static_cast<int>(attr);
+    if (std::find(config_.skip_class_attrs.begin(),
+                  config_.skip_class_attrs.end(),
+                  class_attr) != config_.skip_class_attrs.end()) {
+      continue;
+    }
+
+    AttributeModel am;
+    am.class_attr = class_attr;
+    for (size_t base = 0; base < schema.num_attributes(); ++base) {
+      if (base == attr) continue;
+      const std::pair<int, int> exclusion{class_attr, static_cast<int>(base)};
+      if (std::find(config_.excluded_base_attrs.begin(),
+                    config_.excluded_base_attrs.end(),
+                    exclusion) != config_.excluded_base_attrs.end()) {
+        continue;
+      }
+      am.base_attrs.push_back(static_cast<int>(base));
+    }
+    if (am.base_attrs.empty()) continue;
+
+    auto encoder =
+        ClassEncoder::Fit(train, class_attr, config_.numeric_class_bins);
+    if (!encoder.ok()) continue;  // e.g. all-null ordered attribute
+    am.encoder = std::move(*encoder);
+
+    am.classifier = MakeClassifier();
+    if (am.classifier == nullptr) {
+      return Status::Internal("classifier factory returned null");
+    }
+    TrainingData td;
+    td.table = &train;
+    td.class_attr = class_attr;
+    td.base_attrs = am.base_attrs;
+    td.encoder = &am.encoder;
+    Status trained = am.classifier->Train(td);
+    if (!trained.ok()) {
+      // An attribute that cannot be modelled (e.g. all class values null)
+      // is skipped rather than failing the whole audit.
+      continue;
+    }
+    model.AddAttributeModel(std::move(am));
+  }
+  if (model.num_models() == 0) {
+    return Status::FailedPrecondition("no attribute could be modelled");
+  }
+  return model;
+}
+
+Result<AuditReport> Auditor::Audit(const AuditModel& model,
+                                   const Table& data) const {
+  AuditReport report;
+  const size_t n = data.num_rows();
+  report.record_confidence.assign(n, 0.0);
+  report.record_attr.assign(n, -1);
+  report.record_suggestion.assign(n, Value::Null());
+  report.record_support.assign(n, 0.0);
+  report.flagged.assign(n, false);
+
+  for (size_t r = 0; r < n; ++r) {
+    const Row& row = data.row(r);
+    double best_conf = 0.0;
+    int best_attr = -1;
+    Value best_suggestion = Value::Null();
+    double best_support = 0.0;
+
+    for (const AttributeModel& am : model.models()) {
+      const Value& observed = row[static_cast<size_t>(am.class_attr)];
+      const int observed_class = am.encoder.Encode(observed);
+      const Prediction pred = am.classifier->Predict(row);
+      const double conf = ErrorConfidence(pred, observed_class,
+                                          config_.confidence_level,
+                                          config_.flag_null_values);
+      if (conf > best_conf) {
+        best_conf = conf;
+        best_attr = am.class_attr;
+        best_suggestion = am.encoder.Representative(pred.PredictedClass());
+        best_support = pred.support;
+      }
+    }
+
+    report.record_confidence[r] = best_conf;  // Def. 8 (max combination)
+    report.record_attr[r] = best_attr;
+    report.record_suggestion[r] = best_suggestion;
+    report.record_support[r] = best_support;
+
+    if (best_conf >= config_.min_error_confidence && best_attr >= 0) {
+      report.flagged[r] = true;
+      Suspicion s;
+      s.row = r;
+      s.error_confidence = best_conf;
+      s.attr = best_attr;
+      s.observed = row[static_cast<size_t>(best_attr)];
+      s.suggestion = best_suggestion;
+      s.support = best_support;
+      report.suspicious.push_back(std::move(s));
+    }
+  }
+
+  std::stable_sort(report.suspicious.begin(), report.suspicious.end(),
+                   [](const Suspicion& a, const Suspicion& b) {
+                     return a.error_confidence > b.error_confidence;
+                   });
+  return report;
+}
+
+Result<Table> Auditor::ApplyCorrections(const AuditReport& report,
+                                        const Table& data) const {
+  if (report.record_confidence.size() != data.num_rows()) {
+    return Status::InvalidArgument("report does not match table size");
+  }
+  Table corrected = data;
+  for (const Suspicion& s : report.suspicious) {
+    if (s.attr < 0) continue;
+    corrected.SetCell(s.row, static_cast<size_t>(s.attr), s.suggestion);
+  }
+  return corrected;
+}
+
+}  // namespace dq

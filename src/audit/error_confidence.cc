@@ -1,0 +1,31 @@
+#include "audit/error_confidence.h"
+
+#include <algorithm>
+
+#include "stats/confidence.h"
+
+namespace dq {
+
+double ErrorConfidence(const Prediction& prediction, int observed_class,
+                       double confidence_level, bool flag_nulls) {
+  const int predicted = prediction.PredictedClass();
+  if (predicted < 0 || prediction.support <= 0.0) return 0.0;
+  if (observed_class == predicted) return 0.0;
+  if (observed_class < 0 && !flag_nulls) return 0.0;
+
+  const double p_pred = prediction.ProbabilityOf(predicted);
+  const double p_obs =
+      observed_class < 0 ? 0.0 : prediction.ProbabilityOf(observed_class);
+  const double conf =
+      LeftBound(p_pred, prediction.support, confidence_level) -
+      RightBound(p_obs, prediction.support, confidence_level);
+  return std::max(0.0, conf);
+}
+
+double CombineErrorConfidences(const std::vector<double>& confidences) {
+  double best = 0.0;
+  for (double c : confidences) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace dq

@@ -1,0 +1,29 @@
+// Error confidence (sec. 5.2, Definitions 7 and 8).
+//
+// Definition 7: errorConf(P, c) = max(0, leftBound(P(c_hat), n)
+//                                        - rightBound(P(c), n))
+// where P is the predicted class distribution, c_hat the predicted class,
+// c the observed class, and n the number of training instances the
+// prediction is based on. Definition 8 combines per-classifier confidences
+// by taking their maximum (adding them, as Hipp does for association rules,
+// is "only valid if all rules predict values for the same attributes").
+
+#ifndef DQ_AUDIT_ERROR_CONFIDENCE_H_
+#define DQ_AUDIT_ERROR_CONFIDENCE_H_
+
+#include "mining/classifier.h"
+
+namespace dq {
+
+/// \brief Definition 7 for an observed class index. An observed class of -1
+/// (null value) is scored as P(c) = 0 when `flag_nulls` is set, and as 0
+/// (never flagged) otherwise.
+double ErrorConfidence(const Prediction& prediction, int observed_class,
+                       double confidence_level, bool flag_nulls = true);
+
+/// \brief Definition 8: the maximum of the per-classifier confidences.
+double CombineErrorConfidences(const std::vector<double>& confidences);
+
+}  // namespace dq
+
+#endif  // DQ_AUDIT_ERROR_CONFIDENCE_H_

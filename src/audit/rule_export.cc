@@ -1,0 +1,103 @@
+#include "audit/rule_export.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dq {
+
+bool StructureRule::Matches(const Row& row) const {
+  for (const SplitCondition& cond : conditions) {
+    const Value& v = row[static_cast<size_t>(cond.attr)];
+    if (v.is_null()) return false;
+    switch (cond.kind) {
+      case SplitCondition::Kind::kCategory:
+        if (!v.is_nominal() || v.nominal_code() != cond.category) return false;
+        break;
+      case SplitCondition::Kind::kLessEq:
+        if (v.is_nominal() || v.OrderedValue() > cond.threshold) return false;
+        break;
+      case SplitCondition::Kind::kGreater:
+        if (v.is_nominal() || v.OrderedValue() <= cond.threshold) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string StructureRule::ToString(const Schema& schema,
+                                    const ClassEncoder& encoder) const {
+  std::string out;
+  if (conditions.empty()) {
+    out += "TRUE";
+  } else {
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += conditions[i].ToString(schema);
+    }
+  }
+  out += " -> ";
+  out += schema.attribute(static_cast<size_t>(class_attr)).name;
+  out += " = ";
+  out += encoder.Label(majority_class, schema);
+  out += "  [support " + FormatDouble(support, 1) + ", purity " +
+         FormatDouble(purity * 100.0, 2) + "%, expErrorConf " +
+         FormatDouble(expected_error_confidence, 4) + "]";
+  return out;
+}
+
+std::vector<StructureRule> ExtractRules(const AttributeModel& model,
+                                        bool drop_useless) {
+  std::vector<StructureRule> rules;
+  const auto* tree = dynamic_cast<const C45Tree*>(model.classifier.get());
+  if (tree == nullptr) return rules;
+  tree->VisitPaths([&](const std::vector<SplitCondition>& conditions,
+                       const LeafInfo& leaf) {
+    if (leaf.weight <= 0.0 || leaf.majority < 0) return;
+    if (drop_useless && leaf.expected_error_confidence <= 0.0) return;
+    StructureRule rule;
+    rule.class_attr = model.class_attr;
+    rule.conditions = conditions;
+    rule.majority_class = leaf.majority;
+    rule.support = leaf.weight;
+    rule.purity =
+        leaf.class_counts[static_cast<size_t>(leaf.majority)] / leaf.weight;
+    rule.expected_error_confidence = leaf.expected_error_confidence;
+    rule.class_counts = leaf.class_counts;
+    rules.push_back(std::move(rule));
+  });
+  return rules;
+}
+
+std::vector<StructureRule> ExtractStructureModel(const AuditModel& model,
+                                                 bool drop_useless) {
+  std::vector<StructureRule> all;
+  for (const AttributeModel& am : model.models()) {
+    std::vector<StructureRule> rules = ExtractRules(am, drop_useless);
+    all.insert(all.end(), std::make_move_iterator(rules.begin()),
+               std::make_move_iterator(rules.end()));
+  }
+  return all;
+}
+
+std::string RenderStructureModel(const AuditModel& model, const Schema& schema,
+                                 size_t max_rules) {
+  std::string out;
+  for (const AttributeModel& am : model.models()) {
+    std::vector<StructureRule> rules = ExtractRules(am, /*drop_useless=*/true);
+    if (rules.empty()) continue;
+    std::sort(rules.begin(), rules.end(),
+              [](const StructureRule& a, const StructureRule& b) {
+                return a.support > b.support;
+              });
+    out += "== classifier for " +
+           schema.attribute(static_cast<size_t>(am.class_attr)).name + " (" +
+           std::to_string(rules.size()) + " useful rules)\n";
+    for (size_t i = 0; i < rules.size() && i < max_rules; ++i) {
+      out += "  " + rules[i].ToString(schema, am.encoder) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dq

@@ -1,0 +1,64 @@
+// Decision tree -> rule set transformation (sec. 5.4).
+//
+// "It is straightforward to represent an induced decision tree as a set of
+// rules from the root to its leaves. If the dependency of a class attribute
+// on its base attributes is very punctiform, it is often useful to reduce
+// this set to the rules that do not have an expected error confidence of
+// zero and thereby cannot contribute to an error detection." The surviving
+// rules across all attribute models form the exported structure model — "a
+// set of integrity constraints that must hold with a given probability".
+
+#ifndef DQ_AUDIT_RULE_EXPORT_H_
+#define DQ_AUDIT_RULE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/audit_model.h"
+#include "mining/c45.h"
+
+namespace dq {
+
+/// \brief One exported structure rule: path conditions -> majority class.
+struct StructureRule {
+  int class_attr = -1;
+  std::vector<SplitCondition> conditions;
+  int majority_class = -1;
+  /// Training instances the rule is based on ("It was based on 16118
+  /// instances", sec. 6.2).
+  double support = 0.0;
+  /// Share of the support agreeing with the majority class.
+  double purity = 0.0;
+  /// Expected error confidence of the originating leaf (Def. 9).
+  double expected_error_confidence = 0.0;
+
+  /// Full (weighted) class distribution of the originating leaf; rule-set
+  /// based checking (structure_model.h) scores deviations from it.
+  std::vector<double> class_counts;
+
+  /// \brief True when every condition holds on `row` (nulls never match).
+  bool Matches(const Row& row) const;
+
+  std::string ToString(const Schema& schema, const ClassEncoder& encoder) const;
+};
+
+/// \brief Extracts the rule set of one attribute model. Only meaningful for
+/// C4.5 classifiers; other inducers yield an empty set. When
+/// `drop_useless` is set, rules with zero expected error confidence are
+/// deleted (sec. 5.4).
+std::vector<StructureRule> ExtractRules(const AttributeModel& model,
+                                        bool drop_useless = true);
+
+/// \brief Extracts and concatenates the rule sets of every model in an
+/// AuditModel (the full structure model).
+std::vector<StructureRule> ExtractStructureModel(const AuditModel& model,
+                                                 bool drop_useless = true);
+
+/// \brief Renders a structure model for human review, most-supported rules
+/// first.
+std::string RenderStructureModel(const AuditModel& model, const Schema& schema,
+                                 size_t max_rules = 50);
+
+}  // namespace dq
+
+#endif  // DQ_AUDIT_RULE_EXPORT_H_

@@ -1,0 +1,306 @@
+#include "audit/structure_model.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "audit/error_confidence.h"
+#include "common/strings.h"
+
+namespace dq {
+
+namespace {
+
+std::string FullPrecision(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+StructureModel StructureModel::FromAuditModel(const AuditModel& model,
+                                              const Schema& schema,
+                                              bool drop_useless) {
+  (void)schema;
+  StructureModel out;
+  for (const AttributeModel& am : model.models()) {
+    AttributeRuleSet set;
+    set.class_attr = am.class_attr;
+    set.encoder = am.encoder;
+    set.rules = ExtractRules(am, drop_useless);
+    if (!set.rules.empty()) {
+      out.rule_sets_.push_back(std::move(set));
+    }
+  }
+  return out;
+}
+
+size_t StructureModel::TotalRules() const {
+  size_t n = 0;
+  for (const AttributeRuleSet& set : rule_sets_) n += set.rules.size();
+  return n;
+}
+
+Result<AuditReport> StructureModel::Check(const Table& data,
+                                          const AuditorConfig& config) const {
+  AuditReport report;
+  const size_t n = data.num_rows();
+  report.record_confidence.assign(n, 0.0);
+  report.record_attr.assign(n, -1);
+  report.record_suggestion.assign(n, Value::Null());
+  report.record_support.assign(n, 0.0);
+  report.flagged.assign(n, false);
+
+  for (size_t r = 0; r < n; ++r) {
+    const Row& row = data.row(r);
+    const RecordVerdict verdict = CheckRecord(row, config);
+    report.record_confidence[r] = verdict.error_confidence;
+    report.record_attr[r] = verdict.attr;
+    report.record_suggestion[r] = verdict.suggestion;
+    report.record_support[r] = verdict.support;
+    if (verdict.suspicious) {
+      report.flagged[r] = true;
+      Suspicion s;
+      s.row = r;
+      s.error_confidence = verdict.error_confidence;
+      s.attr = verdict.attr;
+      s.observed = row[static_cast<size_t>(verdict.attr)];
+      s.suggestion = verdict.suggestion;
+      s.support = verdict.support;
+      report.suspicious.push_back(std::move(s));
+    }
+  }
+  std::stable_sort(report.suspicious.begin(), report.suspicious.end(),
+                   [](const Suspicion& a, const Suspicion& b) {
+                     return a.error_confidence > b.error_confidence;
+                   });
+  return report;
+}
+
+StructureModel::RecordVerdict StructureModel::CheckRecord(
+    const Row& row, const AuditorConfig& config) const {
+  RecordVerdict verdict;
+  for (const AttributeRuleSet& set : rule_sets_) {
+    // Tree paths are mutually exclusive: at most one rule matches.
+    const StructureRule* matched = nullptr;
+    for (const StructureRule& rule : set.rules) {
+      if (rule.Matches(row)) {
+        matched = &rule;
+        break;
+      }
+    }
+    if (matched == nullptr || matched->support <= 0.0) continue;
+
+    Prediction pred;
+    pred.support = matched->support;
+    pred.distribution.reserve(matched->class_counts.size());
+    for (double c : matched->class_counts) {
+      pred.distribution.push_back(c / matched->support);
+    }
+    const int observed =
+        set.encoder.Encode(row[static_cast<size_t>(set.class_attr)]);
+    const double conf = ErrorConfidence(pred, observed,
+                                        config.confidence_level,
+                                        config.flag_null_values);
+    if (conf > verdict.error_confidence) {
+      verdict.error_confidence = conf;
+      verdict.attr = set.class_attr;
+      verdict.suggestion = set.encoder.Representative(matched->majority_class);
+      verdict.support = matched->support;
+    }
+  }
+  verdict.suspicious = verdict.attr >= 0 &&
+                       verdict.error_confidence >= config.min_error_confidence;
+  return verdict;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+Status StructureModel::SerializeTo(std::ostream* out) const {
+  *out << "dqmodel v1\n";
+  for (const AttributeRuleSet& set : rule_sets_) {
+    *out << "attrset " << set.class_attr;
+    if (set.encoder.is_discretized()) {
+      const auto& disc = *set.encoder.discretizer();
+      *out << " discretized " << disc.cut_points().size();
+      for (double c : disc.cut_points()) *out << ' ' << FullPrecision(c);
+      *out << ' ' << disc.num_bins();
+      for (int b = 0; b < disc.num_bins(); ++b) {
+        *out << ' ' << FullPrecision(disc.Representative(b));
+      }
+      *out << '\n';
+    } else {
+      *out << " nominal\n";
+    }
+    for (const StructureRule& rule : set.rules) {
+      *out << "rule " << rule.majority_class << ' '
+           << FullPrecision(rule.support) << ' ' << FullPrecision(rule.purity)
+           << ' ' << FullPrecision(rule.expected_error_confidence)
+           << " counts " << rule.class_counts.size();
+      for (double c : rule.class_counts) *out << ' ' << FullPrecision(c);
+      *out << " conds " << rule.conditions.size() << '\n';
+      for (const SplitCondition& cond : rule.conditions) {
+        *out << "cond " << cond.attr << ' ';
+        switch (cond.kind) {
+          case SplitCondition::Kind::kCategory:
+            *out << "cat " << cond.category;
+            break;
+          case SplitCondition::Kind::kLessEq:
+            *out << "le " << FullPrecision(cond.threshold);
+            break;
+          case SplitCondition::Kind::kGreater:
+            *out << "gt " << FullPrecision(cond.threshold);
+            break;
+        }
+        *out << '\n';
+      }
+    }
+  }
+  *out << "end\n";
+  if (!*out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status StructureModel::SaveToFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
+  return SerializeTo(&f);
+}
+
+namespace {
+
+Status ParseError(size_t line_no, const std::string& what) {
+  return Status::IOError("dqmodel parse error at line " +
+                         std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Result<StructureModel> StructureModel::Deserialize(const Schema& schema,
+                                                   std::istream* in) {
+  StructureModel model;
+  std::string line;
+  size_t line_no = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(*in, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!TrimWhitespace(line).empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "dqmodel v1") {
+    return ParseError(line_no, "missing 'dqmodel v1' header");
+  }
+
+  AttributeRuleSet* current = nullptr;
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "end") {
+      return model;
+    }
+    if (tag == "attrset") {
+      int attr = -1;
+      std::string kind;
+      ls >> attr >> kind;
+      if (!ls) return ParseError(line_no, "malformed attrset");
+      std::optional<EqualFrequencyDiscretizer> disc;
+      if (kind == "discretized") {
+        size_t ncuts = 0;
+        ls >> ncuts;
+        std::vector<double> cuts(ncuts);
+        for (double& c : cuts) ls >> c;
+        size_t nreps = 0;
+        ls >> nreps;
+        std::vector<double> reps(nreps);
+        for (double& r : reps) ls >> r;
+        if (!ls) return ParseError(line_no, "malformed discretizer");
+        auto built = EqualFrequencyDiscretizer::FromParts(std::move(cuts),
+                                                          std::move(reps));
+        if (!built.ok()) return ParseError(line_no, built.status().message());
+        disc = std::move(*built);
+      } else if (kind != "nominal") {
+        return ParseError(line_no, "unknown encoder kind '" + kind + "'");
+      }
+      auto encoder = ClassEncoder::FromParts(schema, attr, std::move(disc));
+      if (!encoder.ok()) return ParseError(line_no, encoder.status().message());
+      AttributeRuleSet set;
+      set.class_attr = attr;
+      set.encoder = std::move(*encoder);
+      model.rule_sets_.push_back(std::move(set));
+      current = &model.rule_sets_.back();
+      continue;
+    }
+    if (tag == "rule") {
+      if (current == nullptr) return ParseError(line_no, "rule before attrset");
+      StructureRule rule;
+      rule.class_attr = current->class_attr;
+      std::string counts_tag, conds_tag;
+      size_t ncounts = 0, nconds = 0;
+      ls >> rule.majority_class >> rule.support >> rule.purity >>
+          rule.expected_error_confidence >> counts_tag >> ncounts;
+      if (!ls || counts_tag != "counts") {
+        return ParseError(line_no, "malformed rule");
+      }
+      rule.class_counts.resize(ncounts);
+      for (double& c : rule.class_counts) ls >> c;
+      ls >> conds_tag >> nconds;
+      if (!ls || conds_tag != "conds") {
+        return ParseError(line_no, "malformed rule conditions count");
+      }
+      if (static_cast<int>(ncounts) !=
+          current->encoder.num_classes()) {
+        return ParseError(line_no, "class count arity mismatch");
+      }
+      for (size_t i = 0; i < nconds; ++i) {
+        if (!next_line()) return ParseError(line_no, "truncated conditions");
+        std::istringstream cs(line);
+        std::string cond_tag, op;
+        SplitCondition cond;
+        cs >> cond_tag >> cond.attr >> op;
+        if (!cs || cond_tag != "cond") {
+          return ParseError(line_no, "malformed cond");
+        }
+        if (cond.attr < 0 ||
+            static_cast<size_t>(cond.attr) >= schema.num_attributes()) {
+          return ParseError(line_no, "cond attribute out of range");
+        }
+        if (op == "cat") {
+          cond.kind = SplitCondition::Kind::kCategory;
+          cs >> cond.category;
+        } else if (op == "le") {
+          cond.kind = SplitCondition::Kind::kLessEq;
+          cs >> cond.threshold;
+        } else if (op == "gt") {
+          cond.kind = SplitCondition::Kind::kGreater;
+          cs >> cond.threshold;
+        } else {
+          return ParseError(line_no, "unknown cond op '" + op + "'");
+        }
+        if (!cs) return ParseError(line_no, "malformed cond operand");
+        rule.conditions.push_back(cond);
+      }
+      current->rules.push_back(std::move(rule));
+      continue;
+    }
+    return ParseError(line_no, "unknown tag '" + tag + "'");
+  }
+  return ParseError(line_no, "missing 'end'");
+}
+
+Result<StructureModel> StructureModel::LoadFromFile(const Schema& schema,
+                                                    const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  return Deserialize(schema, &f);
+}
+
+}  // namespace dq

@@ -1,0 +1,180 @@
+#include "bayes/bayes_net.h"
+
+namespace dq {
+
+int BayesianNetwork::FindNode(int attr) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].attr == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status BayesianNetwork::AddNode(int attr, std::vector<int> parents) {
+  if (attr < 0 || static_cast<size_t>(attr) >= schema_->num_attributes()) {
+    return Status::OutOfRange("attribute index " + std::to_string(attr));
+  }
+  if (Covers(attr)) {
+    return Status::AlreadyExists("attribute '" +
+                                 schema_->attribute(attr).name +
+                                 "' already in network");
+  }
+  for (int p : parents) {
+    if (p == attr) {
+      return Status::InvalidArgument("node cannot be its own parent");
+    }
+    if (!Covers(p)) {
+      // Requiring parents to pre-exist makes insertion order topological
+      // and rules out cycles by construction.
+      return Status::InvalidArgument(
+          "parent attribute index " + std::to_string(p) +
+          " must be added to the network before its children");
+    }
+    if (schema_->attribute(p).type != DataType::kNominal) {
+      return Status::InvalidArgument("parent '" + schema_->attribute(p).name +
+                                     "' must be nominal");
+    }
+  }
+  Node node;
+  node.attr = attr;
+  node.parents = std::move(parents);
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Result<size_t> BayesianNetwork::NumParentConfigs(int attr) const {
+  int idx = FindNode(attr);
+  if (idx < 0) return Status::NotFound("attribute not in network");
+  size_t configs = 1;
+  for (int p : nodes_[idx].parents) {
+    configs *= schema_->attribute(p).categories.size();
+  }
+  return configs;
+}
+
+Status BayesianNetwork::SetNominalCpt(int attr,
+                                      std::vector<std::vector<double>> rows) {
+  int idx = FindNode(attr);
+  if (idx < 0) return Status::NotFound("attribute not in network");
+  const AttributeDef& def = schema_->attribute(attr);
+  if (def.type != DataType::kNominal) {
+    return Status::InvalidArgument("'" + def.name + "' is not nominal");
+  }
+  DQ_ASSIGN_OR_RETURN(size_t configs, NumParentConfigs(attr));
+  if (rows.size() != configs) {
+    return Status::InvalidArgument(
+        "CPT for '" + def.name + "' needs " + std::to_string(configs) +
+        " rows, got " + std::to_string(rows.size()));
+  }
+  for (const auto& row : rows) {
+    if (row.size() != def.categories.size()) {
+      return Status::InvalidArgument("CPT row arity mismatch for '" + def.name +
+                                     "'");
+    }
+    double total = 0.0;
+    for (double w : row) {
+      if (w < 0.0) return Status::InvalidArgument("negative CPT weight");
+      total += w;
+    }
+    if (total <= 0.0) return Status::InvalidArgument("all-zero CPT row");
+  }
+  nodes_[idx].cpt = std::move(rows);
+  nodes_[idx].cond_specs.clear();
+  nodes_[idx].has_distribution = true;
+  return Status::OK();
+}
+
+Status BayesianNetwork::SetConditionalSpecs(int attr,
+                                            std::vector<DistributionSpec> rows) {
+  int idx = FindNode(attr);
+  if (idx < 0) return Status::NotFound("attribute not in network");
+  const AttributeDef& def = schema_->attribute(attr);
+  if (def.type == DataType::kNominal) {
+    return Status::InvalidArgument(
+        "use SetNominalCpt for nominal attribute '" + def.name + "'");
+  }
+  DQ_ASSIGN_OR_RETURN(size_t configs, NumParentConfigs(attr));
+  if (rows.size() != configs) {
+    return Status::InvalidArgument(
+        "conditional specs for '" + def.name + "' need " +
+        std::to_string(configs) + " rows, got " + std::to_string(rows.size()));
+  }
+  for (const auto& spec : rows) {
+    DQ_RETURN_NOT_OK(ValidateDistribution(spec, def));
+  }
+  nodes_[idx].cond_specs = std::move(rows);
+  nodes_[idx].cpt.clear();
+  nodes_[idx].has_distribution = true;
+  return Status::OK();
+}
+
+Status BayesianNetwork::SetNullProb(int attr, double p) {
+  int idx = FindNode(attr);
+  if (idx < 0) return Status::NotFound("attribute not in network");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("null probability outside [0,1]");
+  }
+  nodes_[idx].null_prob = p;
+  return Status::OK();
+}
+
+Status BayesianNetwork::Validate() const {
+  for (const Node& node : nodes_) {
+    if (!node.has_distribution) {
+      return Status::FailedPrecondition(
+          "node '" + schema_->attribute(node.attr).name +
+          "' has no distribution");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> BayesianNetwork::covered_attributes() const {
+  std::vector<int> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) out.push_back(n.attr);
+  return out;
+}
+
+int64_t BayesianNetwork::ParentRank(const Node& node, const Row& row) const {
+  int64_t rank = 0;
+  for (int p : node.parents) {
+    const Value& v = (row)[static_cast<size_t>(p)];
+    if (!v.is_nominal()) return -1;
+    const auto& categories = schema_->attribute(p).categories;
+    rank = rank * static_cast<int64_t>(categories.size()) + v.nominal_code();
+  }
+  return rank;
+}
+
+Status BayesianNetwork::SampleInto(Row* row, Rng* rng) const {
+  if (row->size() != schema_->num_attributes()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (const Node& node : nodes_) {
+    const AttributeDef& def = schema_->attribute(node.attr);
+    if (node.null_prob > 0.0 && rng->Bernoulli(node.null_prob)) {
+      (*row)[static_cast<size_t>(node.attr)] = Value::Null();
+      continue;
+    }
+    const int64_t rank = ParentRank(node, *row);
+    Value v;
+    if (def.type == DataType::kNominal) {
+      if (rank < 0 || node.cpt.empty()) {
+        v = SampleValue(DistributionSpec::Uniform(), def, rng);
+      } else {
+        v = Value::Nominal(static_cast<int32_t>(
+            rng->WeightedIndex(node.cpt[static_cast<size_t>(rank)])));
+      }
+    } else {
+      if (rank < 0 || node.cond_specs.empty()) {
+        v = SampleValue(DistributionSpec::Uniform(), def, rng);
+      } else {
+        v = SampleValue(node.cond_specs[static_cast<size_t>(rank)], def, rng);
+      }
+    }
+    (*row)[static_cast<size_t>(node.attr)] = v;
+  }
+  return Status::OK();
+}
+
+}  // namespace dq

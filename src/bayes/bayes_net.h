@@ -1,0 +1,90 @@
+// Bayesian networks for multivariate start distributions (sec. 4.1.4).
+//
+// "First experiments showed that an independent sampling of the initial
+// values does not lead to a satisfactory model of the QUIS database. Hence,
+// we developed a method for the intuitive specification of multivariate
+// start distributions based on the graphical representation of stochastic
+// dependencies among attributes in Bayesian networks."
+//
+// A BayesianNetwork covers a subset of a schema's attributes. Parent nodes
+// must be nominal (so that parent configurations are finite); child nodes
+// may be nominal (conditional probability table rows = category weights) or
+// numeric/date (rows = DistributionSpecs). Sampling is ancestral in
+// topological order.
+
+#ifndef DQ_BAYES_BAYES_NET_H_
+#define DQ_BAYES_BAYES_NET_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "stats/distribution.h"
+#include "table/table.h"
+
+namespace dq {
+
+/// \brief Directed graphical model over schema attributes with explicit
+/// conditional distributions; used as a multivariate start distribution by
+/// the test data generator.
+class BayesianNetwork {
+ public:
+  explicit BayesianNetwork(const Schema* schema) : schema_(schema) {}
+
+  /// \brief Adds a node for `attr` with the given parent attributes.
+  /// Parents must already be nodes of the network and must be nominal.
+  Status AddNode(int attr, std::vector<int> parents = {});
+
+  /// \brief Sets the CPT for a nominal node: one weight row (unnormalized,
+  /// length = category count) per parent configuration, in mixed-radix rank
+  /// order (first parent varies slowest).
+  Status SetNominalCpt(int attr, std::vector<std::vector<double>> rows);
+
+  /// \brief Sets conditional distributions for a numeric/date node: one
+  /// DistributionSpec per parent configuration.
+  Status SetConditionalSpecs(int attr, std::vector<DistributionSpec> rows);
+
+  /// \brief Probability that a node's sampled value is null, independent of
+  /// the parent configuration (default 0).
+  Status SetNullProb(int attr, double p);
+
+  /// \brief Checks completeness: every node has a distribution with the
+  /// right arity for its parent-configuration count.
+  Status Validate() const;
+
+  /// \brief Number of parent configurations of a node.
+  Result<size_t> NumParentConfigs(int attr) const;
+
+  /// \brief Attributes covered by the network, in insertion order.
+  std::vector<int> covered_attributes() const;
+
+  bool Covers(int attr) const { return FindNode(attr) >= 0; }
+
+  /// \brief Ancestral sampling: fills `row` cells for all covered
+  /// attributes (other cells are untouched). `row` must have schema arity.
+  /// If a parent cell is null, a uniform fallback is used for the child.
+  Status SampleInto(Row* row, Rng* rng) const;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  struct Node {
+    int attr = -1;
+    std::vector<int> parents;  // attribute indices
+    std::vector<std::vector<double>> cpt;        // nominal nodes
+    std::vector<DistributionSpec> cond_specs;    // numeric/date nodes
+    double null_prob = 0.0;
+    bool has_distribution = false;
+  };
+
+  int FindNode(int attr) const;
+  /// Mixed-radix rank of a parent configuration; -1 if any parent is null.
+  int64_t ParentRank(const Node& node, const Row& row) const;
+
+  const Schema* schema_;
+  std::vector<Node> nodes_;  // insertion order is a topological order
+};
+
+}  // namespace dq
+
+#endif  // DQ_BAYES_BAYES_NET_H_

@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef DQ_COMMON_RESULT_H_
+#define DQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dq {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Construction from a value yields an OK result; construction from a
+/// non-OK Status yields an error result. Constructing from an OK Status
+/// is a programming error (asserted).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}                    // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {              // NOLINT implicit
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// \brief Access the value; must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// \brief Returns the value or a fallback when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// error Status from the enclosing function.
+#define DQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define DQ_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define DQ_ASSIGN_OR_RETURN_CONCAT(a, b) DQ_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define DQ_ASSIGN_OR_RETURN(lhs, expr) \
+  DQ_ASSIGN_OR_RETURN_IMPL(            \
+      DQ_ASSIGN_OR_RETURN_CONCAT(_dq_result_, __LINE__), lhs, expr)
+
+}  // namespace dq
+
+#endif  // DQ_COMMON_RESULT_H_

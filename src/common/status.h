@@ -1,0 +1,124 @@
+// Status: lightweight error propagation in the style of Arrow / RocksDB.
+//
+// Public API functions that can fail return either a Status or a Result<T>
+// (see result.h). Exceptions are not used across library boundaries.
+
+#ifndef DQ_COMMON_STATUS_H_
+#define DQ_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dq {
+
+/// \brief Machine-readable error category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kUnsatisfiable = 6,  ///< A TDG-formula / rule-set constraint cannot be met.
+  kExhausted = 7,      ///< A bounded retry/search gave up.
+  kIOError = 8,
+  kNotImplemented = 9,
+  kInternal = 10,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// The OK state carries no allocation; error states allocate a small
+/// descriptor. Status is cheap to move and to test for success.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status Exhausted(std::string msg) {
+    return Status(StatusCode::kExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsUnsatisfiable() const { return code() == StatusCode::kUnsatisfiable; }
+  bool IsExhausted() const { return code() == StatusCode::kExhausted; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr <=> OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Propagates a non-OK Status to the caller.
+#define DQ_RETURN_NOT_OK(expr)                   \
+  do {                                           \
+    ::dq::Status _dq_status = (expr);            \
+    if (!_dq_status.ok()) return _dq_status;     \
+  } while (false)
+
+}  // namespace dq
+
+#endif  // DQ_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string/formatting helpers shared across modules.
+
+#ifndef DQ_COMMON_STRINGS_H_
+#define DQ_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dq {
+
+/// \brief Splits `s` on `sep`; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// \brief Joins parts with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// \brief Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// \brief Formats a double with trailing-zero trimming ("1.5", "2", "0.25").
+std::string FormatDouble(double v, int max_decimals = 6);
+
+/// \brief True if `s` parses fully as a floating point number.
+bool ParseDouble(std::string_view s, double* out);
+
+/// \brief True if `s` parses fully as a 64-bit integer.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+}  // namespace dq
+
+#endif  // DQ_COMMON_STRINGS_H_

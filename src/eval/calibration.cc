@@ -1,0 +1,126 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dq {
+
+const char* AuditGoalToString(AuditGoal goal) {
+  switch (goal) {
+    case AuditGoal::kScreening:
+      return "screening";
+    case AuditGoal::kFiltering:
+      return "filtering";
+    case AuditGoal::kBalanced:
+      return "balanced";
+  }
+  return "unknown";
+}
+
+std::vector<CalibrationCandidate> DefaultCandidateGrid() {
+  std::vector<CalibrationCandidate> grid;
+  for (InducerKind inducer : {InducerKind::kC45, InducerKind::kNaiveBayes,
+                              InducerKind::kOneR}) {
+    for (double min_conf : {0.7, 0.8, 0.9}) {
+      CalibrationCandidate c;
+      c.config.inducer = inducer;
+      c.config.min_error_confidence = min_conf;
+      c.label = std::string(InducerKindToString(inducer)) + " @" +
+                FormatDouble(min_conf, 2);
+      grid.push_back(std::move(c));
+    }
+  }
+  // C4.5 pruning-mode variants at the paper's threshold.
+  for (PruningMode mode : {PruningMode::kPessimistic, PruningMode::kNone}) {
+    CalibrationCandidate c;
+    c.config.inducer = InducerKind::kC45;
+    c.config.min_error_confidence = 0.8;
+    c.config.c45.pruning = mode;
+    c.label = std::string("c4.5 @0.8 ") + PruningModeToString(mode);
+    grid.push_back(std::move(c));
+  }
+  return grid;
+}
+
+namespace {
+
+double GoalScore(const CalibrationConfig& config,
+                 const CalibrationResult& result) {
+  switch (config.goal) {
+    case AuditGoal::kScreening:
+      return result.specificity >= config.min_specificity
+                 ? result.sensitivity
+                 : 0.0;
+    case AuditGoal::kFiltering:
+      return result.sensitivity >= config.min_sensitivity
+                 ? result.specificity
+                 : 0.0;
+    case AuditGoal::kBalanced:
+      return std::max(0.0, result.sensitivity + result.specificity - 1.0);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<CalibrationResult>> Calibrate(
+    const CalibrationConfig& config,
+    const std::vector<CalibrationCandidate>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no calibration candidates");
+  }
+  if (config.seeds < 1) {
+    return Status::InvalidArgument("seeds must be >= 1");
+  }
+  std::vector<CalibrationResult> results;
+  results.reserve(candidates.size());
+  for (const CalibrationCandidate& candidate : candidates) {
+    CalibrationResult result;
+    result.label = candidate.label;
+    result.config = candidate.config;
+    int ok_runs = 0;
+    for (int s = 0; s < config.seeds; ++s) {
+      TestEnvironmentConfig env = config.environment;
+      env.auditor = candidate.config;
+      env.seed = SplitMix64(config.environment.seed + 31ULL * s);
+      auto run = TestEnvironment(env).Run();
+      if (!run.ok()) continue;
+      ++ok_runs;
+      result.sensitivity += run->sensitivity;
+      result.specificity += run->specificity;
+      result.correction_improvement += run->correction_improvement;
+    }
+    if (ok_runs == 0) {
+      return Status::Internal("all runs failed for candidate '" +
+                              candidate.label + "'");
+    }
+    result.sensitivity /= ok_runs;
+    result.specificity /= ok_runs;
+    result.correction_improvement /= ok_runs;
+    result.score = GoalScore(config, result);
+    results.push_back(std::move(result));
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const CalibrationResult& a, const CalibrationResult& b) {
+                     return a.score > b.score;
+                   });
+  return results;
+}
+
+std::string RenderCalibration(const std::vector<CalibrationResult>& results) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-28s %12s %12s %12s %10s\n", "candidate",
+                "sensitivity", "specificity", "improvement", "score");
+  out += line;
+  for (const CalibrationResult& r : results) {
+    std::snprintf(line, sizeof(line), "%-28s %12.4f %12.4f %12.4f %10.4f\n",
+                  r.label.c_str(), r.sensitivity, r.specificity,
+                  r.correction_improvement, r.score);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dq

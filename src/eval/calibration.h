@@ -1,0 +1,79 @@
+// Calibration: the iterative adjustment loop of fig. 1.
+//
+// "Based on this, different data mining-algorithms for structure induction
+// and deviation detection can be tested and, if necessary, adjusted. This
+// process can be iterated until satisfactory benchmark results are
+// obtained." A calibration run evaluates a set of candidate auditor
+// configurations on the artificial benchmark database and ranks them for a
+// deployment goal: a *screening* tool wants maximal sensitivity ("marks
+// deviations to be controlled manually later"), a *filter* wants maximal
+// specificity ("integrate new data very quickly and filter only records
+// that are incorrect with a high probability") — sec. 4.3.
+
+#ifndef DQ_EVAL_CALIBRATION_H_
+#define DQ_EVAL_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/test_environment.h"
+
+namespace dq {
+
+/// \brief Intended use of the audited tool (sec. 4.3).
+enum class AuditGoal {
+  kScreening,  ///< maximize sensitivity subject to a specificity floor
+  kFiltering,  ///< maximize specificity subject to a sensitivity floor
+  kBalanced,   ///< maximize Youden's J (sensitivity + specificity - 1)
+};
+
+const char* AuditGoalToString(AuditGoal goal);
+
+/// \brief One candidate configuration with a label for reports.
+struct CalibrationCandidate {
+  std::string label;
+  AuditorConfig config;
+};
+
+/// \brief Measured outcome of one candidate.
+struct CalibrationResult {
+  std::string label;
+  AuditorConfig config;
+  double sensitivity = 0.0;
+  double specificity = 0.0;
+  double correction_improvement = 0.0;
+  double score = 0.0;  ///< goal-dependent ranking score
+};
+
+struct CalibrationConfig {
+  /// Benchmark database parameters (num_records/num_rules/pollution as in
+  /// the test environment); the auditor member is ignored.
+  TestEnvironmentConfig environment;
+
+  AuditGoal goal = AuditGoal::kBalanced;
+
+  /// Constraint floors for the constrained goals.
+  double min_specificity = 0.98;
+  double min_sensitivity = 0.05;
+
+  /// Seeds averaged per candidate.
+  int seeds = 2;
+};
+
+/// \brief The default candidate grid: inducers x minimal error confidences
+/// x pruning strategies.
+std::vector<CalibrationCandidate> DefaultCandidateGrid();
+
+/// \brief Runs every candidate through the test environment and returns the
+/// results ranked by goal score (best first). Candidates violating the
+/// goal's floor get score 0 but are still listed.
+Result<std::vector<CalibrationResult>> Calibrate(
+    const CalibrationConfig& config,
+    const std::vector<CalibrationCandidate>& candidates);
+
+/// \brief Renders a ranked calibration table.
+std::string RenderCalibration(const std::vector<CalibrationResult>& results);
+
+}  // namespace dq
+
+#endif  // DQ_EVAL_CALIBRATION_H_

@@ -1,0 +1,39 @@
+#include "eval/report_io.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/strings.h"
+#include "table/csv.h"
+
+namespace dq {
+
+Status WriteAuditReportCsv(const AuditReport& report, const Table& data,
+                           std::ostream* out) {
+  const Schema& schema = data.schema();
+  *out << "rank,row,error_confidence,attribute,observed,suggestion,support\n";
+  size_t rank = 1;
+  for (const Suspicion& s : report.suspicious) {
+    if (s.row >= data.num_rows() || s.attr < 0 ||
+        static_cast<size_t>(s.attr) >= schema.num_attributes()) {
+      return Status::InvalidArgument("report does not match the table");
+    }
+    *out << rank++ << ',' << s.row << ','
+         << FormatDouble(s.error_confidence, 6) << ','
+         << CsvQuote(schema.attribute(static_cast<size_t>(s.attr)).name, ',')
+         << ',' << CsvQuote(schema.ValueToString(s.attr, s.observed), ',')
+         << ',' << CsvQuote(schema.ValueToString(s.attr, s.suggestion), ',')
+         << ',' << FormatDouble(s.support, 1) << '\n';
+  }
+  if (!*out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteAuditReportCsvFile(const AuditReport& report, const Table& data,
+                               const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteAuditReportCsv(report, data, &f);
+}
+
+}  // namespace dq

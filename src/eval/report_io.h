@@ -1,0 +1,26 @@
+// Audit report export: the ranked suspicious-record list as CSV, for the
+// manual cross-checks of sec. 6.2 ("These records were ranked according to
+// their associated error confidence and cross-checked by domain experts
+// selectively").
+
+#ifndef DQ_EVAL_REPORT_IO_H_
+#define DQ_EVAL_REPORT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "audit/auditor.h"
+
+namespace dq {
+
+/// \brief Writes the ranked suspicions as CSV with columns
+/// rank,row,error_confidence,attribute,observed,suggestion,support.
+Status WriteAuditReportCsv(const AuditReport& report, const Table& data,
+                           std::ostream* out);
+
+Status WriteAuditReportCsvFile(const AuditReport& report, const Table& data,
+                               const std::string& path);
+
+}  // namespace dq
+
+#endif  // DQ_EVAL_REPORT_IO_H_

@@ -1,0 +1,36 @@
+#include "eval/table_split.h"
+
+#include <numeric>
+
+namespace dq {
+
+Result<TableSplit> SplitTable(const Table& table, double train_fraction,
+                              uint64_t seed) {
+  if (train_fraction < 0.0 || train_fraction > 1.0) {
+    return Status::InvalidArgument("train fraction outside [0, 1]");
+  }
+  std::vector<size_t> order(table.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  const size_t train_count = static_cast<size_t>(
+      static_cast<double>(table.num_rows()) * train_fraction + 0.5);
+  TableSplit split;
+  split.train = Table(table.schema());
+  split.test = Table(table.schema());
+  split.train.Reserve(train_count);
+  split.test.Reserve(table.num_rows() - train_count);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < train_count) {
+      split.train.AppendRowUnchecked(table.row(order[i]));
+      split.train_rows.push_back(order[i]);
+    } else {
+      split.test.AppendRowUnchecked(table.row(order[i]));
+      split.test_rows.push_back(order[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace dq

@@ -1,0 +1,29 @@
+// Train/test splitting (sec. 8): "a data auditing tool should work both
+// when training sets and test data are separate and when there is only a
+// single database which serves both for training and data audit."
+
+#ifndef DQ_EVAL_TABLE_SPLIT_H_
+#define DQ_EVAL_TABLE_SPLIT_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace dq {
+
+struct TableSplit {
+  Table train;
+  Table test;
+  /// Original row index of each train/test row.
+  std::vector<size_t> train_rows;
+  std::vector<size_t> test_rows;
+};
+
+/// \brief Randomly partitions `table` into train/test with the given train
+/// fraction (in [0, 1]); deterministic for a seed.
+Result<TableSplit> SplitTable(const Table& table, double train_fraction,
+                              uint64_t seed);
+
+}  // namespace dq
+
+#endif  // DQ_EVAL_TABLE_SPLIT_H_

@@ -1,0 +1,109 @@
+// DomainRange: the current restriction of one attribute's domain during the
+// pragmatic satisfiability test (sec. 4.1.3).
+//
+// "The main idea of the procedure is to initialize the current domain
+// ranges of every attribute defined in the schema for the target table with
+// their domain ranges and then successively restrict them by integrating
+// the constraints of each atomic TDG-formula in the conjunction."
+
+#ifndef DQ_LOGIC_DOMAIN_RANGE_H_
+#define DQ_LOGIC_DOMAIN_RANGE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/schema.h"
+
+namespace dq {
+
+/// \brief Restriction of one attribute's value space: a (possibly empty)
+/// set of permitted non-null values plus a null-permission flag.
+///
+/// Nominal attributes track an explicit allowed-category set; ordered
+/// attributes (numeric, date) track an interval with open/closed endpoints
+/// and finitely many excluded points (from `!=` constraints). Date axes are
+/// integral, which sharpens strict bounds (x < 5 => x <= 4).
+class DomainRange {
+ public:
+  DomainRange() = default;
+
+  /// \brief Full domain of `attr`, null allowed.
+  static DomainRange FullDomain(const AttributeDef& attr);
+
+  DataType type() const { return type_; }
+  bool allow_null() const { return allow_null_; }
+
+  /// \brief Forbids the null value (required by every comparison atom).
+  void ForbidNull() { allow_null_ = false; }
+
+  /// \brief Forbids all non-null values (required by `isnull`).
+  void ForbidValues();
+
+  /// \brief Intersects with "value == v". v must be non-null.
+  void RestrictEq(const Value& v);
+  /// \brief Intersects with "value != v".
+  void RestrictNeq(const Value& v);
+  /// \brief Intersects with "value < v" (ordered types only).
+  void RestrictLt(const Value& v);
+  /// \brief Intersects with "value > v" (ordered types only).
+  void RestrictGt(const Value& v);
+
+  /// \brief Intersects this range with another range of the same attribute
+  /// (used when `=` links merge attribute classes). Null permissions are
+  /// intersected as well. Returns true if this range changed.
+  bool IntersectWith(const DomainRange& other);
+
+  /// \brief Tightens the upper end to lie strictly below other's upper end
+  /// (for links `this < other`); returns true on change.
+  bool LimitBelow(const DomainRange& other);
+  /// \brief Tightens the lower end to lie strictly above other's lower end.
+  bool LimitAbove(const DomainRange& other);
+
+  /// \brief True if no non-null value remains.
+  bool ValuesEmpty() const;
+  /// \brief True if neither null nor any value remains (contradiction).
+  bool Empty() const { return !allow_null_ && ValuesEmpty(); }
+
+  /// \brief True if exactly one non-null value remains; outputs it.
+  bool SingleValue(Value* out) const;
+
+  /// \brief True if `v` (non-null) is inside the current restriction.
+  bool Contains(const Value& v) const;
+
+  /// \brief Draws a uniform value from the remaining non-null values.
+  /// Requires !ValuesEmpty().
+  Value SampleValue(Rng* rng) const;
+
+  // Ordered-range accessors (numeric/date only).
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool lo_open() const { return lo_open_; }
+  bool hi_open() const { return hi_open_; }
+
+  std::string ToString(const AttributeDef& attr) const;
+
+ private:
+  bool integer_axis() const { return type_ == DataType::kDate; }
+  /// Normalizes open integer bounds to closed ones (x > 3 -> x >= 4).
+  void NormalizeIntegerBounds();
+
+  DataType type_ = DataType::kNominal;
+  bool allow_null_ = true;
+
+  // Nominal state.
+  std::vector<bool> allowed_;  // size = category count
+
+  // Ordered state.
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  bool lo_open_ = false;
+  bool hi_open_ = false;
+  std::set<double> excluded_;
+  bool values_forbidden_ = false;
+};
+
+}  // namespace dq
+
+#endif  // DQ_LOGIC_DOMAIN_RANGE_H_

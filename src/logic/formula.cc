@@ -1,0 +1,370 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dq {
+
+const char* AtomOpToString(AtomOp op) {
+  switch (op) {
+    case AtomOp::kEq:
+      return "=";
+    case AtomOp::kNeq:
+      return "!=";
+    case AtomOp::kLt:
+      return "<";
+    case AtomOp::kGt:
+      return ">";
+    case AtomOp::kIsNull:
+      return "isnull";
+    case AtomOp::kIsNotNull:
+      return "isnotnull";
+  }
+  return "?";
+}
+
+bool Atom::Evaluate(const Row& row) const {
+  const Value& lhs = row[static_cast<size_t>(lhs_attr)];
+  switch (op) {
+    case AtomOp::kIsNull:
+      return lhs.is_null();
+    case AtomOp::kIsNotNull:
+      return !lhs.is_null();
+    default:
+      break;
+  }
+  if (lhs.is_null()) return false;
+  const Value& rhs = rhs_is_attr ? row[static_cast<size_t>(rhs_attr)] : rhs_value;
+  if (rhs.is_null()) return false;
+  switch (op) {
+    case AtomOp::kEq:
+      if (lhs.is_nominal()) return lhs.StrictEquals(rhs);
+      return lhs.Compare(rhs) == 0;
+    case AtomOp::kNeq:
+      if (lhs.is_nominal()) return !lhs.StrictEquals(rhs);
+      return lhs.Compare(rhs) != 0;
+    case AtomOp::kLt:
+      return lhs.Compare(rhs) < 0;
+    case AtomOp::kGt:
+      return lhs.Compare(rhs) > 0;
+    default:
+      return false;
+  }
+}
+
+std::vector<int> Atom::Attributes() const {
+  std::vector<int> out{lhs_attr};
+  if (rhs_is_attr) out.push_back(rhs_attr);
+  return out;
+}
+
+std::string Atom::ToString(const Schema& schema) const {
+  const std::string lhs = schema.attribute(static_cast<size_t>(lhs_attr)).name;
+  switch (op) {
+    case AtomOp::kIsNull:
+      return lhs + " isnull";
+    case AtomOp::kIsNotNull:
+      return lhs + " isnotnull";
+    default:
+      break;
+  }
+  std::string rhs;
+  if (rhs_is_attr) {
+    rhs = schema.attribute(static_cast<size_t>(rhs_attr)).name;
+  } else {
+    rhs = schema.ValueToString(lhs_attr, rhs_value);
+  }
+  return lhs + " " + AtomOpToString(op) + " " + rhs;
+}
+
+bool Atom::operator==(const Atom& other) const {
+  return lhs_attr == other.lhs_attr && op == other.op &&
+         rhs_is_attr == other.rhs_is_attr &&
+         (rhs_is_attr ? rhs_attr == other.rhs_attr
+                      : rhs_value.StrictEquals(other.rhs_value));
+}
+
+Status ValidateAtom(const Atom& atom, const Schema& schema) {
+  const int n = static_cast<int>(schema.num_attributes());
+  if (atom.lhs_attr < 0 || atom.lhs_attr >= n) {
+    return Status::OutOfRange("atom lhs attribute index out of range");
+  }
+  const AttributeDef& lhs = schema.attribute(static_cast<size_t>(atom.lhs_attr));
+  if (atom.op == AtomOp::kIsNull || atom.op == AtomOp::kIsNotNull) {
+    return Status::OK();
+  }
+  if ((atom.op == AtomOp::kLt || atom.op == AtomOp::kGt) &&
+      !IsOrdered(lhs.type)) {
+    return Status::InvalidArgument("ordered comparison on nominal attribute '" +
+                                   lhs.name + "'");
+  }
+  if (atom.rhs_is_attr) {
+    if (atom.rhs_attr < 0 || atom.rhs_attr >= n) {
+      return Status::OutOfRange("atom rhs attribute index out of range");
+    }
+    if (atom.rhs_attr == atom.lhs_attr) {
+      return Status::InvalidArgument("relational atom compares '" + lhs.name +
+                                     "' with itself");
+    }
+    const AttributeDef& rhs = schema.attribute(static_cast<size_t>(atom.rhs_attr));
+    if (rhs.type != lhs.type) {
+      return Status::InvalidArgument("relational atom over mixed types: '" +
+                                     lhs.name + "' vs '" + rhs.name + "'");
+    }
+    if (lhs.type == DataType::kNominal && lhs.categories != rhs.categories) {
+      return Status::InvalidArgument(
+          "nominal relational atom requires identical category lists: '" +
+          lhs.name + "' vs '" + rhs.name + "'");
+    }
+    return Status::OK();
+  }
+  if (atom.rhs_value.is_null()) {
+    return Status::InvalidArgument("propositional atom with null constant");
+  }
+  if (!lhs.InDomain(atom.rhs_value)) {
+    return Status::OutOfRange("constant outside domain of '" + lhs.name + "'");
+  }
+  return Status::OK();
+}
+
+Formula Formula::MakeAtom(Atom atom) {
+  Formula f;
+  f.kind_ = Kind::kAtom;
+  f.atom_ = std::move(atom);
+  return f;
+}
+
+Formula Formula::And(std::vector<Formula> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  Formula f;
+  f.kind_ = Kind::kAnd;
+  f.children_ = std::move(children);
+  return f;
+}
+
+Formula Formula::Or(std::vector<Formula> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  Formula f;
+  f.kind_ = Kind::kOr;
+  f.children_ = std::move(children);
+  return f;
+}
+
+bool Formula::Evaluate(const Row& row) const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return atom_.Evaluate(row);
+    case Kind::kAnd:
+      for (const Formula& c : children_) {
+        if (!c.Evaluate(row)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Formula& c : children_) {
+        if (c.Evaluate(row)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::vector<int> Formula::Attributes() const {
+  std::vector<int> out;
+  if (kind_ == Kind::kAtom) {
+    out = atom_.Attributes();
+  } else {
+    for (const Formula& c : children_) {
+      auto sub = c.Attributes();
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t Formula::CountAtoms() const {
+  if (kind_ == Kind::kAtom) return 1;
+  size_t n = 0;
+  for (const Formula& c : children_) n += c.CountAtoms();
+  return n;
+}
+
+size_t Formula::Depth() const {
+  if (kind_ == Kind::kAtom) return 1;
+  size_t d = 0;
+  for (const Formula& c : children_) d = std::max(d, c.Depth());
+  return d + 1;
+}
+
+std::string Formula::ToString(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return atom_.ToString(schema);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      if (children_.empty()) return kind_ == Kind::kAnd ? "TRUE" : "FALSE";
+      const char* sep = kind_ == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i].ToString(schema);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+Result<std::vector<Atom>> Formula::AsConjunction() const {
+  std::vector<Atom> out;
+  switch (kind_) {
+    case Kind::kAtom:
+      out.push_back(atom_);
+      return out;
+    case Kind::kAnd:
+      for (const Formula& c : children_) {
+        DQ_ASSIGN_OR_RETURN(std::vector<Atom> sub, c.AsConjunction());
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    case Kind::kOr:
+      return Status::InvalidArgument("formula contains a disjunction");
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Status ValidateFormula(const Formula& f, const Schema& schema) {
+  if (f.is_atom()) return ValidateAtom(f.atom(), schema);
+  if (f.children().empty()) {
+    return Status::InvalidArgument("compound formula with no children");
+  }
+  for (const Formula& c : f.children()) {
+    DQ_RETURN_NOT_OK(ValidateFormula(c, schema));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// TDG-negation of a single atom per Table 1.
+Formula NegateAtom(const Atom& a) {
+  std::vector<Formula> parts;
+  const Atom null_lhs = Atom::Prop(a.lhs_attr, AtomOp::kIsNull);
+  switch (a.op) {
+    case AtomOp::kIsNull:
+      return Formula::MakeAtom(Atom::Prop(a.lhs_attr, AtomOp::kIsNotNull));
+    case AtomOp::kIsNotNull:
+      return Formula::MakeAtom(null_lhs);
+    case AtomOp::kEq: {
+      Atom neq = a;
+      neq.op = AtomOp::kNeq;
+      parts.push_back(Formula::MakeAtom(neq));
+      parts.push_back(Formula::MakeAtom(null_lhs));
+      break;
+    }
+    case AtomOp::kNeq: {
+      Atom eq = a;
+      eq.op = AtomOp::kEq;
+      parts.push_back(Formula::MakeAtom(eq));
+      parts.push_back(Formula::MakeAtom(null_lhs));
+      break;
+    }
+    case AtomOp::kLt:
+    case AtomOp::kGt: {
+      Atom flip = a;
+      flip.op = a.op == AtomOp::kLt ? AtomOp::kGt : AtomOp::kLt;
+      Atom eq = a;
+      eq.op = AtomOp::kEq;
+      parts.push_back(Formula::MakeAtom(flip));
+      parts.push_back(Formula::MakeAtom(eq));
+      parts.push_back(Formula::MakeAtom(null_lhs));
+      break;
+    }
+  }
+  if (a.rhs_is_attr) {
+    parts.push_back(Formula::MakeAtom(Atom::Prop(a.rhs_attr, AtomOp::kIsNull)));
+  }
+  return Formula::Or(std::move(parts));
+}
+
+}  // namespace
+
+Formula Negate(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+      return NegateAtom(f.atom());
+    case Formula::Kind::kAnd: {
+      std::vector<Formula> parts;
+      parts.reserve(f.children().size());
+      for (const Formula& c : f.children()) parts.push_back(Negate(c));
+      return Formula::Or(std::move(parts));
+    }
+    case Formula::Kind::kOr: {
+      std::vector<Formula> parts;
+      parts.reserve(f.children().size());
+      for (const Formula& c : f.children()) parts.push_back(Negate(c));
+      return Formula::And(std::move(parts));
+    }
+  }
+  return f;
+}
+
+namespace {
+
+Status DnfRec(const Formula& f, size_t max_disjuncts,
+              std::vector<std::vector<Atom>>* out) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+      out->push_back({f.atom()});
+      return Status::OK();
+    case Formula::Kind::kOr: {
+      for (const Formula& c : f.children()) {
+        DQ_RETURN_NOT_OK(DnfRec(c, max_disjuncts, out));
+        if (out->size() > max_disjuncts) {
+          return Status::Exhausted("DNF expansion exceeds limit");
+        }
+      }
+      return Status::OK();
+    }
+    case Formula::Kind::kAnd: {
+      // Cross product of child DNFs.
+      std::vector<std::vector<Atom>> acc{{}};
+      for (const Formula& c : f.children()) {
+        std::vector<std::vector<Atom>> child_dnf;
+        DQ_RETURN_NOT_OK(DnfRec(c, max_disjuncts, &child_dnf));
+        std::vector<std::vector<Atom>> next;
+        next.reserve(acc.size() * child_dnf.size());
+        for (const auto& left : acc) {
+          for (const auto& right : child_dnf) {
+            std::vector<Atom> merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_disjuncts) {
+              return Status::Exhausted("DNF expansion exceeds limit");
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      out->insert(out->end(), acc.begin(), acc.end());
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Atom>>> ToDnf(const Formula& f,
+                                             size_t max_disjuncts) {
+  std::vector<std::vector<Atom>> out;
+  DQ_RETURN_NOT_OK(DnfRec(f, max_disjuncts, &out));
+  if (out.size() > max_disjuncts) {
+    return Status::Exhausted("DNF expansion exceeds limit");
+  }
+  return out;
+}
+
+}  // namespace dq

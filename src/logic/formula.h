@@ -1,0 +1,149 @@
+// TDG-formulae and TDG-rules (sec. 4.1.1, Definitions 1-3) and their
+// TDG-negation (Table 1).
+//
+// Atomic formulae are propositional (attribute vs constant: A = a, A != a,
+// N < n, N > n, A isnull, A isnotnull) or relational (attribute vs
+// attribute: A = B, A != B, N < M, N > M). Compound formulae are finite
+// conjunctions/disjunctions; a rule is an implication between two formulae.
+//
+// Evaluation uses the paper's null semantics: every comparison atom is
+// false when any involved attribute is null (only isnull holds on nulls),
+// which is exactly why TDG-negation (Table 1) adds "... or A isnull"
+// disjuncts instead of using classical negation.
+
+#ifndef DQ_LOGIC_FORMULA_H_
+#define DQ_LOGIC_FORMULA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace dq {
+
+/// \brief Comparison operator of an atomic TDG-formula.
+enum class AtomOp : uint8_t {
+  kEq,
+  kNeq,
+  kLt,
+  kGt,
+  kIsNull,
+  kIsNotNull,
+};
+
+const char* AtomOpToString(AtomOp op);
+
+/// \brief Atomic TDG-formula (Definition 1).
+struct Atom {
+  int lhs_attr = -1;
+  AtomOp op = AtomOp::kEq;
+  bool rhs_is_attr = false;  ///< true for relational atoms (A op B)
+  Value rhs_value;           ///< propositional constant
+  int rhs_attr = -1;         ///< relational partner attribute
+
+  static Atom Prop(int attr, AtomOp op, Value rhs = Value::Null()) {
+    Atom a;
+    a.lhs_attr = attr;
+    a.op = op;
+    a.rhs_value = rhs;
+    return a;
+  }
+  static Atom Rel(int lhs, AtomOp op, int rhs) {
+    Atom a;
+    a.lhs_attr = lhs;
+    a.op = op;
+    a.rhs_is_attr = true;
+    a.rhs_attr = rhs;
+    return a;
+  }
+
+  /// \brief Evaluates on a row with TDG null semantics.
+  bool Evaluate(const Row& row) const;
+
+  /// \brief Attributes mentioned by this atom.
+  std::vector<int> Attributes() const;
+
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const Atom& other) const;
+};
+
+/// \brief Checks an atom's structural validity against a schema: attribute
+/// indices in range, operand types compatible (ordered ops need ordered
+/// types; relational atoms need same-typed operands; relational equality on
+/// nominal attributes requires identical category lists), propositional
+/// constants inside the attribute domain.
+Status ValidateAtom(const Atom& atom, const Schema& schema);
+
+/// \brief TDG-formula (Definition 2): an atom, or a conjunction/disjunction
+/// of subformulae.
+class Formula {
+ public:
+  enum class Kind : uint8_t { kAtom, kAnd, kOr };
+
+  Formula() : kind_(Kind::kAnd) {}  // empty conjunction == true
+
+  static Formula MakeAtom(Atom atom);
+  static Formula And(std::vector<Formula> children);
+  static Formula Or(std::vector<Formula> children);
+
+  Kind kind() const { return kind_; }
+  bool is_atom() const { return kind_ == Kind::kAtom; }
+  const Atom& atom() const { return atom_; }
+  const std::vector<Formula>& children() const { return children_; }
+
+  bool Evaluate(const Row& row) const;
+
+  /// \brief All attribute indices mentioned anywhere in the formula
+  /// (deduplicated, ascending).
+  std::vector<int> Attributes() const;
+
+  size_t CountAtoms() const;
+  size_t Depth() const;  ///< an atom has depth 1
+
+  std::string ToString(const Schema& schema) const;
+
+  /// \brief Collects the atoms of a pure conjunction (atom or AND of
+  /// atoms/ANDs); fails if a disjunction occurs.
+  Result<std::vector<Atom>> AsConjunction() const;
+
+ private:
+  Kind kind_;
+  Atom atom_;
+  std::vector<Formula> children_;
+};
+
+/// \brief Validates every atom of a formula against a schema and checks
+/// that compound nodes have at least one child.
+Status ValidateFormula(const Formula& f, const Schema& schema);
+
+/// \brief TDG-rule alpha -> beta (Definition 3).
+struct Rule {
+  Formula premise;
+  Formula consequent;
+
+  /// \brief A row *violates* the rule when the premise holds but the
+  /// consequent does not.
+  bool Violates(const Row& row) const {
+    return premise.Evaluate(row) && !consequent.Evaluate(row);
+  }
+
+  std::string ToString(const Schema& schema) const {
+    return premise.ToString(schema) + " -> " + consequent.ToString(schema);
+  }
+};
+
+/// \brief TDG-negation per Table 1: returns a formula that is true exactly
+/// when `f` is false (under TDG null semantics).
+Formula Negate(const Formula& f);
+
+/// \brief Disjunctive normal form: a list of conjunctions of atoms whose
+/// disjunction is equivalent to `f`. Fails with Exhausted if the expansion
+/// would exceed `max_disjuncts`.
+Result<std::vector<std::vector<Atom>>> ToDnf(const Formula& f,
+                                             size_t max_disjuncts = 4096);
+
+}  // namespace dq
+
+#endif  // DQ_LOGIC_FORMULA_H_

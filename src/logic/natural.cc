@@ -1,0 +1,126 @@
+#include "logic/natural.h"
+
+namespace dq {
+
+Result<bool> NaturalnessChecker::IsNaturalFormula(const Formula& f) const {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom: {
+      // Atomic: satisfiable within the schema domains.
+      return sat_.Satisfiable(f);
+    }
+    case Formula::Kind::kAnd: {
+      for (const Formula& c : f.children()) {
+        DQ_ASSIGN_OR_RETURN(bool natural, IsNaturalFormula(c));
+        if (!natural) return false;
+      }
+      DQ_ASSIGN_OR_RETURN(bool sat, sat_.Satisfiable(f));
+      if (!sat) return false;
+      // No conjunct may be implied by the conjunction of the others.
+      if (f.children().size() > 1) {
+        for (size_t i = 0; i < f.children().size(); ++i) {
+          std::vector<Formula> others;
+          for (size_t j = 0; j < f.children().size(); ++j) {
+            if (j != i) others.push_back(f.children()[j]);
+          }
+          DQ_ASSIGN_OR_RETURN(
+              bool implied,
+              sat_.Implies(Formula::And(std::move(others)), f.children()[i]));
+          if (implied) return false;
+        }
+      }
+      return true;
+    }
+    case Formula::Kind::kOr: {
+      for (const Formula& c : f.children()) {
+        DQ_ASSIGN_OR_RETURN(bool natural, IsNaturalFormula(c));
+        if (!natural) return false;
+      }
+      // No disjunct may be implied by the disjunction of the others.
+      if (f.children().size() > 1) {
+        for (size_t i = 0; i < f.children().size(); ++i) {
+          std::vector<Formula> others;
+          for (size_t j = 0; j < f.children().size(); ++j) {
+            if (j != i) others.push_back(f.children()[j]);
+          }
+          DQ_ASSIGN_OR_RETURN(
+              bool implied,
+              sat_.Implies(Formula::Or(std::move(others)), f.children()[i]));
+          if (implied) return false;
+        }
+      }
+      return true;
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Result<bool> NaturalnessChecker::IsNaturalRule(const Rule& rule) const {
+  DQ_ASSIGN_OR_RETURN(bool nat_premise, IsNaturalFormula(rule.premise));
+  if (!nat_premise) return false;
+  DQ_ASSIGN_OR_RETURN(bool nat_consequent, IsNaturalFormula(rule.consequent));
+  if (!nat_consequent) return false;
+  // alpha AND beta satisfiable.
+  DQ_ASSIGN_OR_RETURN(
+      bool joint_sat,
+      sat_.Satisfiable(Formula::And({rule.premise, rule.consequent})));
+  if (!joint_sat) return false;
+  // Not a tautology: alpha must not already imply beta.
+  DQ_ASSIGN_OR_RETURN(bool tautological,
+                      sat_.Implies(rule.premise, rule.consequent));
+  return !tautological;
+}
+
+namespace {
+
+/// One direction of the Definition 6 check: if a.premise => b.premise then
+/// a.premise AND b.consequent AND a.consequent must be satisfiable and
+/// (a.premise AND b.consequent) must not imply a.consequent.
+Result<bool> CheckDirection(const SatChecker& sat, const Rule& stronger,
+                            const Rule& weaker) {
+  DQ_ASSIGN_OR_RETURN(bool premise_implies,
+                      sat.Implies(stronger.premise, weaker.premise));
+  if (!premise_implies) return true;  // condition vacuously satisfied
+  Formula joint = Formula::And(
+      {stronger.premise, weaker.consequent, stronger.consequent});
+  DQ_ASSIGN_OR_RETURN(bool joint_sat, sat.Satisfiable(joint));
+  if (!joint_sat) return false;  // contradictory consequents
+  Formula lhs = Formula::And({stronger.premise, weaker.consequent});
+  DQ_ASSIGN_OR_RETURN(bool redundant, sat.Implies(lhs, stronger.consequent));
+  return !redundant;  // redundant rule adds no new dependency
+}
+
+}  // namespace
+
+Result<bool> NaturalnessChecker::PairCompatible(const Rule& a,
+                                                const Rule& b) const {
+  DQ_ASSIGN_OR_RETURN(bool ab, CheckDirection(sat_, a, b));
+  if (!ab) return false;
+  DQ_ASSIGN_OR_RETURN(bool ba, CheckDirection(sat_, b, a));
+  return ba;
+}
+
+Result<bool> NaturalnessChecker::CanAdd(const std::vector<Rule>& rules,
+                                        const Rule& candidate) const {
+  for (const Rule& existing : rules) {
+    DQ_ASSIGN_OR_RETURN(bool compatible, PairCompatible(existing, candidate));
+    if (!compatible) return false;
+  }
+  return true;
+}
+
+Result<bool> NaturalnessChecker::IsNaturalRuleSet(
+    const std::vector<Rule>& rules) const {
+  for (const Rule& r : rules) {
+    DQ_ASSIGN_OR_RETURN(bool natural, IsNaturalRule(r));
+    if (!natural) return false;
+  }
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      DQ_ASSIGN_OR_RETURN(bool compatible, PairCompatible(rules[i], rules[j]));
+      if (!compatible) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dq

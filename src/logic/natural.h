@@ -1,0 +1,59 @@
+// Natural TDG-formulae, rules and rule sets (sec. 4.1.2, Definitions 4-6).
+//
+// Randomly constructed rules "do not necessarily comply with a
+// human-generated set of meaningful rules": they can be contradictory or
+// tautological. Naturalness rules these out so that the number of generated
+// rules reflects the structural strength of the data:
+//   Def. 4 — every subformula of a conjunction/disjunction contributes
+//            (is not implied by its siblings), conjunctions are satisfiable;
+//   Def. 5 — a rule's sides are natural, jointly satisfiable, and the
+//            premise does not already imply the consequent;
+//   Def. 6 — pairwise: when one premise implies another, the consequents
+//            must be compatible and the stronger rule must add information.
+
+#ifndef DQ_LOGIC_NATURAL_H_
+#define DQ_LOGIC_NATURAL_H_
+
+#include <vector>
+
+#include "logic/sat.h"
+
+namespace dq {
+
+/// \brief Decides naturalness of formulae, rules and rule sets over a
+/// schema, using the pragmatic satisfiability test.
+class NaturalnessChecker {
+ public:
+  explicit NaturalnessChecker(const Schema* schema)
+      : schema_(schema), sat_(schema) {}
+
+  /// \brief Definition 4.
+  Result<bool> IsNaturalFormula(const Formula& f) const;
+
+  /// \brief Definition 5 (assumes both sides were checked with
+  /// IsNaturalFormula when required; re-checks them here for safety).
+  Result<bool> IsNaturalRule(const Rule& rule) const;
+
+  /// \brief Checks only the pairwise Definition 6 condition between two
+  /// rules (in both premise-implication directions).
+  Result<bool> PairCompatible(const Rule& a, const Rule& b) const;
+
+  /// \brief Whether `rules + {candidate}` remains a natural rule set; the
+  /// existing rules are assumed pairwise compatible.
+  Result<bool> CanAdd(const std::vector<Rule>& rules,
+                      const Rule& candidate) const;
+
+  /// \brief Definition 6 over a whole set (each rule also checked with
+  /// Definition 5).
+  Result<bool> IsNaturalRuleSet(const std::vector<Rule>& rules) const;
+
+  const SatChecker& sat() const { return sat_; }
+
+ private:
+  const Schema* schema_;
+  SatChecker sat_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_LOGIC_NATURAL_H_

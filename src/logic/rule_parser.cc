@@ -1,0 +1,301 @@
+#include "logic/rule_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dq {
+
+namespace {
+
+enum class TokenKind {
+  kWord,    // attribute name, keyword or bare constant
+  kQuoted,  // 'constant'
+  kOp,      // = != < >
+  kArrow,   // ->
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t pos = 0;  // character offset for error messages
+};
+
+Status SyntaxError(const Token& token, const std::string& what) {
+  return Status::InvalidArgument("parse error at offset " +
+                                 std::to_string(token.pos) + " ('" +
+                                 (token.kind == TokenKind::kEnd ? "<end>"
+                                                                : token.text) +
+                                 "'): " + what);
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-' || c == '+' || c == ':';
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.pos = i;
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+      token.kind = TokenKind::kArrow;
+      token.text = "->";
+      i += 2;
+    } else if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      token.text = "(";
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      token.text = ")";
+      ++i;
+    } else if (c == '=' || c == '<' || c == '>') {
+      token.kind = TokenKind::kOp;
+      token.text = std::string(1, c);
+      ++i;
+    } else if (c == '!' && i + 1 < text.size() && text[i + 1] == '=') {
+      token.kind = TokenKind::kOp;
+      token.text = "!=";
+      i += 2;
+    } else if (c == '\'') {
+      const size_t close = text.find('\'', i + 1);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("parse error at offset " +
+                                       std::to_string(i) +
+                                       ": unterminated quote");
+      }
+      token.kind = TokenKind::kQuoted;
+      token.text = text.substr(i + 1, close - i - 1);
+      i = close + 1;
+    } else if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < text.size() && IsWordChar(text[j])) {
+        // Stop before an arrow embedded after a '-'.
+        if (text[j] == '-' && j + 1 < text.size() && text[j + 1] == '>') break;
+        ++j;
+      }
+      token.kind = TokenKind::kWord;
+      token.text = text.substr(i, j - i);
+      i = j;
+    } else {
+      return Status::InvalidArgument("parse error at offset " +
+                                     std::to_string(i) +
+                                     ": unexpected character '" +
+                                     std::string(1, c) + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.pos = text.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(const Schema& schema, std::vector<Token> tokens)
+      : schema_(schema), tokens_(std::move(tokens)) {}
+
+  Result<Formula> ParseFormulaToEnd() {
+    DQ_ASSIGN_OR_RETURN(Formula f, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return SyntaxError(Peek(), "trailing input after formula");
+    }
+    return f;
+  }
+
+  Result<Rule> ParseRuleToEnd() {
+    DQ_ASSIGN_OR_RETURN(Formula premise, ParseOr());
+    if (Peek().kind != TokenKind::kArrow) {
+      return SyntaxError(Peek(), "expected '->'");
+    }
+    Advance();
+    DQ_ASSIGN_OR_RETURN(Formula consequent, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return SyntaxError(Peek(), "trailing input after rule");
+    }
+    Rule rule;
+    rule.premise = std::move(premise);
+    rule.consequent = std::move(consequent);
+    return rule;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(const char* keyword) const {
+    return Peek().kind == TokenKind::kWord && Lower(Peek().text) == keyword;
+  }
+
+  Result<Formula> ParseOr() {
+    DQ_ASSIGN_OR_RETURN(Formula first, ParseAnd());
+    std::vector<Formula> parts;
+    parts.push_back(std::move(first));
+    while (PeekKeyword("or")) {
+      Advance();
+      DQ_ASSIGN_OR_RETURN(Formula next, ParseAnd());
+      parts.push_back(std::move(next));
+    }
+    return Formula::Or(std::move(parts));
+  }
+
+  Result<Formula> ParseAnd() {
+    DQ_ASSIGN_OR_RETURN(Formula first, ParseUnit());
+    std::vector<Formula> parts;
+    parts.push_back(std::move(first));
+    while (PeekKeyword("and")) {
+      Advance();
+      DQ_ASSIGN_OR_RETURN(Formula next, ParseUnit());
+      parts.push_back(std::move(next));
+    }
+    return Formula::And(std::move(parts));
+  }
+
+  Result<Formula> ParseUnit() {
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      DQ_ASSIGN_OR_RETURN(Formula inner, ParseOr());
+      if (Peek().kind != TokenKind::kRParen) {
+        return SyntaxError(Peek(), "expected ')'");
+      }
+      Advance();
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<Formula> ParseAtom() {
+    if (Peek().kind != TokenKind::kWord) {
+      return SyntaxError(Peek(), "expected an attribute name");
+    }
+    const Token name_token = Peek();
+    auto attr = schema_.IndexOf(name_token.text);
+    if (!attr.ok()) {
+      return SyntaxError(name_token,
+                         "unknown attribute '" + name_token.text + "'");
+    }
+    Advance();
+
+    // Null tests.
+    if (PeekKeyword("isnull")) {
+      Advance();
+      return Formula::MakeAtom(Atom::Prop(*attr, AtomOp::kIsNull));
+    }
+    if (PeekKeyword("isnotnull")) {
+      Advance();
+      return Formula::MakeAtom(Atom::Prop(*attr, AtomOp::kIsNotNull));
+    }
+
+    if (Peek().kind != TokenKind::kOp) {
+      return SyntaxError(Peek(), "expected '=', '!=', '<', '>' or a null test");
+    }
+    AtomOp op;
+    if (Peek().text == "=") {
+      op = AtomOp::kEq;
+    } else if (Peek().text == "!=") {
+      op = AtomOp::kNeq;
+    } else if (Peek().text == "<") {
+      op = AtomOp::kLt;
+    } else {
+      op = AtomOp::kGt;
+    }
+    Advance();
+
+    const Token operand = Peek();
+    if (operand.kind != TokenKind::kWord && operand.kind != TokenKind::kQuoted) {
+      return SyntaxError(operand, "expected an operand");
+    }
+    Advance();
+
+    // A bare operand naming a schema attribute means a relational atom.
+    if (operand.kind == TokenKind::kWord) {
+      auto rhs_attr = schema_.IndexOf(operand.text);
+      if (rhs_attr.ok()) {
+        Atom atom = Atom::Rel(*attr, op, *rhs_attr);
+        Status valid = ValidateAtom(atom, schema_);
+        if (!valid.ok()) return SyntaxError(operand, valid.message());
+        return Formula::MakeAtom(atom);
+      }
+    }
+
+    auto value = schema_.ParseValue(*attr, operand.text);
+    if (!value.ok()) {
+      return SyntaxError(operand, "cannot parse '" + operand.text +
+                                      "' as a value of attribute '" +
+                                      name_token.text + "': " +
+                                      value.status().message());
+    }
+    Atom atom = Atom::Prop(*attr, op, *value);
+    Status valid = ValidateAtom(atom, schema_);
+    if (!valid.ok()) return SyntaxError(operand, valid.message());
+    return Formula::MakeAtom(atom);
+  }
+
+  const Schema& schema_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> ParseFormula(const Schema& schema, const std::string& text) {
+  DQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(schema, std::move(tokens));
+  return parser.ParseFormulaToEnd();
+}
+
+Result<Rule> ParseRule(const Schema& schema, const std::string& text) {
+  DQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(schema, std::move(tokens));
+  return parser.ParseRuleToEnd();
+}
+
+Result<std::vector<Rule>> ParseRuleFile(const Schema& schema,
+                                        std::istream* in) {
+  std::vector<Rule> rules;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto rule = ParseRule(schema, std::string(trimmed));
+    if (!rule.ok()) {
+      return Status::InvalidArgument("rule file line " +
+                                     std::to_string(line_no) + ": " +
+                                     rule.status().message());
+    }
+    rules.push_back(std::move(*rule));
+  }
+  return rules;
+}
+
+Result<std::vector<Rule>> ParseRuleFileAt(const Schema& schema,
+                                          const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  return ParseRuleFile(schema, &f);
+}
+
+}  // namespace dq

@@ -1,0 +1,50 @@
+// Textual TDG-formula and TDG-rule parsing.
+//
+// The paper's generator is driven by expert knowledge: "Domain experts had
+// defined some characteristic domain dependencies over the QUIS schema"
+// (sec. 3.2). This parser lets such dependencies be written down directly:
+//
+//   BRV = 404 -> GBM = 901
+//   KBM = 01 AND GBM = 901 -> BRV = 501
+//   (N < 5 OR N > 95) AND A != x -> B isnotnull
+//   N < M -> C = high
+//
+// Grammar (AND binds tighter than OR; parentheses group):
+//   rule    := formula '->' formula
+//   formula := conj ('OR' conj)*
+//   conj    := unit ('AND' unit)*
+//   unit    := atom | '(' formula ')'
+//   atom    := NAME ('='|'!='|'<'|'>') OPERAND
+//            | NAME 'isnull' | NAME 'isnotnull'
+// An OPERAND that names a schema attribute yields a relational atom;
+// otherwise it is parsed as a constant of the left attribute's type.
+// Quote it ('404') to force a constant even when it collides with an
+// attribute name. Keywords are case-insensitive; names/values are not.
+
+#ifndef DQ_LOGIC_RULE_PARSER_H_
+#define DQ_LOGIC_RULE_PARSER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+
+namespace dq {
+
+/// \brief Parses a TDG-formula; fails with a position-annotated message.
+Result<Formula> ParseFormula(const Schema& schema, const std::string& text);
+
+/// \brief Parses one TDG-rule "premise -> consequent".
+Result<Rule> ParseRule(const Schema& schema, const std::string& text);
+
+/// \brief Parses a rule file: one rule per non-empty line, '#' comments.
+Result<std::vector<Rule>> ParseRuleFile(const Schema& schema,
+                                        std::istream* in);
+
+Result<std::vector<Rule>> ParseRuleFileAt(const Schema& schema,
+                                          const std::string& path);
+
+}  // namespace dq
+
+#endif  // DQ_LOGIC_RULE_PARSER_H_

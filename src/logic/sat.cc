@@ -1,0 +1,353 @@
+#include "logic/sat.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace dq {
+
+namespace {
+
+/// Minimal union-find over attribute indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// True if the directed graph over `nodes` with `edges` contains a cycle.
+bool HasCycle(const std::vector<int>& nodes,
+              const std::vector<std::pair<int, int>>& edges) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(nodes.empty() ? 0 : 1, Color::kWhite);
+  // Map node id -> dense index.
+  std::vector<int> ids = nodes;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  auto dense = [&](int id) {
+    return static_cast<size_t>(
+        std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+  };
+  std::vector<std::vector<size_t>> adj(ids.size());
+  for (const auto& [u, v] : edges) {
+    adj[dense(u)].push_back(dense(v));
+  }
+  color.assign(ids.size(), Color::kWhite);
+  std::function<bool(size_t)> dfs = [&](size_t u) -> bool {
+    color[u] = Color::kGray;
+    for (size_t v : adj[u]) {
+      if (color[v] == Color::kGray) return true;
+      if (color[v] == Color::kWhite && dfs(v)) return true;
+    }
+    color[u] = Color::kBlack;
+    return false;
+  };
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (color[i] == Color::kWhite && dfs(i)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Propagation SatChecker::Propagate(const std::vector<Atom>& atoms) const {
+  const size_t n = schema_->num_attributes();
+  Propagation prop;
+  prop.ranges.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    prop.ranges.push_back(DomainRange::FullDomain(schema_->attribute(i)));
+  }
+  prop.eq_class.resize(n);
+
+  UnionFind uf(n);
+
+  // Pass 1: propositional restrictions + null requirements + eq links.
+  for (const Atom& a : atoms) {
+    DomainRange& lhs = prop.ranges[static_cast<size_t>(a.lhs_attr)];
+    switch (a.op) {
+      case AtomOp::kIsNull:
+        lhs.ForbidValues();
+        continue;
+      case AtomOp::kIsNotNull:
+        lhs.ForbidNull();
+        continue;
+      default:
+        break;
+    }
+    lhs.ForbidNull();
+    if (a.rhs_is_attr) {
+      prop.ranges[static_cast<size_t>(a.rhs_attr)].ForbidNull();
+      if (a.op == AtomOp::kEq) uf.Union(a.lhs_attr, a.rhs_attr);
+      continue;
+    }
+    switch (a.op) {
+      case AtomOp::kEq:
+        lhs.RestrictEq(a.rhs_value);
+        break;
+      case AtomOp::kNeq:
+        lhs.RestrictNeq(a.rhs_value);
+        break;
+      case AtomOp::kLt:
+        lhs.RestrictLt(a.rhs_value);
+        break;
+      case AtomOp::kGt:
+        lhs.RestrictGt(a.rhs_value);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    prop.eq_class[i] = uf.Find(static_cast<int>(i));
+  }
+
+  // Merge ranges within each eq class into the representative, then mirror
+  // the merged range back to all members.
+  for (size_t i = 0; i < n; ++i) {
+    const int rep = prop.eq_class[i];
+    if (rep != static_cast<int>(i)) {
+      prop.ranges[static_cast<size_t>(rep)].IntersectWith(prop.ranges[i]);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int rep = prop.eq_class[i];
+    if (rep != static_cast<int>(i)) {
+      prop.ranges[i] = prop.ranges[static_cast<size_t>(rep)];
+    }
+  }
+
+  // Pass 2: collect strict-order and disequality links between class reps.
+  std::vector<int> rel_nodes;
+  for (const Atom& a : atoms) {
+    if (!a.rhs_is_attr) continue;
+    const int lrep = prop.eq_class[static_cast<size_t>(a.lhs_attr)];
+    const int rrep = prop.eq_class[static_cast<size_t>(a.rhs_attr)];
+    switch (a.op) {
+      case AtomOp::kLt:
+        prop.lt_links.emplace_back(lrep, rrep);
+        break;
+      case AtomOp::kGt:
+        prop.lt_links.emplace_back(rrep, lrep);
+        break;
+      case AtomOp::kNeq:
+        if (lrep == rrep) {
+          // A != B with A = B forced: contradiction.
+          prop.satisfiable = false;
+          return prop;
+        }
+        prop.neq_links.emplace_back(lrep, rrep);
+        break;
+      default:
+        break;
+    }
+    rel_nodes.push_back(lrep);
+    rel_nodes.push_back(rrep);
+  }
+
+  // Strict-order links forbid equality within a class and strict cycles.
+  for (const auto& [u, v] : prop.lt_links) {
+    if (u == v) {
+      prop.satisfiable = false;
+      return prop;
+    }
+  }
+  if (!prop.lt_links.empty() && HasCycle(rel_nodes, prop.lt_links)) {
+    prop.satisfiable = false;
+    return prop;
+  }
+
+  // Pass 3: bound propagation along < links to a fixpoint.
+  bool changed = true;
+  size_t guard = 0;
+  while (changed && guard++ < n + prop.lt_links.size() + 4) {
+    changed = false;
+    for (const auto& [u, v] : prop.lt_links) {
+      DomainRange& ru = prop.ranges[static_cast<size_t>(u)];
+      DomainRange& rv = prop.ranges[static_cast<size_t>(v)];
+      if (ru.LimitBelow(rv)) changed = true;
+      if (rv.LimitAbove(ru)) changed = true;
+    }
+  }
+  // Mirror propagated class ranges back to members.
+  for (size_t i = 0; i < n; ++i) {
+    const int rep = prop.eq_class[i];
+    if (rep != static_cast<int>(i)) {
+      prop.ranges[i] = prop.ranges[static_cast<size_t>(rep)];
+    }
+  }
+
+  // Disequality between two singleton classes with the same single value.
+  for (const auto& [u, v] : prop.neq_links) {
+    Value a, b;
+    if (prop.ranges[static_cast<size_t>(u)].SingleValue(&a) &&
+        prop.ranges[static_cast<size_t>(v)].SingleValue(&b) &&
+        !prop.ranges[static_cast<size_t>(u)].allow_null() &&
+        !prop.ranges[static_cast<size_t>(v)].allow_null() &&
+        a.StrictEquals(b)) {
+      prop.satisfiable = false;
+      return prop;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (prop.ranges[i].Empty()) {
+      prop.satisfiable = false;
+      return prop;
+    }
+  }
+  prop.satisfiable = true;
+  return prop;
+}
+
+Result<bool> SatChecker::Satisfiable(const Formula& f) const {
+  DQ_ASSIGN_OR_RETURN(std::vector<std::vector<Atom>> dnf, ToDnf(f));
+  for (const auto& conj : dnf) {
+    if (ConjunctionSatisfiable(conj)) return true;
+  }
+  return false;
+}
+
+Result<bool> SatChecker::Implies(const Formula& alpha,
+                                 const Formula& beta) const {
+  Formula combined = Formula::And({alpha, Negate(beta)});
+  DQ_ASSIGN_OR_RETURN(bool sat, Satisfiable(combined));
+  return !sat;
+}
+
+Status SatChecker::TrySolve(const Propagation& prop,
+                            const std::vector<Atom>& atoms, Row* row,
+                            Rng* rng) const {
+  // Attributes touched by the conjunction.
+  std::set<int> involved;
+  for (const Atom& a : atoms) {
+    for (int attr : a.Attributes()) involved.insert(attr);
+  }
+
+  // Topological order of class representatives along < links.
+  std::vector<int> reps;
+  for (int attr : involved) {
+    reps.push_back(prop.eq_class[static_cast<size_t>(attr)]);
+  }
+  std::sort(reps.begin(), reps.end());
+  reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+
+  std::vector<int> order;
+  {
+    std::set<int> remaining(reps.begin(), reps.end());
+    while (!remaining.empty()) {
+      bool progressed = false;
+      for (int r : std::vector<int>(remaining.begin(), remaining.end())) {
+        bool has_unassigned_pred = false;
+        for (const auto& [u, v] : prop.lt_links) {
+          if (v == r && remaining.count(u) > 0) {
+            has_unassigned_pred = true;
+            break;
+          }
+        }
+        if (!has_unassigned_pred) {
+          order.push_back(r);
+          remaining.erase(r);
+          progressed = true;
+        }
+      }
+      if (!progressed) {
+        return Status::Internal("cycle in propagated strict-order links");
+      }
+    }
+  }
+
+  // Assign one value per class, respecting already-assigned predecessors.
+  std::vector<bool> assigned(schema_->num_attributes(), false);
+  for (int rep : order) {
+    DomainRange range = prop.ranges[static_cast<size_t>(rep)];
+    // Tighten by assigned strict-order neighbours.
+    for (const auto& [u, v] : prop.lt_links) {
+      if (v == rep && assigned[static_cast<size_t>(u)]) {
+        const Value& uv = (*row)[static_cast<size_t>(u)];
+        if (!uv.is_null()) range.RestrictGt(uv);
+      }
+      if (u == rep && assigned[static_cast<size_t>(v)]) {
+        const Value& vv = (*row)[static_cast<size_t>(v)];
+        if (!vv.is_null()) range.RestrictLt(vv);
+      }
+    }
+    // Disequality with assigned classes.
+    for (const auto& [u, v] : prop.neq_links) {
+      int other = -1;
+      if (u == rep) other = v;
+      if (v == rep) other = u;
+      if (other >= 0 && assigned[static_cast<size_t>(other)]) {
+        const Value& ov = (*row)[static_cast<size_t>(other)];
+        if (!ov.is_null()) range.RestrictNeq(ov);
+      }
+    }
+
+    Value chosen;
+    if (range.ValuesEmpty()) {
+      if (!range.allow_null()) {
+        return Status::Exhausted("no value left for class during solve");
+      }
+      chosen = Value::Null();
+    } else {
+      // Prefer the base row's current value when it already fits.
+      const Value& current = (*row)[static_cast<size_t>(rep)];
+      if (!current.is_null() && range.Contains(current)) {
+        chosen = current;
+      } else {
+        chosen = range.SampleValue(rng);
+      }
+    }
+    // Write to every member of the class.
+    for (int attr : involved) {
+      if (prop.eq_class[static_cast<size_t>(attr)] == rep) {
+        (*row)[static_cast<size_t>(attr)] = chosen;
+        assigned[static_cast<size_t>(attr)] = true;
+      }
+    }
+    assigned[static_cast<size_t>(rep)] = true;
+  }
+
+  // Verify: every atom must hold.
+  for (const Atom& a : atoms) {
+    if (!a.Evaluate(*row)) {
+      return Status::Exhausted("solve verification failed");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> SatChecker::SolveConjunction(const std::vector<Atom>& atoms,
+                                         const Row& base, Rng* rng) const {
+  Propagation prop = Propagate(atoms);
+  if (!prop.satisfiable) {
+    return Status::Unsatisfiable("conjunction has no model");
+  }
+  constexpr int kMaxAttempts = 32;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Row candidate = base;
+    Status s = TrySolve(prop, atoms, &candidate, rng);
+    if (s.ok()) return candidate;
+    if (s.code() == StatusCode::kInternal) return s;
+  }
+  return Status::Exhausted("could not solve conjunction after retries");
+}
+
+}  // namespace dq

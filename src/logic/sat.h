@@ -1,0 +1,87 @@
+// Pragmatic satisfiability test for TDG-formulae (sec. 4.1.3).
+//
+// "First, the TDG-formula is transformed into disjunctive normal form. [It]
+// is satisfiable iff one of these disjuncts is satisfiable. ... initialize
+// the current domain ranges of every attribute ... and then successively
+// restrict them by integrating the constraints of each atomic TDG-formula.
+// ... The integration of relational constraints ... are reflected by the
+// instantiation of links between attributes while considering the
+// transitive nature of the operators <, > and =."
+//
+// Like the paper's algorithm, the test is sound for unsatisfiability: when
+// it reports "unsatisfiable" the formula truly has no model. In rare corner
+// cases (interacting exclusion points across several relational links) it
+// can report "satisfiable" for an unsatisfiable formula; the rule generator
+// only emits shapes for which the test is exact.
+//
+// The checker also doubles as a constraint *solver*: SolveConjunction finds
+// a concrete row satisfying a conjunction while deviating from a base row
+// as little as possible — the primitive used by rule repair during data
+// generation (sec. 4.1.4).
+
+#ifndef DQ_LOGIC_SAT_H_
+#define DQ_LOGIC_SAT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "logic/domain_range.h"
+#include "logic/formula.h"
+
+namespace dq {
+
+/// \brief Result of propagating a conjunction's constraints.
+struct Propagation {
+  bool satisfiable = false;
+  /// One range per schema attribute; attributes linked by `=` share the
+  /// intersected class range.
+  std::vector<DomainRange> ranges;
+  /// Class representative per attribute (union-find root; == own index for
+  /// unlinked attributes).
+  std::vector<int> eq_class;
+  /// Strict-order links between class representatives: first < second.
+  std::vector<std::pair<int, int>> lt_links;
+  /// Disequality links between class representatives.
+  std::vector<std::pair<int, int>> neq_links;
+};
+
+/// \brief Satisfiability / implication / solving over TDG-formulae.
+class SatChecker {
+ public:
+  explicit SatChecker(const Schema* schema) : schema_(schema) {}
+
+  /// \brief Domain-range propagation for a conjunction of atoms.
+  Propagation Propagate(const std::vector<Atom>& atoms) const;
+
+  /// \brief Satisfiability of a conjunction of atoms.
+  bool ConjunctionSatisfiable(const std::vector<Atom>& atoms) const {
+    return Propagate(atoms).satisfiable;
+  }
+
+  /// \brief Satisfiability of an arbitrary TDG-formula (via DNF). Fails
+  /// with Exhausted if the DNF expansion is too large.
+  Result<bool> Satisfiable(const Formula& f) const;
+
+  /// \brief Validity of alpha => beta, decided as unsat(alpha AND ~beta).
+  Result<bool> Implies(const Formula& alpha, const Formula& beta) const;
+
+  /// \brief Finds a row satisfying the conjunction, starting from `base`
+  /// and preferring to keep base values where possible. Only attributes
+  /// mentioned by the atoms are modified. Fails with Unsatisfiable when the
+  /// conjunction has no model, Exhausted when the bounded search gives up.
+  Result<Row> SolveConjunction(const std::vector<Atom>& atoms, const Row& base,
+                               Rng* rng) const;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  Status TrySolve(const Propagation& prop, const std::vector<Atom>& atoms,
+                  Row* row, Rng* rng) const;
+
+  const Schema* schema_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_LOGIC_SAT_H_

@@ -1,0 +1,185 @@
+#include "mining/assoc_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace dq {
+
+namespace {
+
+using Itemset = std::vector<std::pair<int, int32_t>>;  // sorted by attribute
+
+/// True if the row carries every item of the (attribute-sorted) itemset.
+bool RowHasItems(const Row& row, const Itemset& items) {
+  for (const auto& [attr, code] : items) {
+    const Value& v = row[static_cast<size_t>(attr)];
+    if (!v.is_nominal() || v.nominal_code() != code) return false;
+  }
+  return true;
+}
+
+uint64_t ItemKey(int attr, int32_t code) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
+         static_cast<uint32_t>(code);
+}
+
+}  // namespace
+
+bool AssociationRule::ViolatedBy(const Row& row) const {
+  const Value& observed = row[static_cast<size_t>(consequent_attr)];
+  if (!observed.is_nominal()) return false;  // nulls are not scored here
+  if (observed.nominal_code() == consequent_code) return false;
+  return RowHasItems(row, premise);
+}
+
+std::string AssociationRule::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < premise.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const AttributeDef& def =
+        schema.attribute(static_cast<size_t>(premise[i].first));
+    out += def.name + " = " +
+           def.categories[static_cast<size_t>(premise[i].second)];
+  }
+  const AttributeDef& cdef =
+      schema.attribute(static_cast<size_t>(consequent_attr));
+  out += " -> " + cdef.name + " = " +
+         cdef.categories[static_cast<size_t>(consequent_code)];
+  out += "  [support " + std::to_string(static_cast<long long>(support)) +
+         ", confidence " + std::to_string(confidence).substr(0, 6) + "]";
+  return out;
+}
+
+Status AssociationRuleAuditor::Mine(const Table& table) {
+  const Schema& schema = table.schema();
+  if (config_.min_support <= 0.0) {
+    return Status::InvalidArgument("min_support must be positive");
+  }
+  if (config_.min_confidence <= 0.0 || config_.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in (0, 1]");
+  }
+  rules_.clear();
+
+  // Level 1: frequent items over the nominal attributes.
+  std::map<Itemset, double> frequent;
+  {
+    std::unordered_map<uint64_t, double> counts;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      for (size_t a = 0; a < schema.num_attributes(); ++a) {
+        if (schema.attribute(a).type != DataType::kNominal) continue;
+        const Value& v = table.cell(r, a);
+        if (!v.is_nominal()) continue;
+        counts[ItemKey(static_cast<int>(a), v.nominal_code())] += 1.0;
+      }
+    }
+    for (const auto& [key, count] : counts) {
+      if (count < config_.min_support) continue;
+      const int attr = static_cast<int>(key >> 32);
+      const int32_t code = static_cast<int32_t>(key & 0xffffffffULL);
+      frequent[{{attr, code}}] = count;
+    }
+  }
+
+  // Level-wise expansion up to max_premise_items + 1 items per set.
+  std::map<Itemset, double> all_frequent = frequent;
+  std::map<Itemset, double> current = frequent;
+  const int max_size = config_.max_premise_items + 1;
+  for (int size = 2; size <= max_size && !current.empty(); ++size) {
+    // Candidates: join sets sharing all but the last item; items stay
+    // sorted by attribute and use distinct attributes (a row carries one
+    // value per attribute).
+    std::map<Itemset, double> candidates;
+    for (auto it = current.begin(); it != current.end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != current.end(); ++jt) {
+        const Itemset& a = it->first;
+        const Itemset& b = jt->first;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          continue;
+        }
+        if (a.back().first == b.back().first) continue;  // same attribute
+        Itemset merged = a;
+        merged.push_back(b.back());
+        std::sort(merged.begin(), merged.end());
+        candidates.emplace(std::move(merged), 0.0);
+      }
+    }
+    // Count candidate supports in one table scan.
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Row& row = table.row(r);
+      for (auto& [items, count] : candidates) {
+        if (RowHasItems(row, items)) count += 1.0;
+      }
+    }
+    std::map<Itemset, double> next;
+    for (const auto& [items, count] : candidates) {
+      if (count >= config_.min_support) next[items] = count;
+    }
+    for (const auto& [items, count] : next) all_frequent[items] = count;
+    current = std::move(next);
+  }
+
+  // Rules: each item of a frequent set (size >= 2) may be the consequent.
+  for (const auto& [items, count] : all_frequent) {
+    if (items.size() < 2) continue;
+    for (size_t c = 0; c < items.size(); ++c) {
+      Itemset premise;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i != c) premise.push_back(items[i]);
+      }
+      auto it = all_frequent.find(premise);
+      if (it == all_frequent.end() || it->second <= 0.0) continue;
+      const double confidence = count / it->second;
+      if (confidence < config_.min_confidence) continue;
+      AssociationRule rule;
+      rule.premise = std::move(premise);
+      rule.consequent_attr = items[c].first;
+      rule.consequent_code = items[c].second;
+      rule.support = count;
+      rule.confidence = confidence;
+      rules_.push_back(std::move(rule));
+    }
+  }
+
+  if (rules_.size() > config_.max_rules) {
+    std::nth_element(rules_.begin(),
+                     rules_.begin() + static_cast<long>(config_.max_rules),
+                     rules_.end(),
+                     [](const AssociationRule& a, const AssociationRule& b) {
+                       return a.support > b.support;
+                     });
+    rules_.resize(config_.max_rules);
+  }
+
+  return Status::OK();
+}
+
+double AssociationRuleAuditor::Score(const Row& row,
+                                     ScoreCombination combination) const {
+  double score = 0.0;
+  for (const AssociationRule& rule : rules_) {
+    if (!rule.ViolatedBy(row)) continue;
+    if (combination == ScoreCombination::kSum) {
+      score += rule.confidence;
+    } else {
+      score = std::max(score, rule.confidence);
+    }
+  }
+  if (combination == ScoreCombination::kSum) score = std::min(score, 1.0);
+  return score;
+}
+
+std::vector<double> AssociationRuleAuditor::ScoreTable(
+    const Table& table, ScoreCombination combination, double threshold,
+    std::vector<bool>* flagged) const {
+  std::vector<double> scores(table.num_rows(), 0.0);
+  if (flagged != nullptr) flagged->assign(table.num_rows(), false);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    scores[r] = Score(table.row(r), combination);
+    if (flagged != nullptr && scores[r] >= threshold) (*flagged)[r] = true;
+  }
+  return scores;
+}
+
+}  // namespace dq

@@ -1,0 +1,663 @@
+#include "mining/c45.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "stats/confidence.h"
+#include "stats/descriptive.h"
+
+namespace dq {
+
+const char* PruningModeToString(PruningMode mode) {
+  switch (mode) {
+    case PruningMode::kNone:
+      return "none";
+    case PruningMode::kPessimistic:
+      return "pessimistic";
+    case PruningMode::kExpectedErrorConfidence:
+      return "expected-error-confidence";
+  }
+  return "unknown";
+}
+
+double MinInstForConfidence(double min_conf, double confidence_level) {
+  if (min_conf <= 0.0) return 1.0;
+  // errorConf of a deviating record at a pure leaf of weight n:
+  // leftBound(1, n) - rightBound(0, n); monotonically increasing in n.
+  for (double n = 1.0; n <= 1e6; n = std::max(n + 1.0, n * 1.01)) {
+    const double conf = LeftBound(1.0, n, confidence_level) -
+                        RightBound(0.0, n, confidence_level);
+    if (conf >= min_conf) return std::ceil(n);
+  }
+  return 1e6;
+}
+
+std::string SplitCondition::ToString(const Schema& schema) const {
+  const AttributeDef& def = schema.attribute(static_cast<size_t>(attr));
+  switch (kind) {
+    case Kind::kCategory:
+      return def.name + " = " +
+             (category >= 0 &&
+                      static_cast<size_t>(category) < def.categories.size()
+                  ? def.categories[static_cast<size_t>(category)]
+                  : "#" + std::to_string(category));
+    case Kind::kLessEq:
+      return def.name + " <= " + FormatDouble(threshold, 4);
+    case Kind::kGreater:
+      return def.name + " > " + FormatDouble(threshold, 4);
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Tree structure
+
+struct C45Tree::Node {
+  std::vector<double> class_counts;
+  double weight = 0.0;
+  int majority = 0;
+
+  int split_attr = -1;  // -1 => leaf
+  bool ordered_split = false;
+  double threshold = 0.0;
+  std::vector<std::unique_ptr<Node>> children;
+  std::vector<double> child_weights;  // known-value weight per child
+  double known_weight = 0.0;
+
+  /// Def. 9 value of this node (leaf value or weighted child aggregate).
+  double expected_error_conf = 0.0;
+
+  bool IsLeaf() const { return split_attr < 0; }
+};
+
+struct C45Tree::BuildContext {
+  const Table* table;
+  const std::vector<int>* class_codes;  // per row, -1 for null
+  std::vector<int> base_attrs;
+  int num_classes;
+  double min_inst;
+};
+
+C45Tree::C45Tree(C45Config config) : config_(config) {}
+C45Tree::~C45Tree() = default;
+C45Tree::C45Tree(C45Tree&&) noexcept = default;
+C45Tree& C45Tree::operator=(C45Tree&&) noexcept = default;
+
+namespace {
+
+using Inst = std::pair<uint32_t, double>;  // row index, weight
+
+/// Truncated error confidence of Def. 7 used inside Def. 9: contributions
+/// below the user's minimal error confidence count as zero (sec. 5.4).
+double TruncatedErrorConf(const std::vector<double>& counts, double weight,
+                          int observed, int majority, double level,
+                          double min_conf) {
+  if (weight <= 0.0 || observed == majority) return 0.0;
+  const double p_pred = counts[static_cast<size_t>(majority)] / weight;
+  const double p_obs = counts[static_cast<size_t>(observed)] / weight;
+  const double conf = LeftBound(p_pred, weight, level) -
+                      RightBound(p_obs, weight, level);
+  if (conf <= 0.0) return 0.0;
+  if (conf < min_conf) return 0.0;
+  return conf;
+}
+
+/// Leaf value of Def. 9: sum over classes of relative frequency times the
+/// (truncated) error confidence of observing that class.
+double LeafExpectedErrorConf(const std::vector<double>& counts, double weight,
+                             int majority, double level, double min_conf) {
+  if (weight <= 0.0) return 0.0;
+  double exp_conf = 0.0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] <= 0.0) continue;
+    exp_conf += counts[c] / weight *
+                TruncatedErrorConf(counts, weight, static_cast<int>(c),
+                                   majority, level, min_conf);
+  }
+  return exp_conf;
+}
+
+int MajorityOf(const std::vector<double>& counts) {
+  int best = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[static_cast<size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+struct SplitEval {
+  bool valid = false;
+  double gain = 0.0;
+  double gain_ratio = 0.0;
+  bool ordered = false;
+  double threshold = 0.0;
+};
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Induction
+
+Status C45Tree::Train(const TrainingData& data) {
+  DQ_RETURN_NOT_OK(data.Check());
+  table_ = data.table;
+  class_attr_ = data.class_attr;
+  encoder_ = data.encoder;
+  num_classes_ = data.encoder->num_classes();
+  if (num_classes_ < 1) {
+    return Status::FailedPrecondition("encoder reports no classes");
+  }
+
+  std::vector<int> class_codes(table_->num_rows());
+  std::vector<Inst> insts;
+  insts.reserve(table_->num_rows());
+  for (size_t r = 0; r < table_->num_rows(); ++r) {
+    class_codes[r] =
+        encoder_->Encode(table_->cell(r, static_cast<size_t>(class_attr_)));
+    if (class_codes[r] >= 0) {
+      insts.emplace_back(static_cast<uint32_t>(r), 1.0);
+    }
+  }
+  if (insts.empty()) {
+    return Status::FailedPrecondition(
+        "no training instances with non-null class value");
+  }
+
+  BuildContext ctx;
+  ctx.table = table_;
+  ctx.class_codes = &class_codes;
+  ctx.base_attrs = data.base_attrs;
+  ctx.num_classes = num_classes_;
+  ctx.min_inst =
+      MinInstForConfidence(config_.min_error_confidence, config_.confidence_level);
+
+  std::vector<bool> avail(table_->schema().num_attributes(), false);
+  for (int a : data.base_attrs) avail[static_cast<size_t>(a)] = true;
+
+  root_ = Build(&ctx, std::move(insts), std::move(avail), 0);
+  if (config_.pruning == PruningMode::kPessimistic) {
+    PrunePessimistic(root_.get());
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
+                                              std::vector<Inst> insts,
+                                              std::vector<bool> avail,
+                                              int depth) {
+  auto node = std::make_unique<Node>();
+  node->class_counts.assign(static_cast<size_t>(ctx->num_classes), 0.0);
+  for (const Inst& inst : insts) {
+    node->class_counts[static_cast<size_t>(
+        (*ctx->class_codes)[inst.first])] += inst.second;
+    node->weight += inst.second;
+  }
+  node->majority = MajorityOf(node->class_counts);
+  node->expected_error_conf = LeafExpectedErrorConf(
+      node->class_counts, node->weight, node->majority,
+      config_.confidence_level, config_.min_error_confidence);
+
+  const double majority_count =
+      node->class_counts[static_cast<size_t>(node->majority)];
+  const bool pure = majority_count >= node->weight - kEps;
+
+  // Stopping conditions; the minInst check is the pre-pruning of sec. 5.4:
+  // once no partition can hold minInst instances of one class, deeper
+  // leaves can never flag a deviation above the minimal error confidence.
+  if (pure || depth >= config_.max_depth ||
+      node->weight < 2.0 * config_.min_split_weight ||
+      majority_count < ctx->min_inst) {
+    return node;
+  }
+
+  // --- Split search -------------------------------------------------------
+  const Schema& schema = ctx->table->schema();
+  std::vector<SplitEval> evals(schema.num_attributes());
+  const double node_entropy = EntropyFromCounts(node->class_counts);
+
+  for (int attr : ctx->base_attrs) {
+    if (!avail[static_cast<size_t>(attr)]) continue;
+    const AttributeDef& def = schema.attribute(static_cast<size_t>(attr));
+    SplitEval& eval = evals[static_cast<size_t>(attr)];
+
+    if (def.type == DataType::kNominal) {
+      const size_t k = def.categories.size();
+      std::vector<std::vector<double>> branch_counts(
+          k, std::vector<double>(static_cast<size_t>(ctx->num_classes), 0.0));
+      std::vector<double> branch_weights(k, 0.0);
+      double known = 0.0;
+      for (const Inst& inst : insts) {
+        const Value& v = ctx->table->cell(inst.first, static_cast<size_t>(attr));
+        if (v.is_null()) continue;
+        const size_t b = static_cast<size_t>(v.nominal_code());
+        branch_counts[b][static_cast<size_t>(
+            (*ctx->class_codes)[inst.first])] += inst.second;
+        branch_weights[b] += inst.second;
+        known += inst.second;
+      }
+      if (known <= kEps) continue;
+      int non_empty = 0;
+      int big_enough = 0;
+      double sub_entropy = 0.0;
+      for (size_t b = 0; b < k; ++b) {
+        if (branch_weights[b] <= kEps) continue;
+        ++non_empty;
+        if (branch_weights[b] >= config_.min_split_weight) ++big_enough;
+        sub_entropy +=
+            branch_weights[b] / known * EntropyFromCounts(branch_counts[b]);
+      }
+      if (non_empty < 2 || big_enough < 2) continue;
+      const double known_frac = known / node->weight;
+      const double gain = known_frac * (node_entropy - sub_entropy);
+      if (gain <= kEps) continue;
+      // Split info over the known branches plus the missing "branch".
+      std::vector<double> si_weights = branch_weights;
+      if (node->weight - known > kEps) si_weights.push_back(node->weight - known);
+      const double split_info = EntropyFromCounts(si_weights);
+      eval.valid = true;
+      eval.gain = gain;
+      eval.gain_ratio = split_info > kEps ? gain / split_info : 0.0;
+    } else {
+      // Ordered attribute: sweep thresholds between distinct values.
+      std::vector<std::pair<double, const Inst*>> sorted;
+      sorted.reserve(insts.size());
+      double known = 0.0;
+      std::vector<double> known_counts(static_cast<size_t>(ctx->num_classes),
+                                       0.0);
+      for (const Inst& inst : insts) {
+        const Value& v = ctx->table->cell(inst.first, static_cast<size_t>(attr));
+        if (v.is_null()) continue;
+        sorted.emplace_back(v.OrderedValue(), &inst);
+        known += inst.second;
+        known_counts[static_cast<size_t>((*ctx->class_codes)[inst.first])] +=
+            inst.second;
+      }
+      if (known <= kEps || sorted.size() < 2) continue;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+
+      const double known_entropy = EntropyFromCounts(known_counts);
+      std::vector<double> left(static_cast<size_t>(ctx->num_classes), 0.0);
+      std::vector<double> right = known_counts;
+      double left_w = 0.0;
+      double best_gain = -1.0;
+      double best_thr = 0.0;
+      double best_left_w = 0.0;
+      size_t distinct = 1;
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const Inst* inst = sorted[i].second;
+        const size_t cls =
+            static_cast<size_t>((*ctx->class_codes)[inst->first]);
+        left[cls] += inst->second;
+        right[cls] -= inst->second;
+        left_w += inst->second;
+        if (sorted[i + 1].first > sorted[i].first + kEps) {
+          ++distinct;
+          const double right_w = known - left_w;
+          if (left_w < config_.min_split_weight ||
+              right_w < config_.min_split_weight) {
+            continue;
+          }
+          const double sub = left_w / known * EntropyFromCounts(left) +
+                             right_w / known * EntropyFromCounts(right);
+          const double gain = known_entropy - sub;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_thr = (sorted[i].first + sorted[i + 1].first) / 2.0;
+            best_left_w = left_w;
+          }
+        }
+      }
+      if (best_gain <= kEps) continue;
+      const double known_frac = known / node->weight;
+      double gain = known_frac * best_gain;
+      if (config_.mdl_numeric_correction && distinct > 1) {
+        gain -= std::log2(static_cast<double>(distinct - 1)) / known;
+      }
+      if (gain <= kEps) continue;
+      std::vector<double> si_weights{best_left_w, known - best_left_w};
+      if (node->weight - known > kEps) si_weights.push_back(node->weight - known);
+      const double split_info = EntropyFromCounts(si_weights);
+      eval.valid = true;
+      eval.gain = gain;
+      eval.gain_ratio = split_info > kEps ? gain / split_info : 0.0;
+      eval.ordered = true;
+      eval.threshold = best_thr;
+    }
+  }
+
+  // C4.5 selection: among candidates with at least average gain, take the
+  // best gain ratio (or raw gain in ID3 mode).
+  double gain_sum = 0.0;
+  int valid_count = 0;
+  for (const SplitEval& e : evals) {
+    if (e.valid) {
+      gain_sum += e.gain;
+      ++valid_count;
+    }
+  }
+  if (valid_count == 0) return node;
+  const double avg_gain = gain_sum / valid_count;
+  int best_attr = -1;
+  double best_score = -1.0;
+  for (size_t a = 0; a < evals.size(); ++a) {
+    const SplitEval& e = evals[a];
+    if (!e.valid) continue;
+    if (config_.use_gain_ratio && e.gain + kEps < avg_gain) continue;
+    const double score = config_.use_gain_ratio ? e.gain_ratio : e.gain;
+    if (score > best_score) {
+      best_score = score;
+      best_attr = static_cast<int>(a);
+    }
+  }
+  if (best_attr < 0) return node;
+  const SplitEval& best = evals[static_cast<size_t>(best_attr)];
+
+  // --- Partition ----------------------------------------------------------
+  const AttributeDef& def = schema.attribute(static_cast<size_t>(best_attr));
+  const size_t num_children =
+      best.ordered ? 2 : def.categories.size();
+  std::vector<std::vector<Inst>> parts(num_children);
+  std::vector<Inst> missing;
+  std::vector<double> part_weights(num_children, 0.0);
+  double known = 0.0;
+  for (const Inst& inst : insts) {
+    const Value& v = ctx->table->cell(inst.first, static_cast<size_t>(best_attr));
+    if (v.is_null()) {
+      missing.push_back(inst);
+      continue;
+    }
+    size_t b;
+    if (best.ordered) {
+      b = v.OrderedValue() <= best.threshold ? 0 : 1;
+    } else {
+      b = static_cast<size_t>(v.nominal_code());
+    }
+    parts[b].push_back(inst);
+    part_weights[b] += inst.second;
+    known += inst.second;
+  }
+  insts.clear();
+  insts.shrink_to_fit();
+
+  // minInst pre-pruning (sec. 5.4): require at least one partition with
+  // minInst instances of one class.
+  if (ctx->min_inst > 1.0) {
+    bool any_strong = false;
+    for (size_t b = 0; b < num_children && !any_strong; ++b) {
+      std::vector<double> counts(static_cast<size_t>(ctx->num_classes), 0.0);
+      for (const Inst& inst : parts[b]) {
+        counts[static_cast<size_t>((*ctx->class_codes)[inst.first])] +=
+            inst.second;
+      }
+      if (counts[static_cast<size_t>(MajorityOf(counts))] >= ctx->min_inst) {
+        any_strong = true;
+      }
+    }
+    if (!any_strong) return node;
+  }
+
+  // Distribute missing-value instances over non-empty branches.
+  if (!missing.empty() && known > kEps) {
+    for (const Inst& inst : missing) {
+      for (size_t b = 0; b < num_children; ++b) {
+        if (part_weights[b] <= kEps) continue;
+        const double w = inst.second * part_weights[b] / known;
+        if (w > 1e-6) parts[b].emplace_back(inst.first, w);
+      }
+    }
+  }
+
+  node->split_attr = best_attr;
+  node->ordered_split = best.ordered;
+  node->threshold = best.threshold;
+  node->known_weight = known;
+  node->child_weights = part_weights;
+
+  std::vector<bool> child_avail = avail;
+  if (!best.ordered) {
+    child_avail[static_cast<size_t>(best_attr)] = false;  // consumed
+  }
+
+  double subtree_exp = 0.0;
+  double subtree_weight = 0.0;
+  for (size_t b = 0; b < num_children; ++b) {
+    if (parts[b].empty()) {
+      // Empty branch: leaf predicting the parent majority, weight 0.
+      auto child = std::make_unique<Node>();
+      child->class_counts.assign(static_cast<size_t>(ctx->num_classes), 0.0);
+      child->majority = node->majority;
+      node->children.push_back(std::move(child));
+      continue;
+    }
+    auto child = Build(ctx, std::move(parts[b]), child_avail, depth + 1);
+    subtree_exp += child->weight * child->expected_error_conf;
+    subtree_weight += child->weight;
+    node->children.push_back(std::move(child));
+  }
+  if (subtree_weight > kEps) subtree_exp /= subtree_weight;
+
+  // Integrated Def. 9 pruning: replace the subtree by a leaf whenever that
+  // leads to a higher expected error confidence.
+  if (config_.pruning == PruningMode::kExpectedErrorConfidence) {
+    const double leaf_exp = node->expected_error_conf;
+    if (leaf_exp > subtree_exp + kEps) {
+      node->split_attr = -1;
+      node->children.clear();
+      node->child_weights.clear();
+      return node;
+    }
+  }
+  node->expected_error_conf = subtree_exp;
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Classic pessimistic pruning (sec. 5.1.2)
+
+double C45Tree::PessimisticErrors(const Node& node) const {
+  const double leaf_errors =
+      node.weight - node.class_counts[static_cast<size_t>(node.majority)];
+  return leaf_errors + C45AddErrs(node.weight, leaf_errors, config_.pruning_cf);
+}
+
+void C45Tree::PrunePessimistic(Node* node) {
+  if (node == nullptr || node->IsLeaf()) return;
+  for (auto& child : node->children) PrunePessimistic(child.get());
+  double subtree_errors = 0.0;
+  for (const auto& child : node->children) {
+    if (child->weight <= kEps) continue;
+    if (child->IsLeaf()) {
+      subtree_errors += PessimisticErrors(*child);
+    } else {
+      // Children already pruned; accumulate their leaf estimates.
+      std::vector<const Node*> stack{child.get()};
+      while (!stack.empty()) {
+        const Node* n = stack.back();
+        stack.pop_back();
+        if (n->IsLeaf()) {
+          if (n->weight > kEps) subtree_errors += PessimisticErrors(*n);
+        } else {
+          for (const auto& c : n->children) stack.push_back(c.get());
+        }
+      }
+    }
+  }
+  if (PessimisticErrors(*node) <= subtree_errors + 0.1) {
+    node->split_attr = -1;
+    node->children.clear();
+    node->child_weights.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+
+void C45Tree::PredictInto(const Node& node, const Row& row, double weight,
+                          std::vector<double>* dist, double* support) const {
+  if (node.IsLeaf()) {
+    if (node.weight > kEps) {
+      for (size_t c = 0; c < node.class_counts.size(); ++c) {
+        (*dist)[c] += weight * node.class_counts[c] / node.weight;
+      }
+      *support += weight * node.weight;
+    } else {
+      // Empty training leaf: fall back to its majority with zero support.
+      (*dist)[static_cast<size_t>(node.majority)] += weight;
+    }
+    return;
+  }
+  const Value& v = row[static_cast<size_t>(node.split_attr)];
+  if (v.is_null()) {
+    // Distribute over branches by training fractions (C4.5 missing-value
+    // classification).
+    if (node.known_weight <= kEps) {
+      PredictInto(*node.children[0], row, weight, dist, support);
+      return;
+    }
+    for (size_t b = 0; b < node.children.size(); ++b) {
+      if (node.child_weights[b] <= kEps) continue;
+      PredictInto(*node.children[b], row,
+                  weight * node.child_weights[b] / node.known_weight, dist,
+                  support);
+    }
+    return;
+  }
+  size_t b;
+  if (node.ordered_split) {
+    b = v.OrderedValue() <= node.threshold ? 0 : 1;
+  } else {
+    const int32_t code = v.nominal_code();
+    if (code < 0 || static_cast<size_t>(code) >= node.children.size()) {
+      PredictInto(*node.children[0], row, weight, dist, support);
+      return;
+    }
+    b = static_cast<size_t>(code);
+  }
+  PredictInto(*node.children[b], row, weight, dist, support);
+}
+
+Prediction C45Tree::Predict(const Row& row) const {
+  Prediction out;
+  out.distribution.assign(static_cast<size_t>(num_classes_), 0.0);
+  if (root_ == nullptr) return out;
+  double support = 0.0;
+  PredictInto(*root_, row, 1.0, &out.distribution, &support);
+  out.support = support;
+  double total = 0.0;
+  for (double p : out.distribution) total += p;
+  if (total > kEps) {
+    for (double& p : out.distribution) p /= total;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+namespace {
+
+template <typename NodeT>
+void CountNodes(const NodeT& node, size_t depth, size_t* nodes, size_t* leaves,
+                size_t* max_depth) {
+  ++*nodes;
+  *max_depth = std::max(*max_depth, depth);
+  if (node.IsLeaf()) {
+    ++*leaves;
+    return;
+  }
+  for (const auto& child : node.children) {
+    CountNodes(*child, depth + 1, nodes, leaves, max_depth);
+  }
+}
+
+}  // namespace
+
+size_t C45Tree::NodeCount() const {
+  if (root_ == nullptr) return 0;
+  size_t nodes = 0, leaves = 0, depth = 0;
+  CountNodes(*root_, 1, &nodes, &leaves, &depth);
+  return nodes;
+}
+
+size_t C45Tree::LeafCount() const {
+  if (root_ == nullptr) return 0;
+  size_t nodes = 0, leaves = 0, depth = 0;
+  CountNodes(*root_, 1, &nodes, &leaves, &depth);
+  return leaves;
+}
+
+size_t C45Tree::TreeDepth() const {
+  if (root_ == nullptr) return 0;
+  size_t nodes = 0, leaves = 0, depth = 0;
+  CountNodes(*root_, 1, &nodes, &leaves, &depth);
+  return depth;
+}
+
+void C45Tree::VisitPaths(
+    const std::function<void(const std::vector<SplitCondition>&,
+                             const LeafInfo&)>& visitor) const {
+  if (root_ == nullptr) return;
+  std::vector<SplitCondition> prefix;
+  std::function<void(const Node&)> rec = [&](const Node& node) {
+    if (node.IsLeaf()) {
+      LeafInfo info;
+      info.class_counts = node.class_counts;
+      info.weight = node.weight;
+      info.majority = node.majority;
+      info.expected_error_confidence = node.expected_error_conf;
+      visitor(prefix, info);
+      return;
+    }
+    for (size_t b = 0; b < node.children.size(); ++b) {
+      SplitCondition cond;
+      cond.attr = node.split_attr;
+      if (node.ordered_split) {
+        cond.kind = b == 0 ? SplitCondition::Kind::kLessEq
+                           : SplitCondition::Kind::kGreater;
+        cond.threshold = node.threshold;
+      } else {
+        cond.kind = SplitCondition::Kind::kCategory;
+        cond.category = static_cast<int32_t>(b);
+      }
+      prefix.push_back(cond);
+      rec(*node.children[b]);
+      prefix.pop_back();
+    }
+  };
+  rec(*root_);
+}
+
+std::string C45Tree::ToString(const Schema& schema) const {
+  std::string out;
+  if (root_ == nullptr) return "<untrained>";
+  std::function<void(const Node&, int)> rec = [&](const Node& node, int indent) {
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    if (node.IsLeaf()) {
+      out += pad + "leaf: class " +
+             encoder_->Label(node.majority, schema) + " (weight " +
+             FormatDouble(node.weight, 2) + ")\n";
+      return;
+    }
+    const AttributeDef& def =
+        schema.attribute(static_cast<size_t>(node.split_attr));
+    for (size_t b = 0; b < node.children.size(); ++b) {
+      std::string branch;
+      if (node.ordered_split) {
+        branch = def.name + (b == 0 ? " <= " : " > ") +
+                 FormatDouble(node.threshold, 4);
+      } else {
+        branch = def.name + " = " + def.categories[b];
+      }
+      out += pad + branch + ":\n";
+      rec(*node.children[b], indent + 1);
+    }
+  };
+  rec(*root_, 0);
+  return out;
+}
+
+}  // namespace dq

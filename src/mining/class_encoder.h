@@ -1,0 +1,70 @@
+// ClassEncoder: uniform class-label view for nominal and ordered class
+// attributes.
+//
+// The multiple classification / regression approach (sec. 5) induces one
+// dependency model per attribute. Nominal class attributes map 1:1 to
+// class labels; numeric and date class attributes are "discretized into
+// equal frequency bins before the induction process", turning regression
+// into classification. The encoder also supplies a representative value
+// per class so predictions can be decoded into correction proposals
+// (sec. 5.3).
+
+#ifndef DQ_MINING_CLASS_ENCODER_H_
+#define DQ_MINING_CLASS_ENCODER_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "stats/discretizer.h"
+#include "table/table.h"
+
+namespace dq {
+
+/// \brief Maps Values of one attribute to dense class indices and back.
+class ClassEncoder {
+ public:
+  /// \brief Builds an encoder for `class_attr` of `table`. Ordered
+  /// attributes are discretized into at most `max_bins` equal-frequency
+  /// bins fitted on the non-null values; fails if an ordered attribute has
+  /// no non-null values.
+  static Result<ClassEncoder> Fit(const Table& table, int class_attr,
+                                  int max_bins);
+
+  /// \brief Reconstructs an encoder (deserialization): nominal when
+  /// `discretizer` is absent, discretized otherwise. The attribute's type in
+  /// `schema` must match.
+  static Result<ClassEncoder> FromParts(
+      const Schema& schema, int class_attr,
+      std::optional<EqualFrequencyDiscretizer> discretizer);
+
+  int num_classes() const { return num_classes_; }
+  DataType type() const { return type_; }
+
+  /// \brief The fitted discretizer (ordered class attributes only).
+  const std::optional<EqualFrequencyDiscretizer>& discretizer() const {
+    return discretizer_;
+  }
+  int attr() const { return attr_; }
+  bool is_discretized() const { return discretizer_.has_value(); }
+
+  /// \brief Class index of a value; -1 for null.
+  int Encode(const Value& v) const;
+
+  /// \brief Decoded stand-in for a class: the category itself for nominal
+  /// attributes, the bin median for discretized ones.
+  Value Representative(int cls) const;
+
+  /// \brief Human-readable class label.
+  std::string Label(int cls, const Schema& schema) const;
+
+ private:
+  int attr_ = -1;
+  DataType type_ = DataType::kNominal;
+  int num_classes_ = 0;
+  std::optional<EqualFrequencyDiscretizer> discretizer_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_MINING_CLASS_ENCODER_H_

@@ -1,0 +1,193 @@
+#include "pollution/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dq {
+
+namespace {
+
+/// Scaled activation probability, clamped to [0, 1].
+double Activation(const PolluterConfig& config, double factor) {
+  return std::clamp(config.activation_prob * factor, 0.0, 1.0);
+}
+
+/// Applies the limiter cut to an ordered value; returns the (possibly
+/// unchanged) new value.
+Value ApplyLimiter(const PolluterConfig& config, const AttributeDef& attr,
+                   const Value& v) {
+  const double lo_axis = attr.type == DataType::kNumeric
+                             ? attr.numeric_min
+                             : static_cast<double>(attr.date_min);
+  const double hi_axis = attr.type == DataType::kNumeric
+                             ? attr.numeric_max
+                             : static_cast<double>(attr.date_max);
+  const double width = hi_axis - lo_axis;
+  const double low_cut = lo_axis + config.limiter_low_fraction * width;
+  const double high_cut = lo_axis + config.limiter_high_fraction * width;
+  double x = v.OrderedValue();
+  x = std::clamp(x, low_cut, high_cut);
+  if (attr.type == DataType::kNumeric) return Value::Numeric(x);
+  return Value::Date(static_cast<int32_t>(std::llround(x)));
+}
+
+}  // namespace
+
+Status PollutionPipeline::Validate(const Schema& schema) const {
+  if (pollution_factor_ < 0.0) {
+    return Status::InvalidArgument("pollution factor must be >= 0");
+  }
+  for (const PolluterConfig& p : polluters_) {
+    DQ_RETURN_NOT_OK(ValidatePolluter(p, schema));
+  }
+  return Status::OK();
+}
+
+Result<PollutionResult> PollutionPipeline::Apply(const Table& clean) const {
+  const Schema& schema = clean.schema();
+  DQ_RETURN_NOT_OK(Validate(schema));
+
+  PollutionResult out;
+  out.dirty = Table(schema);
+  Rng rng(seed_);
+
+  // Phase 1: duplicator decisions define the dirty row set.
+  std::vector<size_t> duplicated_rows;
+  std::vector<bool> deleted(clean.num_rows(), false);
+  for (const PolluterConfig& p : polluters_) {
+    if (p.kind != PolluterKind::kDuplicator) continue;
+    const double prob = Activation(p, pollution_factor_);
+    for (size_t r = 0; r < clean.num_rows(); ++r) {
+      if (deleted[r] || !rng.Bernoulli(prob)) continue;
+      if (rng.Bernoulli(p.duplicate_prob)) {
+        duplicated_rows.push_back(r);
+      } else {
+        deleted[r] = true;
+        CorruptionEvent ev;
+        ev.kind = PolluterKind::kDuplicator;
+        ev.clean_row = r;
+        out.deleted_clean_rows.push_back(r);
+        out.log.push_back(ev);
+      }
+    }
+  }
+
+  out.dirty.Reserve(clean.num_rows() + duplicated_rows.size());
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    if (deleted[r]) continue;
+    out.dirty.AppendRowUnchecked(clean.row(r));
+    out.origin.push_back(r);
+    out.is_corrupted.push_back(false);
+  }
+  for (size_t r : duplicated_rows) {
+    if (deleted[r]) continue;
+    const size_t dirty_idx = out.dirty.num_rows();
+    out.dirty.AppendRowUnchecked(clean.row(r));
+    out.origin.push_back(r);
+    out.is_corrupted.push_back(true);  // the surplus copy is the error
+    CorruptionEvent ev;
+    ev.kind = PolluterKind::kDuplicator;
+    ev.dirty_row = dirty_idx;
+    ev.clean_row = r;
+    out.log.push_back(ev);
+  }
+
+  // Phase 2: cell-level polluters on the dirty rows.
+  for (const PolluterConfig& p : polluters_) {
+    if (p.kind == PolluterKind::kDuplicator) continue;
+    const double prob = Activation(p, pollution_factor_);
+    const std::vector<int> attrs = ApplicableAttributes(p, schema);
+    if (attrs.empty()) continue;
+    for (size_t r = 0; r < out.dirty.num_rows(); ++r) {
+      if (!rng.Bernoulli(prob)) continue;
+      const int attr = attrs[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(attrs.size()) - 1))];
+      const AttributeDef& def = schema.attribute(static_cast<size_t>(attr));
+      const Value old_value = out.dirty.cell(r, static_cast<size_t>(attr));
+
+      CorruptionEvent ev;
+      ev.kind = p.kind;
+      ev.dirty_row = r;
+      ev.clean_row = out.origin[r];
+      ev.attr = attr;
+      ev.old_value = old_value;
+
+      switch (p.kind) {
+        case PolluterKind::kWrongValue: {
+          // Draw until the value actually differs (bounded; singleton
+          // domains cannot be corrupted this way).
+          Value nv;
+          bool changed = false;
+          for (int attempt = 0; attempt < 16; ++attempt) {
+            nv = SampleValue(p.wrong_value_dist, def, &rng);
+            if (!nv.StrictEquals(old_value)) {
+              changed = true;
+              break;
+            }
+          }
+          if (!changed) continue;
+          ev.new_value = nv;
+          break;
+        }
+        case PolluterKind::kNullValue: {
+          if (old_value.is_null()) continue;
+          ev.new_value = Value::Null();
+          break;
+        }
+        case PolluterKind::kLimiter: {
+          if (old_value.is_null()) continue;
+          const Value nv = ApplyLimiter(p, def, old_value);
+          if (nv.StrictEquals(old_value)) continue;
+          ev.new_value = nv;
+          break;
+        }
+        case PolluterKind::kSwitcher: {
+          // Partner with a type-compatible attribute so the dirty table
+          // still validates against the schema.
+          std::vector<int> partners;
+          for (int other : attrs) {
+            if (other == attr) continue;
+            const AttributeDef& odef =
+                schema.attribute(static_cast<size_t>(other));
+            if (odef.type != def.type) continue;
+            if (def.type == DataType::kNominal &&
+                odef.categories.size() != def.categories.size()) {
+              continue;
+            }
+            partners.push_back(other);
+          }
+          if (partners.empty()) continue;
+          const int partner = partners[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(partners.size()) - 1))];
+          const Value other_value =
+              out.dirty.cell(r, static_cast<size_t>(partner));
+          if (other_value.StrictEquals(old_value)) continue;
+          // Clamp switched ordered values into the receiving domain.
+          Value to_attr = other_value;
+          Value to_partner = old_value;
+          if (!def.InDomain(to_attr) ||
+              !schema.attribute(static_cast<size_t>(partner))
+                   .InDomain(to_partner)) {
+            continue;
+          }
+          ev.attr2 = partner;
+          ev.new_value = to_attr;
+          out.dirty.SetCell(r, static_cast<size_t>(attr), to_attr);
+          out.dirty.SetCell(r, static_cast<size_t>(partner), to_partner);
+          out.is_corrupted[r] = true;
+          out.log.push_back(ev);
+          continue;  // cells already written
+        }
+        case PolluterKind::kDuplicator:
+          continue;
+      }
+
+      out.dirty.SetCell(r, static_cast<size_t>(attr), ev.new_value);
+      out.is_corrupted[r] = true;
+      out.log.push_back(ev);
+    }
+  }
+  return out;
+}
+
+}  // namespace dq

@@ -1,0 +1,69 @@
+// PollutionPipeline: applies polluter components to a clean table and logs
+// every change, producing the labelled dirty database of the test
+// environment (fig. 2): "pollutes this data in a controlled and logged
+// procedure".
+
+#ifndef DQ_POLLUTION_PIPELINE_H_
+#define DQ_POLLUTION_PIPELINE_H_
+
+#include <vector>
+
+#include "pollution/polluter.h"
+
+namespace dq {
+
+/// \brief Labelled output of a pollution run.
+struct PollutionResult {
+  Table dirty;
+
+  /// Clean-table row index each dirty row descends from (duplicates share
+  /// their original's index).
+  std::vector<size_t> origin;
+
+  /// Ground truth per dirty row: true iff some polluter actually changed
+  /// the record (or it is a surplus duplicate).
+  std::vector<bool> is_corrupted;
+
+  /// Clean rows removed by the duplicator's delete branch.
+  std::vector<size_t> deleted_clean_rows;
+
+  /// Every change, in application order.
+  std::vector<CorruptionEvent> log;
+
+  size_t CorruptedCount() const {
+    size_t n = 0;
+    for (bool b : is_corrupted) n += b ? 1 : 0;
+    return n;
+  }
+};
+
+/// \brief Orchestrates a set of polluter components.
+///
+/// Application order: record-level duplicator decisions first (building the
+/// dirty row set), then cell-level polluters per dirty row. A common
+/// `pollution_factor` scales every activation probability, mirroring the
+/// evaluation of fig. 5 ("multiplying them with a common pollution
+/// factor").
+class PollutionPipeline {
+ public:
+  PollutionPipeline(std::vector<PolluterConfig> polluters, uint64_t seed,
+                    double pollution_factor = 1.0)
+      : polluters_(std::move(polluters)),
+        seed_(seed),
+        pollution_factor_(pollution_factor) {}
+
+  /// \brief Validates all component configurations against `schema`.
+  Status Validate(const Schema& schema) const;
+
+  /// \brief Applies the pipeline to `clean`.
+  Result<PollutionResult> Apply(const Table& clean) const;
+
+ private:
+  std::vector<PolluterConfig> polluters_;
+  uint64_t seed_;
+  double pollution_factor_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_POLLUTION_PIPELINE_H_

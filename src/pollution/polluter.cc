@@ -1,0 +1,115 @@
+#include "pollution/polluter.h"
+
+namespace dq {
+
+const char* PolluterKindToString(PolluterKind kind) {
+  switch (kind) {
+    case PolluterKind::kWrongValue:
+      return "wrong-value";
+    case PolluterKind::kNullValue:
+      return "null-value";
+    case PolluterKind::kLimiter:
+      return "limiter";
+    case PolluterKind::kSwitcher:
+      return "switcher";
+    case PolluterKind::kDuplicator:
+      return "duplicator";
+  }
+  return "unknown";
+}
+
+std::string CorruptionEvent::ToString(const Schema& schema) const {
+  std::string out = PolluterKindToString(kind);
+  out += " row=";
+  out += dirty_row == kNoRow ? "-" : std::to_string(dirty_row);
+  if (attr >= 0) {
+    out += " attr=" + schema.attribute(static_cast<size_t>(attr)).name;
+    out += " " + schema.ValueToString(attr, old_value) + " -> " +
+           schema.ValueToString(attr, new_value);
+  }
+  if (attr2 >= 0) {
+    out += " attr2=" + schema.attribute(static_cast<size_t>(attr2)).name;
+  }
+  return out;
+}
+
+Status ValidatePolluter(const PolluterConfig& config, const Schema& schema) {
+  if (config.activation_prob < 0.0 || config.activation_prob > 1.0) {
+    return Status::InvalidArgument("activation_prob outside [0,1]");
+  }
+  for (int attr : config.target_attrs) {
+    if (attr < 0 || static_cast<size_t>(attr) >= schema.num_attributes()) {
+      return Status::OutOfRange("polluter target attribute out of range");
+    }
+  }
+  switch (config.kind) {
+    case PolluterKind::kLimiter: {
+      if (config.limiter_low_fraction < 0.0 ||
+          config.limiter_high_fraction > 1.0 ||
+          config.limiter_low_fraction > config.limiter_high_fraction) {
+        return Status::InvalidArgument("limiter fractions must satisfy 0 <= lo <= hi <= 1");
+      }
+      for (int attr : config.target_attrs) {
+        if (!IsOrdered(schema.attribute(static_cast<size_t>(attr)).type)) {
+          return Status::InvalidArgument(
+              "limiter targets must be numeric or date attributes");
+        }
+      }
+      break;
+    }
+    case PolluterKind::kDuplicator:
+      if (config.duplicate_prob < 0.0 || config.duplicate_prob > 1.0) {
+        return Status::InvalidArgument("duplicate_prob outside [0,1]");
+      }
+      break;
+    case PolluterKind::kSwitcher: {
+      if (ApplicableAttributes(config, schema).size() < 2) {
+        return Status::FailedPrecondition(
+            "switcher needs at least two compatible attributes");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+std::vector<int> ApplicableAttributes(const PolluterConfig& config,
+                                      const Schema& schema) {
+  std::vector<int> candidates = config.target_attrs;
+  if (candidates.empty()) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      candidates.push_back(static_cast<int>(a));
+    }
+  }
+  std::vector<int> out;
+  for (int a : candidates) {
+    const AttributeDef& def = schema.attribute(static_cast<size_t>(a));
+    switch (config.kind) {
+      case PolluterKind::kLimiter:
+        if (IsOrdered(def.type)) out.push_back(a);
+        break;
+      case PolluterKind::kWrongValue:
+      case PolluterKind::kNullValue:
+      case PolluterKind::kSwitcher:
+        out.push_back(a);
+        break;
+      case PolluterKind::kDuplicator:
+        break;  // record-level; attributes unused
+    }
+  }
+  return out;
+}
+
+std::vector<PolluterConfig> DefaultPolluterMix() {
+  return {
+      PolluterConfig::WrongValue(0.10),
+      PolluterConfig::NullValue(0.02),
+      PolluterConfig::Limiter(0.01),
+      PolluterConfig::Switcher(0.01),
+      PolluterConfig::Duplicator(0.008, 0.5),
+  };
+}
+
+}  // namespace dq

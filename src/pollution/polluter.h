@@ -1,0 +1,132 @@
+// Controlled data corruption (sec. 4.2).
+//
+// "Components in the test environment, each parameterized with an
+// activation probability, simulate the strategies for identification and
+// analysis of different forms of data pollution as defined by Dasu and
+// Hernandez: Wrong value polluter, Null-value polluter, Limiter, Switcher,
+// Duplicator."
+//
+// Pollution is applied in a controlled and logged procedure: every change
+// is recorded as a CorruptionEvent, and the set of corrupted records forms
+// the ground truth against which a data auditing tool's sensitivity and
+// specificity are computed (sec. 4.3).
+
+#ifndef DQ_POLLUTION_POLLUTER_H_
+#define DQ_POLLUTION_POLLUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "stats/distribution.h"
+#include "table/table.h"
+
+namespace dq {
+
+enum class PolluterKind : uint8_t {
+  kWrongValue,  ///< re-draws an attribute value from a distribution
+  kNullValue,   ///< replaces an attribute value by null
+  kLimiter,     ///< cuts a numerical value off at a max/min bound
+  kSwitcher,    ///< switches the values of two attributes
+  kDuplicator,  ///< duplicates (or deletes) a record
+};
+
+const char* PolluterKindToString(PolluterKind kind);
+
+/// \brief Parameterization of one polluter component.
+struct PolluterConfig {
+  PolluterKind kind = PolluterKind::kWrongValue;
+
+  /// Per-record activation probability; the common pollution factor of the
+  /// evaluation (fig. 5) multiplies this.
+  double activation_prob = 0.01;
+
+  /// Attributes the polluter may touch; empty = all type-compatible
+  /// attributes.
+  std::vector<int> target_attrs;
+
+  /// kWrongValue: distribution the replacement value is drawn from
+  /// ("according to a probability distribution defined in the same way as
+  /// in section 4.1.4").
+  DistributionSpec wrong_value_dist = DistributionSpec::Uniform();
+
+  /// kLimiter: cut bounds, as fractions of the attribute's domain width.
+  /// A value above/below the bound is clamped to it.
+  double limiter_low_fraction = 0.1;
+  double limiter_high_fraction = 0.9;
+
+  /// kDuplicator: probability that an activated duplicator duplicates the
+  /// record (otherwise it deletes it).
+  double duplicate_prob = 0.5;
+
+  static PolluterConfig WrongValue(double prob) {
+    PolluterConfig c;
+    c.kind = PolluterKind::kWrongValue;
+    c.activation_prob = prob;
+    return c;
+  }
+  static PolluterConfig NullValue(double prob) {
+    PolluterConfig c;
+    c.kind = PolluterKind::kNullValue;
+    c.activation_prob = prob;
+    return c;
+  }
+  static PolluterConfig Limiter(double prob, double low_frac = 0.1,
+                                double high_frac = 0.9) {
+    PolluterConfig c;
+    c.kind = PolluterKind::kLimiter;
+    c.activation_prob = prob;
+    c.limiter_low_fraction = low_frac;
+    c.limiter_high_fraction = high_frac;
+    return c;
+  }
+  static PolluterConfig Switcher(double prob) {
+    PolluterConfig c;
+    c.kind = PolluterKind::kSwitcher;
+    c.activation_prob = prob;
+    return c;
+  }
+  static PolluterConfig Duplicator(double prob, double duplicate_share = 0.5) {
+    PolluterConfig c;
+    c.kind = PolluterKind::kDuplicator;
+    c.activation_prob = prob;
+    c.duplicate_prob = duplicate_share;
+    return c;
+  }
+};
+
+/// \brief One logged change made by a polluter.
+struct CorruptionEvent {
+  PolluterKind kind = PolluterKind::kWrongValue;
+  /// Row index in the *dirty* table. Deletions refer to the clean table
+  /// via `clean_row` and have dirty_row == kNoRow.
+  static constexpr size_t kNoRow = static_cast<size_t>(-1);
+  size_t dirty_row = kNoRow;
+  size_t clean_row = kNoRow;
+  int attr = -1;   ///< affected attribute (-1 for record-level events)
+  int attr2 = -1;  ///< switcher partner attribute
+  Value old_value;
+  Value new_value;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief Checks a polluter configuration against a schema (probabilities
+/// in range, target attributes applicable to the polluter kind).
+Status ValidatePolluter(const PolluterConfig& config, const Schema& schema);
+
+/// \brief Attributes a polluter may act on for a schema: the configured
+/// targets filtered for type compatibility, or all compatible attributes.
+std::vector<int> ApplicableAttributes(const PolluterConfig& config,
+                                      const Schema& schema);
+
+/// \brief The evaluation's standard polluter mix ("a variety of pollution
+/// procedures with different activation probabilities", sec. 6.1): wrong
+/// value, null value, limiter, switcher and duplicator with graduated
+/// per-record probabilities.
+std::vector<PolluterConfig> DefaultPolluterMix();
+
+}  // namespace dq
+
+#endif  // DQ_POLLUTION_POLLUTER_H_

@@ -1,0 +1,187 @@
+#include "quis/quis_sample.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/random.h"
+#include "table/date.h"
+
+namespace dq {
+
+Schema MakeQuisSchema() {
+  Schema schema;
+  (void)schema.AddNominal(
+      "BRV", {"401", "404", "407", "501", "504", "507", "601", "604"});
+  (void)schema.AddNominal("GBM", {"901", "902", "904", "911", "912", "921"});
+  (void)schema.AddNominal("KBM", {"01", "02", "03", "04", "05"});
+  (void)schema.AddNominal("AGM", {"A1", "A2", "A3", "A4", "A5", "A6"});
+  (void)schema.AddNominal("PLANT", {"MANNHEIM", "GAGGENAU", "KASSEL", "BERLIN"});
+  (void)schema.AddNominal("VARIANT",
+                          {"V1", "V2", "V3", "V4", "V5", "V6", "V7", "V8"});
+  (void)schema.AddNumeric("DISPLACEMENT", 2000.0, 16000.0);
+  (void)schema.AddDate("PROD_DATE", DaysFromCivil({1990, 1, 1}),
+                       DaysFromCivil({2003, 6, 30}));
+  return schema;
+}
+
+namespace {
+
+// Attribute indices in MakeQuisSchema order.
+constexpr int kBrv = 0;
+constexpr int kGbm = 1;
+constexpr int kKbm = 2;
+constexpr int kAgm = 3;
+constexpr int kPlant = 4;
+constexpr int kVariant = 5;
+constexpr int kDisplacement = 6;
+constexpr int kProdDate = 7;
+
+// BRV category indices.
+constexpr int kBrv404 = 1;
+constexpr int kBrv501 = 3;
+// GBM category indices.
+constexpr int kGbm901 = 0;
+constexpr int kGbm911 = 3;
+// KBM category index of "01".
+constexpr int kKbm01 = 0;
+
+}  // namespace
+
+Result<QuisSample> GenerateQuisSample(const QuisConfig& config) {
+  if (config.num_records < 100) {
+    return Status::InvalidArgument("QUIS sample needs at least 100 records");
+  }
+  if (config.noise_prob < 0.0 || config.noise_prob > 1.0) {
+    return Status::InvalidArgument("noise_prob outside [0,1]");
+  }
+  QuisSample out;
+  Schema schema = MakeQuisSchema();
+  out.table = Table(schema);
+  out.table.Reserve(config.num_records);
+  Rng rng(config.seed);
+
+  // Model-series mix; BRV=404 sized so the headline rule rests on ~16k
+  // instances at the paper's 200k scale.
+  const std::vector<double> brv_weights = {0.12,  0.0806, 0.10, 0.25,
+                                           0.15,  0.12,   0.10, 0.0794};
+
+  // Deterministic engine assignment per model series; only 404 and 501 use
+  // the 901 engine, which pins down the KBM=01 AND GBM=901 slice.
+  auto gbm_for = [&rng](int brv) -> int {
+    switch (brv) {
+      case 0:  // 401
+        return 1;
+      case kBrv404:
+        return kGbm901;
+      case 2:  // 407
+        return rng.Bernoulli(0.95) ? 2 : 1;
+      case kBrv501:
+        return kGbm901;
+      case 4:  // 504
+        return kGbm911;
+      case 5:  // 507
+        return 4;
+      case 6:  // 601
+        return rng.Bernoulli(0.93) ? 5 : 4;
+      default:  // 604
+        return 5;
+    }
+  };
+
+  // Component code: series 501 uses component 01 for ~19% of engines,
+  // series 404 rarely (~2.6%) — together they shape the second sec. 6.2
+  // rule with ~96% purity.
+  auto kbm_for = [&rng](int brv) -> int {
+    double p01;
+    if (brv == kBrv501) {
+      p01 = 0.19;
+    } else if (brv == kBrv404) {
+      p01 = 0.026;
+    } else {
+      p01 = 0.05;
+    }
+    if (rng.Bernoulli(p01)) return kKbm01;
+    return 1 + static_cast<int>(rng.UniformInt(0, 3));
+  };
+
+  // Aggregate code follows the engine *family* (three families share
+  // aggregate codes, so AGM does not fully determine GBM and the model
+  // series stays the strongest engine predictor) with a small noise rate.
+  const double agm_noise = config.noise_prob * 0.75;
+  auto agm_for = [&](int gbm) -> int {
+    if (rng.Bernoulli(agm_noise)) return static_cast<int>(rng.UniformInt(0, 5));
+    return gbm % 3;
+  };
+
+  // Assembly plants build every series (uniform, no dependency): the plant
+  // must not leak the model series, otherwise the induced engine rules
+  // condition on the plant instead of the series.
+  auto plant_for = [&](int /*brv*/) -> int {
+    return static_cast<int>(rng.UniformInt(0, 3));
+  };
+
+  // Displacement loosely tracks the engine model (overlapping bands, so it
+  // does not out-predict the model series) with rare outliers.
+  const std::array<double, 6> displacement_mean = {4000,  5200,  6400,
+                                                   7600,  8800,  10000};
+  const double displacement_noise = config.noise_prob * 0.5;
+  auto displacement_for = [&](int gbm) -> double {
+    if (rng.Bernoulli(displacement_noise)) {
+      return rng.UniformReal(2000.0, 16000.0);
+    }
+    double x = rng.Normal(displacement_mean[static_cast<size_t>(gbm)], 1200.0);
+    return std::clamp(x, 2000.0, 16000.0);
+  };
+
+  // Production dates are uniform over the whole observation window (the
+  // audited excerpt mixes all series generations).
+  const int32_t date_lo = DaysFromCivil({1990, 1, 1});
+  const int32_t date_hi = DaysFromCivil({2003, 6, 30});
+  auto prod_date_for = [&](int /*brv*/) -> int32_t {
+    return static_cast<int32_t>(rng.UniformInt(date_lo, date_hi));
+  };
+
+  size_t first_404 = 0;
+  bool seen_404 = false;
+  for (size_t r = 0; r < config.num_records; ++r) {
+    const int brv = static_cast<int>(rng.WeightedIndex(brv_weights));
+    const int gbm = gbm_for(brv);
+    const int kbm = kbm_for(brv);
+
+    Row row(schema.num_attributes());
+    row[kBrv] = Value::Nominal(brv);
+    row[kGbm] = Value::Nominal(gbm);
+    row[kKbm] = Value::Nominal(kbm);
+    row[kAgm] = Value::Nominal(agm_for(gbm));
+    row[kPlant] = Value::Nominal(plant_for(brv));
+    row[kVariant] = Value::Nominal(static_cast<int>(rng.UniformInt(0, 7)));
+    row[kDisplacement] = Value::Numeric(displacement_for(gbm));
+    row[kProdDate] = Value::Date(prod_date_for(brv));
+    out.table.AppendRowUnchecked(std::move(row));
+
+    if (brv == kBrv404) {
+      ++out.brv404_count;
+      if (!seen_404) {
+        first_404 = r;
+        seen_404 = true;
+      }
+    }
+    if (kbm == kKbm01 && gbm == kGbm901) {
+      ++out.kbm01_gbm901_count;
+      if (brv == kBrv501) ++out.kbm01_gbm901_brv501_count;
+    }
+  }
+  if (!seen_404) {
+    return Status::Internal("no BRV=404 records generated");
+  }
+
+  // Plant exactly one deviating instance for the headline rule: "One
+  // instance, however, contradicts the rule: It has got a value of 911 for
+  // the GBM attribute" (sec. 6.2).
+  out.planted_deviation_row = first_404;
+  out.table.SetCell(first_404, kGbm, Value::Nominal(kGbm911));
+
+  return out;
+}
+
+}  // namespace dq

@@ -1,0 +1,30 @@
+// Descriptive statistics shared by the mining and evaluation layers.
+
+#ifndef DQ_STATS_DESCRIPTIVE_H_
+#define DQ_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace dq {
+
+/// \brief Shannon entropy (bits) of an unnormalized non-negative count
+/// vector; zero-total input yields 0.
+double EntropyFromCounts(const std::vector<double>& counts);
+
+/// \brief Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Sample standard deviation (n-1 denominator); 0 for n < 2.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// \brief Pearson correlation of two equal-length series; 0 when either
+/// series is constant or inputs are shorter than 2.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// \brief Median of a series (averaged middle pair for even n); 0 for empty.
+double Median(std::vector<double> xs);
+
+}  // namespace dq
+
+#endif  // DQ_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,160 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dq {
+
+const char* DistributionKindToString(DistributionKind k) {
+  switch (k) {
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kCategorical:
+      return "categorical";
+    case DistributionKind::kNormal:
+      return "normal";
+    case DistributionKind::kExponential:
+      return "exponential";
+  }
+  return "unknown";
+}
+
+Status ValidateDistribution(const DistributionSpec& spec,
+                            const AttributeDef& attr) {
+  if (spec.null_prob < 0.0 || spec.null_prob > 1.0) {
+    return Status::InvalidArgument("null_prob outside [0,1]");
+  }
+  switch (spec.kind) {
+    case DistributionKind::kUniform:
+      return Status::OK();
+    case DistributionKind::kCategorical: {
+      if (attr.type != DataType::kNominal) {
+        return Status::InvalidArgument(
+            "categorical distribution requires nominal attribute '" +
+            attr.name + "'");
+      }
+      if (spec.weights.size() != attr.categories.size()) {
+        return Status::InvalidArgument(
+            "weight count " + std::to_string(spec.weights.size()) +
+            " != category count " + std::to_string(attr.categories.size()) +
+            " for '" + attr.name + "'");
+      }
+      double total = 0.0;
+      for (double w : spec.weights) {
+        if (w < 0.0) {
+          return Status::InvalidArgument("negative categorical weight");
+        }
+        total += w;
+      }
+      if (total <= 0.0) {
+        return Status::InvalidArgument("all-zero categorical weights");
+      }
+      return Status::OK();
+    }
+    case DistributionKind::kNormal:
+      if (spec.stddev_fraction <= 0.0) {
+        return Status::InvalidArgument("normal stddev_fraction must be > 0");
+      }
+      return Status::OK();
+    case DistributionKind::kExponential:
+      if (spec.rate <= 0.0) {
+        return Status::InvalidArgument("exponential rate must be > 0");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable distribution kind");
+}
+
+namespace {
+
+/// Width of the ordered axis for an attribute (category count for nominal).
+double DomainWidth(const AttributeDef& attr) {
+  switch (attr.type) {
+    case DataType::kNominal:
+      return static_cast<double>(attr.categories.size());
+    case DataType::kNumeric:
+      return attr.numeric_max - attr.numeric_min;
+    case DataType::kDate:
+      return static_cast<double>(attr.date_max - attr.date_min);
+  }
+  return 0.0;
+}
+
+double DomainMin(const AttributeDef& attr) {
+  switch (attr.type) {
+    case DataType::kNominal:
+      return 0.0;
+    case DataType::kNumeric:
+      return attr.numeric_min;
+    case DataType::kDate:
+      return static_cast<double>(attr.date_min);
+  }
+  return 0.0;
+}
+
+/// Converts a point on the ordered axis into an in-domain Value.
+Value AxisToValue(double x, const AttributeDef& attr) {
+  switch (attr.type) {
+    case DataType::kNominal: {
+      const double max_code = static_cast<double>(attr.categories.size()) - 1.0;
+      double code = std::clamp(std::floor(x), 0.0, max_code);
+      return Value::Nominal(static_cast<int32_t>(code));
+    }
+    case DataType::kNumeric:
+      return Value::Numeric(std::clamp(x, attr.numeric_min, attr.numeric_max));
+    case DataType::kDate: {
+      double days = std::clamp(std::round(x), static_cast<double>(attr.date_min),
+                               static_cast<double>(attr.date_max));
+      return Value::Date(static_cast<int32_t>(days));
+    }
+  }
+  return Value::Null();
+}
+
+Value SampleUniform(const AttributeDef& attr, Rng* rng) {
+  switch (attr.type) {
+    case DataType::kNominal:
+      return Value::Nominal(static_cast<int32_t>(rng->UniformInt(
+          0, static_cast<int64_t>(attr.categories.size()) - 1)));
+    case DataType::kNumeric:
+      return Value::Numeric(rng->UniformReal(attr.numeric_min, attr.numeric_max));
+    case DataType::kDate:
+      return Value::Date(
+          static_cast<int32_t>(rng->UniformInt(attr.date_min, attr.date_max)));
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Value SampleValue(const DistributionSpec& spec, const AttributeDef& attr,
+                  Rng* rng) {
+  if (spec.null_prob > 0.0 && rng->Bernoulli(spec.null_prob)) {
+    return Value::Null();
+  }
+  switch (spec.kind) {
+    case DistributionKind::kUniform:
+      return SampleUniform(attr, rng);
+    case DistributionKind::kCategorical: {
+      if (attr.type != DataType::kNominal ||
+          spec.weights.size() != attr.categories.size()) {
+        return SampleUniform(attr, rng);  // defensive fallback
+      }
+      return Value::Nominal(static_cast<int32_t>(rng->WeightedIndex(spec.weights)));
+    }
+    case DistributionKind::kNormal: {
+      const double width = DomainWidth(attr);
+      const double mean = DomainMin(attr) + spec.mean_fraction * width;
+      const double sd = std::max(spec.stddev_fraction * width, 1e-12);
+      return AxisToValue(rng->Normal(mean, sd), attr);
+    }
+    case DistributionKind::kExponential: {
+      const double width = DomainWidth(attr);
+      const double lambda = spec.rate / std::max(width, 1e-12);
+      return AxisToValue(DomainMin(attr) + rng->Exponential(lambda), attr);
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace dq

@@ -1,0 +1,98 @@
+// Parameterizable univariate start distributions (sec. 4.1.4).
+//
+// "Our system offers uniform, normal and exponential distributions that can
+// be parameterized by the user." A DistributionSpec describes how initial
+// values for one attribute are drawn before rule repair; SampleValue draws
+// a domain-respecting Value. Values outside the attribute domain are
+// resampled/clamped so generated tables always validate. Multivariate
+// start distributions live in src/bayes.
+
+#ifndef DQ_STATS_DISTRIBUTION_H_
+#define DQ_STATS_DISTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/schema.h"
+
+namespace dq {
+
+enum class DistributionKind {
+  kUniform,      ///< Uniform over the attribute domain.
+  kCategorical,  ///< Explicit weights per nominal category.
+  kNormal,       ///< Gaussian over the ordered domain axis (clamped).
+  kExponential,  ///< Exponential decay from the domain minimum (clamped).
+};
+
+const char* DistributionKindToString(DistributionKind k);
+
+/// \brief Declarative description of a univariate start distribution.
+///
+/// For nominal attributes kNormal/kExponential act on the category index
+/// axis (useful to skew towards early categories); for numeric/date
+/// attributes they act on the value axis. `mean`/`stddev` are expressed as
+/// fractions of the domain width so specs stay valid across domains.
+struct DistributionSpec {
+  DistributionKind kind = DistributionKind::kUniform;
+
+  /// kCategorical: unnormalized weights, size must equal the category count.
+  std::vector<double> weights;
+
+  /// kNormal: mean/stddev as fraction of domain width (mean 0.5 = centre).
+  double mean_fraction = 0.5;
+  double stddev_fraction = 0.15;
+
+  /// kExponential: rate expressed as "decay lengths per domain width";
+  /// larger = more mass near the domain minimum.
+  double rate = 3.0;
+
+  /// Probability that a sampled cell is null (missing at random).
+  double null_prob = 0.0;
+
+  static DistributionSpec Uniform(double null_prob = 0.0) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kUniform;
+    s.null_prob = null_prob;
+    return s;
+  }
+  static DistributionSpec Categorical(std::vector<double> weights,
+                                      double null_prob = 0.0) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kCategorical;
+    s.weights = std::move(weights);
+    s.null_prob = null_prob;
+    return s;
+  }
+  static DistributionSpec Normal(double mean_fraction, double stddev_fraction,
+                                 double null_prob = 0.0) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kNormal;
+    s.mean_fraction = mean_fraction;
+    s.stddev_fraction = stddev_fraction;
+    s.null_prob = null_prob;
+    return s;
+  }
+  static DistributionSpec Exponential(double rate, double null_prob = 0.0) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kExponential;
+    s.rate = rate;
+    s.null_prob = null_prob;
+    return s;
+  }
+};
+
+/// \brief Checks that `spec` is applicable to `attr` (weight arity, positive
+/// stddev/rate, probabilities in range).
+Status ValidateDistribution(const DistributionSpec& spec,
+                            const AttributeDef& attr);
+
+/// \brief Draws one value for `attr` according to `spec`. The result is null
+/// or inside the attribute's domain.
+Value SampleValue(const DistributionSpec& spec, const AttributeDef& attr,
+                  Rng* rng);
+
+}  // namespace dq
+
+#endif  // DQ_STATS_DISTRIBUTION_H_

@@ -1,0 +1,152 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace dq {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, char sep) {
+  return field.find(sep) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos;
+}
+
+}  // namespace
+
+std::string CsvQuote(const std::string& field, char sep) {
+  if (!NeedsQuoting(field, sep)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+/// Splits one CSV line honoring double-quote quoting.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::IOError("unterminated quote in CSV line: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, std::ostream* out, const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  if (options.write_header) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) *out << options.separator;
+      *out << CsvQuote(schema.attribute(a).name, options.separator);
+    }
+    *out << '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) *out << options.separator;
+      *out << CsvQuote(
+          schema.ValueToString(static_cast<int>(a), table.cell(r, a),
+                               options.null_token),
+          options.separator);
+    }
+    *out << '\n';
+  }
+  if (!*out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteCsv(table, &f, options);
+}
+
+Result<Table> ReadCsv(const Schema& schema, std::istream* in,
+                      const CsvOptions& options) {
+  Table table(schema);
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    DQ_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                        SplitCsvLine(line, options.separator));
+    if (first && options.write_header) {
+      first = false;
+      if (fields.size() != schema.num_attributes()) {
+        return Status::IOError("header arity mismatch at line " +
+                               std::to_string(line_no));
+      }
+      for (size_t a = 0; a < fields.size(); ++a) {
+        if (fields[a] != schema.attribute(a).name) {
+          return Status::IOError("header field '" + fields[a] +
+                                 "' does not match schema attribute '" +
+                                 schema.attribute(a).name + "'");
+        }
+      }
+      continue;
+    }
+    first = false;
+    if (fields.size() != schema.num_attributes()) {
+      return Status::IOError("row arity mismatch at line " +
+                             std::to_string(line_no));
+    }
+    Row row(fields.size());
+    for (size_t a = 0; a < fields.size(); ++a) {
+      auto value = schema.ParseValue(static_cast<int>(a), fields[a],
+                                     options.null_token);
+      if (!value.ok()) {
+        return Status::IOError("line " + std::to_string(line_no) + ": " +
+                               value.status().message());
+      }
+      row[a] = *value;
+    }
+    DQ_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const Schema& schema, const std::string& path,
+                          const CsvOptions& options) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadCsv(schema, &f, options);
+}
+
+}  // namespace dq

@@ -1,0 +1,48 @@
+// Minimal CSV import/export for Tables.
+//
+// The format is deliberately simple (comma separator, double-quote quoting,
+// "?" for nulls, header row with attribute names); it exists so generated
+// benchmark databases and audit reports can be inspected with standard
+// tooling.
+
+#ifndef DQ_TABLE_CSV_H_
+#define DQ_TABLE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace dq {
+
+struct CsvOptions {
+  char separator = ',';
+  std::string null_token = "?";
+  bool write_header = true;
+};
+
+/// \brief Writes `table` to a stream.
+Status WriteCsv(const Table& table, std::ostream* out,
+                const CsvOptions& options = {});
+
+/// \brief Writes `table` to a file path.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+/// \brief Reads rows from a stream into a table with the given schema.
+/// A header row, when present, must match the schema's attribute names.
+Result<Table> ReadCsv(const Schema& schema, std::istream* in,
+                      const CsvOptions& options = {});
+
+/// \brief Reads a CSV file into a table with the given schema.
+Result<Table> ReadCsvFile(const Schema& schema, const std::string& path,
+                          const CsvOptions& options = {});
+
+/// \brief Double-quote-escapes a field when it contains the separator, a
+/// quote or a newline (shared by every CSV producer in the library).
+std::string CsvQuote(const std::string& field, char separator);
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_CSV_H_

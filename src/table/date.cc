@@ -1,0 +1,75 @@
+#include "table/date.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace dq {
+
+int32_t DaysFromCivil(const CivilDate& d) {
+  int32_t y = d.year;
+  const int32_t m = d.month;
+  const int32_t dd = d.day;
+  y -= m <= 2;
+  const int32_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);             // [0, 399]
+  const uint32_t doy =
+      static_cast<uint32_t>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1);
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(int32_t days) {
+  int32_t z = days + 719468;
+  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint32_t doe = static_cast<uint32_t>(z - era * 146097);          // [0, 146096]
+  const uint32_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;             // [0, 399]
+  const int32_t y = static_cast<int32_t>(yoe) + era * 400;
+  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const uint32_t mp = (5 * doy + 2) / 153;                               // [0, 11]
+  const uint32_t d = doy - (153 * mp + 2) / 5 + 1;                       // [1, 31]
+  const uint32_t m = mp + (mp < 10 ? 3 : static_cast<uint32_t>(-9));     // [1, 12]
+  CivilDate out;
+  out.year = y + (m <= 2);
+  out.month = static_cast<int32_t>(m);
+  out.day = static_cast<int32_t>(d);
+  return out;
+}
+
+bool IsValidCivil(const CivilDate& d) {
+  if (d.month < 1 || d.month > 12 || d.day < 1) return false;
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  int max_day = kDays[d.month - 1];
+  const bool leap =
+      (d.year % 4 == 0 && d.year % 100 != 0) || d.year % 400 == 0;
+  if (d.month == 2 && leap) max_day = 29;
+  return d.day <= max_day;
+}
+
+std::string FormatDate(int32_t days) {
+  CivilDate c = CivilFromDays(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+Result<int32_t> ParseDate(const std::string& text) {
+  auto parts = SplitString(text, '-');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("expected YYYY-MM-DD, got '" + text + "'");
+  }
+  int64_t y = 0, m = 0, d = 0;
+  if (!ParseInt64(parts[0], &y) || !ParseInt64(parts[1], &m) ||
+      !ParseInt64(parts[2], &d)) {
+    return Status::InvalidArgument("non-numeric date component in '" + text + "'");
+  }
+  CivilDate c{static_cast<int32_t>(y), static_cast<int32_t>(m),
+              static_cast<int32_t>(d)};
+  if (!IsValidCivil(c)) {
+    return Status::InvalidArgument("invalid calendar date '" + text + "'");
+  }
+  return DaysFromCivil(c);
+}
+
+}  // namespace dq

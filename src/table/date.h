@@ -1,0 +1,39 @@
+// Proleptic Gregorian date arithmetic. Dates are stored as int32 day counts
+// relative to 1970-01-01 (negative for earlier dates), which makes date
+// attributes totally ordered and lets the mining layer treat them as a
+// numeric axis while keeping a distinct logical type.
+
+#ifndef DQ_TABLE_DATE_H_
+#define DQ_TABLE_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace dq {
+
+struct CivilDate {
+  int32_t year = 1970;
+  int32_t month = 1;  // 1..12
+  int32_t day = 1;    // 1..31
+};
+
+/// \brief Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+int32_t DaysFromCivil(const CivilDate& d);
+
+/// \brief Civil date for a day count since 1970-01-01.
+CivilDate CivilFromDays(int32_t days);
+
+/// \brief True if (year, month, day) denotes a real calendar date.
+bool IsValidCivil(const CivilDate& d);
+
+/// \brief Formats as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+/// \brief Parses "YYYY-MM-DD" into a day count.
+Result<int32_t> ParseDate(const std::string& text);
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_DATE_H_

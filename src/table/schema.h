@@ -1,0 +1,89 @@
+// Schema: attribute definitions with explicit domain ranges.
+//
+// The test data generator (sec. 4.1) requires "a schema for the target
+// relation with domain ranges for each attribute": nominal attributes carry
+// a closed category list, numeric and date attributes carry inclusive
+// bounds. All attributes are nullable (TDG-formulae reason about isnull /
+// isnotnull explicitly).
+
+#ifndef DQ_TABLE_SCHEMA_H_
+#define DQ_TABLE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace dq {
+
+/// \brief One attribute of the target relation.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kNominal;
+
+  /// Nominal domain: category spellings; a cell stores an index into this.
+  std::vector<std::string> categories;
+
+  /// Numeric domain: inclusive range.
+  double numeric_min = 0.0;
+  double numeric_max = 1.0;
+
+  /// Date domain: inclusive day-count range.
+  int32_t date_min = 0;
+  int32_t date_max = 0;
+
+  /// \brief Number of distinct domain values (numeric counts as unbounded;
+  /// returns 0 for numeric).
+  size_t DomainSize() const;
+
+  /// \brief True if `v` is null or lies inside this attribute's domain.
+  bool InDomain(const Value& v) const;
+};
+
+/// \brief Ordered list of attributes with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// \brief Appends a nominal attribute with the given category list.
+  /// Fails on duplicate attribute names, empty/duplicate categories.
+  Status AddNominal(const std::string& name,
+                    std::vector<std::string> categories);
+
+  /// \brief Appends a numeric attribute with inclusive range [min, max].
+  Status AddNumeric(const std::string& name, double min, double max);
+
+  /// \brief Appends a date attribute with inclusive range (day counts).
+  Status AddDate(const std::string& name, int32_t min_days, int32_t max_days);
+
+  size_t num_attributes() const { return attrs_.size(); }
+  const AttributeDef& attribute(size_t i) const { return attrs_.at(i); }
+  const std::vector<AttributeDef>& attributes() const { return attrs_; }
+
+  /// \brief Index of the attribute named `name`.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// \brief Category code of `category` within nominal attribute `attr`.
+  Result<int32_t> CategoryCode(int attr, const std::string& category) const;
+
+  /// \brief Renders a cell using this schema's category spellings; nulls
+  /// render as `null_token`.
+  std::string ValueToString(int attr, const Value& v,
+                            const std::string& null_token = "?") const;
+
+  /// \brief Parses a cell; `null_token` maps to Value::Null().
+  Result<Value> ParseValue(int attr, const std::string& text,
+                           const std::string& null_token = "?") const;
+
+ private:
+  Status CheckNewName(const std::string& name) const;
+
+  std::vector<AttributeDef> attrs_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_SCHEMA_H_

@@ -1,0 +1,31 @@
+// Textual schema specifications for command-line tooling.
+//
+// One attribute per non-empty, non-comment line:
+//   <name> nominal <cat1,cat2,...>
+//   <name> numeric <min> <max>
+//   <name> date <YYYY-MM-DD> <YYYY-MM-DD>
+// Lines starting with '#' are comments.
+
+#ifndef DQ_TABLE_SCHEMA_SPEC_H_
+#define DQ_TABLE_SCHEMA_SPEC_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "table/schema.h"
+
+namespace dq {
+
+/// \brief Parses a schema specification from a stream.
+Result<Schema> ParseSchemaSpec(std::istream* in);
+
+/// \brief Parses a schema specification file.
+Result<Schema> ParseSchemaSpecFile(const std::string& path);
+
+/// \brief Renders a schema back into the specification format.
+std::string FormatSchemaSpec(const Schema& schema);
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_SCHEMA_SPEC_H_

@@ -1,0 +1,41 @@
+#include "table/table.h"
+
+namespace dq {
+
+namespace {
+
+Status CheckRow(const Schema& schema, const Row& row) {
+  if (row.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema.num_attributes()));
+  }
+  for (size_t a = 0; a < row.size(); ++a) {
+    if (!schema.attribute(a).InDomain(row[a])) {
+      return Status::OutOfRange("cell for attribute '" +
+                                schema.attribute(a).name +
+                                "' outside domain: " + row[a].ToDebugString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Table::AppendRow(Row row) {
+  DQ_RETURN_NOT_OK(CheckRow(schema_, row));
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::Validate() const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    Status s = CheckRow(schema_, rows_[i]);
+    if (!s.ok()) {
+      return Status(s.code(), "row " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dq

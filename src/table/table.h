@@ -1,0 +1,60 @@
+// Table: row-major in-memory relation over a Schema.
+
+#ifndef DQ_TABLE_TABLE_H_
+#define DQ_TABLE_TABLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace dq {
+
+using Row = std::vector<Value>;
+
+/// \brief In-memory relation: a Schema plus rows of Values.
+///
+/// Rows are validated against the schema on AppendRow; cells are null or
+/// in-domain by construction.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// \brief Appends a row after checking arity and per-cell domains.
+  Status AppendRow(Row row);
+
+  /// \brief Appends without validation; for internal producers that
+  /// guarantee in-domain values (generator hot path).
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  const Row& row(size_t i) const { return rows_.at(i); }
+  Row& mutable_row(size_t i) { return rows_.at(i); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  const Value& cell(size_t row, size_t attr) const { return rows_.at(row).at(attr); }
+  void SetCell(size_t row, size_t attr, const Value& v) {
+    rows_.at(row).at(attr) = v;
+  }
+
+  void RemoveRow(size_t i) { rows_.erase(rows_.begin() + static_cast<long>(i)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// \brief Validates every cell against the schema (used by tests and after
+  /// deserialization).
+  Status Validate() const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_TABLE_H_

@@ -1,0 +1,60 @@
+#include "table/value.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+#include "table/date.h"
+
+namespace dq {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNominal:
+      return "nominal";
+    case DataType::kNumeric:
+      return "numeric";
+    case DataType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+bool Value::StrictEquals(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kNominal:
+    case Kind::kDate:
+      return cat_ == other.cat_;
+    case Kind::kNumeric:
+      return num_ == other.num_;
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  assert(!is_null() && !other.is_null());
+  assert(!is_nominal() && !other.is_nominal());
+  double a = OrderedValue();
+  double b = other.OrderedValue();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+std::string Value::ToDebugString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kNominal:
+      return "#" + std::to_string(cat_);
+    case Kind::kNumeric:
+      return FormatDouble(num_);
+    case Kind::kDate:
+      return FormatDate(cat_);
+  }
+  return "?";
+}
+
+}  // namespace dq

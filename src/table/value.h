@@ -1,0 +1,101 @@
+// Value: the tagged scalar cell type of the relational substrate.
+//
+// A Value is null, a nominal category code, a numeric double, or a date
+// (days since 1970-01-01). Nominal codes are indices into the owning
+// attribute's category list (see schema.h); a Value alone does not know its
+// category spelling.
+
+#ifndef DQ_TABLE_VALUE_H_
+#define DQ_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dq {
+
+/// \brief Logical attribute type (sec. 3.2: QUIS attributes are nominal,
+/// numerical or of date type).
+enum class DataType : uint8_t { kNominal = 0, kNumeric = 1, kDate = 2 };
+
+const char* DataTypeToString(DataType t);
+
+/// \brief True for types with a meaningful total order (< / > comparisons).
+inline bool IsOrdered(DataType t) {
+  return t == DataType::kNumeric || t == DataType::kDate;
+}
+
+/// \brief One table cell.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kNominal = 1, kNumeric = 2, kDate = 3 };
+
+  Value() : kind_(Kind::kNull), num_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Nominal(int32_t code) {
+    Value v;
+    v.kind_ = Kind::kNominal;
+    v.cat_ = code;
+    return v;
+  }
+  static Value Numeric(double x) {
+    Value v;
+    v.kind_ = Kind::kNumeric;
+    v.num_ = x;
+    return v;
+  }
+  static Value Date(int32_t days) {
+    Value v;
+    v.kind_ = Kind::kDate;
+    v.cat_ = days;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_nominal() const { return kind_ == Kind::kNominal; }
+  bool is_numeric() const { return kind_ == Kind::kNumeric; }
+  bool is_date() const { return kind_ == Kind::kDate; }
+
+  /// \brief Nominal category code; only valid when is_nominal().
+  int32_t nominal_code() const { return cat_; }
+  /// \brief Numeric payload; only valid when is_numeric().
+  double numeric() const { return num_; }
+  /// \brief Day count; only valid when is_date().
+  int32_t date_days() const { return cat_; }
+
+  /// \brief Ordered axis for numeric and date values (dates compare as day
+  /// counts). Only valid for numeric/date kinds.
+  double OrderedValue() const {
+    return kind_ == Kind::kNumeric ? num_ : static_cast<double>(cat_);
+  }
+
+  /// \brief SQL-style equality: null never equals anything (not even null).
+  bool EqualsSql(const Value& other) const {
+    if (is_null() || other.is_null()) return false;
+    return StrictEquals(other);
+  }
+
+  /// \brief Exact equality including the null/null case; used by tests,
+  /// logs and containers, not by TDG semantics.
+  bool StrictEquals(const Value& other) const;
+
+  /// \brief Three-way order over non-null values of the same ordered kind.
+  /// Returns <0, 0, >0. Must not be called with nulls or nominal values.
+  int Compare(const Value& other) const;
+
+  /// \brief Debug rendering without schema context ("#3" for nominal codes).
+  std::string ToDebugString() const;
+
+ private:
+  Kind kind_;
+  union {
+    int32_t cat_;  // nominal code or date days
+    double num_;
+  };
+};
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_VALUE_H_

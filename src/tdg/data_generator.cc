@@ -1,0 +1,144 @@
+#include "tdg/data_generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dq {
+
+DataGenerator::DataGenerator(const Schema* schema,
+                             std::vector<DistributionSpec> univariate,
+                             const BayesianNetwork* bayes_net,
+                             std::vector<Rule> rules)
+    : schema_(schema),
+      univariate_(std::move(univariate)),
+      bayes_net_(bayes_net),
+      rules_(std::move(rules)),
+      sat_(schema) {
+  consequent_dnfs_.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    auto dnf = ToDnf(rule.consequent);
+    consequent_dnfs_.push_back(dnf.ok() ? *dnf
+                                        : std::vector<std::vector<Atom>>{});
+  }
+}
+
+Status DataGenerator::Validate() const {
+  if (univariate_.size() != schema_->num_attributes()) {
+    return Status::InvalidArgument(
+        "need one DistributionSpec per attribute: got " +
+        std::to_string(univariate_.size()) + " for " +
+        std::to_string(schema_->num_attributes()) + " attributes");
+  }
+  for (size_t i = 0; i < univariate_.size(); ++i) {
+    DQ_RETURN_NOT_OK(
+        ValidateDistribution(univariate_[i], schema_->attribute(i)));
+  }
+  if (bayes_net_ != nullptr) {
+    DQ_RETURN_NOT_OK(bayes_net_->Validate());
+  }
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    DQ_RETURN_NOT_OK(ValidateFormula(rules_[r].premise, *schema_));
+    DQ_RETURN_NOT_OK(ValidateFormula(rules_[r].consequent, *schema_));
+    if (consequent_dnfs_[r].empty()) {
+      return Status::InvalidArgument("rule " + std::to_string(r) +
+                                     " has an empty/unexpandable consequent");
+    }
+    bool any_sat = false;
+    for (const auto& disjunct : consequent_dnfs_[r]) {
+      if (sat_.ConjunctionSatisfiable(disjunct)) {
+        any_sat = true;
+        break;
+      }
+    }
+    if (!any_sat) {
+      return Status::Unsatisfiable("consequent of rule " + std::to_string(r) +
+                                   " is unsatisfiable");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> DataGenerator::SampleInitial(Rng* rng) const {
+  Row row(schema_->num_attributes());
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    if (bayes_net_ != nullptr && bayes_net_->Covers(static_cast<int>(a))) {
+      continue;  // filled below by the network
+    }
+    row[a] = SampleValue(univariate_[a], schema_->attribute(a), rng);
+  }
+  if (bayes_net_ != nullptr) {
+    DQ_RETURN_NOT_OK(bayes_net_->SampleInto(&row, rng));
+  }
+  return row;
+}
+
+Result<size_t> DataGenerator::RepairRecord(Row* row, int max_passes,
+                                           Rng* rng) const {
+  size_t repairs = 0;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool violated_any = false;
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      if (!rules_[r].Violates(*row)) continue;
+      violated_any = true;
+      // Make the consequent true: try DNF disjuncts in random order and
+      // keep the first solvable one (SolveConjunction prefers current
+      // values, so the adjustment is minimal).
+      std::vector<size_t> order(consequent_dnfs_[r].size());
+      std::iota(order.begin(), order.end(), 0);
+      rng->Shuffle(&order);
+      bool repaired = false;
+      for (size_t d : order) {
+        auto solved = sat_.SolveConjunction(consequent_dnfs_[r][d], *row, rng);
+        if (solved.ok()) {
+          *row = std::move(*solved);
+          ++repairs;
+          repaired = true;
+          break;
+        }
+      }
+      if (!repaired) {
+        return Status::Exhausted("cannot repair violated rule " +
+                                 std::to_string(r));
+      }
+    }
+    if (!violated_any) return repairs;
+  }
+  // Converged only if the last sweep found no violations; check once more.
+  for (const Rule& rule : rules_) {
+    if (rule.Violates(*row)) {
+      return Status::Exhausted("repair did not converge");
+    }
+  }
+  return repairs;
+}
+
+Result<GeneratedData> DataGenerator::Generate(const DataGenConfig& config) {
+  DQ_RETURN_NOT_OK(Validate());
+  GeneratedData out;
+  out.table = Table(*schema_);
+  out.table.Reserve(config.num_records);
+  Rng rng(config.seed);
+
+  for (size_t i = 0; i < config.num_records; ++i) {
+    Row accepted;
+    bool resolved = false;
+    for (int attempt = 0; attempt < config.max_record_attempts; ++attempt) {
+      DQ_ASSIGN_OR_RETURN(Row row, SampleInitial(&rng));
+      auto repairs = RepairRecord(&row, config.max_repair_passes, &rng);
+      if (repairs.ok()) {
+        out.repair_count += *repairs;
+        accepted = std::move(row);
+        resolved = true;
+        break;
+      }
+      if (attempt == config.max_record_attempts - 1) {
+        accepted = std::move(row);  // keep the last attempt, flagged below
+      }
+    }
+    if (!resolved) ++out.unresolved_records;
+    out.table.AppendRowUnchecked(std::move(accepted));
+  }
+  return out;
+}
+
+}  // namespace dq

@@ -1,0 +1,176 @@
+#include "tdg/rule_generator.h"
+
+#include <algorithm>
+
+namespace dq {
+
+RuleGenerator::RuleGenerator(const Schema* schema, RuleGenConfig config)
+    : schema_(schema),
+      config_(config),
+      checker_(schema),
+      rng_(config.seed) {}
+
+Value RuleGenerator::RandomConstant(const AttributeDef& attr) {
+  switch (attr.type) {
+    case DataType::kNominal:
+      return Value::Nominal(static_cast<int32_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(attr.categories.size()) - 1)));
+    case DataType::kNumeric:
+      return Value::Numeric(rng_.UniformReal(attr.numeric_min, attr.numeric_max));
+    case DataType::kDate:
+      return Value::Date(
+          static_cast<int32_t>(rng_.UniformInt(attr.date_min, attr.date_max)));
+  }
+  return Value::Null();
+}
+
+Atom RuleGenerator::RandomAtom(const std::vector<int>& candidate_attrs) {
+  const int attr = candidate_attrs[static_cast<size_t>(rng_.UniformInt(
+      0, static_cast<int64_t>(candidate_attrs.size()) - 1))];
+  const AttributeDef& def = schema_->attribute(static_cast<size_t>(attr));
+
+  if (rng_.Bernoulli(config_.null_test_prob)) {
+    return Atom::Prop(attr, rng_.Bernoulli(0.5) ? AtomOp::kIsNull
+                                                : AtomOp::kIsNotNull);
+  }
+
+  // Relational atom when a compatible partner exists among the candidates.
+  if (rng_.Bernoulli(config_.relational_atom_prob)) {
+    std::vector<int> partners;
+    for (int other : candidate_attrs) {
+      if (other == attr) continue;
+      const AttributeDef& odef = schema_->attribute(static_cast<size_t>(other));
+      if (odef.type != def.type) continue;
+      if (def.type == DataType::kNominal && odef.categories != def.categories) {
+        continue;
+      }
+      partners.push_back(other);
+    }
+    if (!partners.empty()) {
+      const int partner = partners[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(partners.size()) - 1))];
+      AtomOp op;
+      if (rng_.Bernoulli(config_.neq_prob)) {
+        op = AtomOp::kNeq;
+      } else if (IsOrdered(def.type) && rng_.Bernoulli(config_.ordered_cmp_prob)) {
+        op = rng_.Bernoulli(0.5) ? AtomOp::kLt : AtomOp::kGt;
+      } else {
+        op = AtomOp::kEq;
+      }
+      return Atom::Rel(attr, op, partner);
+    }
+  }
+
+  // Propositional comparison against a random in-domain constant.
+  AtomOp op;
+  if (rng_.Bernoulli(config_.neq_prob)) {
+    op = AtomOp::kNeq;
+  } else if (IsOrdered(def.type) && rng_.Bernoulli(config_.ordered_cmp_prob)) {
+    op = rng_.Bernoulli(0.5) ? AtomOp::kLt : AtomOp::kGt;
+  } else {
+    op = AtomOp::kEq;
+  }
+  return Atom::Prop(attr, op, RandomConstant(def));
+}
+
+Formula RuleGenerator::RandomFormula(int max_atoms, int depth,
+                                     const std::vector<int>& candidate_attrs) {
+  const int atoms =
+      static_cast<int>(rng_.UniformInt(1, std::max(1, max_atoms)));
+  if (atoms == 1 || depth <= 1) {
+    return Formula::MakeAtom(RandomAtom(candidate_attrs));
+  }
+  const bool disjunction = rng_.Bernoulli(config_.disjunction_prob);
+  // Split the atom budget over 2..atoms children.
+  const int num_children =
+      static_cast<int>(rng_.UniformInt(2, std::max(2, atoms)));
+  std::vector<Formula> children;
+  int remaining = atoms;
+  for (int c = 0; c < num_children; ++c) {
+    const int share = std::max(1, remaining / (num_children - c));
+    children.push_back(RandomFormula(share, depth - 1, candidate_attrs));
+    remaining -= share;
+  }
+  return disjunction ? Formula::Or(std::move(children))
+                     : Formula::And(std::move(children));
+}
+
+double RuleGenerator::EstimateSelectivity(const Formula& f) {
+  if (selectivity_sample_.empty()) {
+    const int n = std::max(config_.selectivity_samples, 1);
+    selectivity_sample_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Row row(schema_->num_attributes());
+      for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+        if (rng_.Bernoulli(0.02)) continue;  // sparse nulls
+        row[a] = RandomConstant(schema_->attribute(a));
+      }
+      selectivity_sample_.push_back(std::move(row));
+    }
+  }
+  size_t hits = 0;
+  for (const Row& row : selectivity_sample_) {
+    if (f.Evaluate(row)) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(selectivity_sample_.size());
+}
+
+Result<Rule> RuleGenerator::GenerateRule(const std::vector<Rule>& existing) {
+  std::vector<int> all_attrs;
+  for (size_t i = 0; i < schema_->num_attributes(); ++i) {
+    all_attrs.push_back(static_cast<int>(i));
+  }
+  if (all_attrs.size() < 2) {
+    return Status::FailedPrecondition(
+        "rule generation needs at least two attributes");
+  }
+
+  for (int attempt = 0; attempt < config_.max_attempts_per_rule; ++attempt) {
+    Rule rule;
+    rule.premise =
+        RandomFormula(config_.max_premise_atoms, config_.max_depth, all_attrs);
+
+    const double selectivity = EstimateSelectivity(rule.premise);
+    if (selectivity < config_.min_premise_selectivity ||
+        selectivity > config_.max_premise_selectivity) {
+      continue;
+    }
+
+    std::vector<int> consequent_attrs = all_attrs;
+    if (!config_.allow_shared_attributes) {
+      std::vector<int> premise_attrs = rule.premise.Attributes();
+      consequent_attrs.clear();
+      for (int a : all_attrs) {
+        if (std::find(premise_attrs.begin(), premise_attrs.end(), a) ==
+            premise_attrs.end()) {
+          consequent_attrs.push_back(a);
+        }
+      }
+      if (consequent_attrs.empty()) continue;
+    }
+    rule.consequent = RandomFormula(config_.max_consequent_atoms,
+                                    config_.max_depth, consequent_attrs);
+
+    auto natural = checker_.IsNaturalRule(rule);
+    if (!natural.ok() || !*natural) continue;
+    auto addable = checker_.CanAdd(existing, rule);
+    if (!addable.ok() || !*addable) continue;
+    return rule;
+  }
+  return Status::Exhausted("rule attempt budget exhausted after " +
+                           std::to_string(config_.max_attempts_per_rule) +
+                           " tries");
+}
+
+Result<std::vector<Rule>> RuleGenerator::Generate() {
+  std::vector<Rule> rules;
+  rules.reserve(static_cast<size_t>(config_.num_rules));
+  for (int i = 0; i < config_.num_rules; ++i) {
+    DQ_ASSIGN_OR_RETURN(Rule rule, GenerateRule(rules));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace dq

@@ -1,0 +1,104 @@
+// Random generation of natural TDG-rule sets (sec. 4.1.1-4.1.2).
+//
+// "After defining a schema for the target relation with domain ranges for
+// each attribute, the test data generator creates instances of rule
+// patterns randomly according to some user-defined parameters." Candidate
+// rules are drawn from parameterizable shape distributions and filtered
+// through the naturalness conditions (Definitions 4-6) so that the number
+// of generated rules reflects the structural strength of the data.
+
+#ifndef DQ_TDG_RULE_GENERATOR_H_
+#define DQ_TDG_RULE_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "logic/natural.h"
+
+namespace dq {
+
+/// \brief Shape parameters governing rule complexity ("the rule generation
+/// process can be further parameterized to govern the complexity of a rule,
+/// e.g. nesting depth or number of atomic subformulae").
+struct RuleGenConfig {
+  int num_rules = 100;
+
+  /// Maximum atomic subformulae per premise / consequent.
+  int max_premise_atoms = 3;
+  int max_consequent_atoms = 1;
+
+  /// Maximum nesting depth of compound formulae (1 = single atom or one
+  /// flat conjunction/disjunction level above atoms counts as 2).
+  int max_depth = 2;
+
+  /// Probability that a compound node is a disjunction (else conjunction).
+  double disjunction_prob = 0.15;
+
+  /// Probability that an atom is relational (A op B) when a compatible
+  /// partner attribute exists.
+  double relational_atom_prob = 0.10;
+
+  /// Probability of isnull / isnotnull atoms.
+  double null_test_prob = 0.05;
+
+  /// Probability of `!=` for a comparison atom (else `=`, `<`, `>`).
+  double neq_prob = 0.10;
+
+  /// For ordered attributes: probability that a comparison uses < or >
+  /// rather than =.
+  double ordered_cmp_prob = 0.60;
+
+  /// When true, the consequent may mention premise attributes (the natural
+  /// conditions still exclude tautologies/contradictions). When false
+  /// (default), consequent attributes are disjoint from premise attributes,
+  /// matching the dependency shape of the QUIS domain rules.
+  bool allow_shared_attributes = false;
+
+  /// Premise selectivity window, estimated by Monte Carlo over uniform
+  /// in-domain rows. Premises that are almost always true would force their
+  /// consequent attribute to a near-constant (a degenerate marginal no
+  /// human rule set exhibits); premises that are almost never true make
+  /// the rule invisible in the generated data. Candidates outside
+  /// [min, max] are rejected.
+  double min_premise_selectivity = 0.01;
+  double max_premise_selectivity = 0.05;
+  int selectivity_samples = 400;
+
+  /// Rejection-sampling budget per accepted rule.
+  int max_attempts_per_rule = 400;
+
+  uint64_t seed = 42;
+};
+
+/// \brief Draws natural rule sets over a schema.
+class RuleGenerator {
+ public:
+  RuleGenerator(const Schema* schema, RuleGenConfig config);
+
+  /// \brief Generates a natural rule set of config.num_rules rules.
+  /// Fails with Exhausted if the attempt budget runs out (e.g. tiny
+  /// domains cannot host many mutually natural rules).
+  Result<std::vector<Rule>> Generate();
+
+  /// \brief Generates one natural rule compatible with `existing`.
+  Result<Rule> GenerateRule(const std::vector<Rule>& existing);
+
+ private:
+  Formula RandomFormula(int max_atoms, int depth,
+                        const std::vector<int>& candidate_attrs);
+  Atom RandomAtom(const std::vector<int>& candidate_attrs);
+  Value RandomConstant(const AttributeDef& attr);
+  /// Fraction of the (lazily built) uniform row sample satisfying `f`.
+  double EstimateSelectivity(const Formula& f);
+
+  const Schema* schema_;
+  RuleGenConfig config_;
+  NaturalnessChecker checker_;
+  Rng rng_;
+  std::vector<Row> selectivity_sample_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_TDG_RULE_GENERATOR_H_

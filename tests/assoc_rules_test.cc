@@ -1,0 +1,181 @@
+// Tests for the association-rule baseline (Hipp et al.; sec. 5.2 / sec. 7).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mining/assoc_rules.h"
+
+namespace dq {
+namespace {
+
+Schema AssocSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("A", {"a0", "a1", "a2"}).ok());
+  EXPECT_TRUE(s.AddNominal("B", {"b0", "b1", "b2"}).ok());
+  EXPECT_TRUE(s.AddNominal("C", {"c0", "c1"}).ok());
+  EXPECT_TRUE(s.AddNumeric("N", 0.0, 10.0).ok());
+  return s;
+}
+
+/// B mirrors A deterministically; C and N random.
+Table AssocTable(size_t rows, uint64_t seed) {
+  Schema s = AssocSchema();
+  Table t(s);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    const int32_t a = static_cast<int32_t>(rng.UniformInt(0, 2));
+    Row row(4);
+    row[0] = Value::Nominal(a);
+    row[1] = Value::Nominal(a);
+    row[2] = Value::Nominal(static_cast<int32_t>(rng.UniformInt(0, 1)));
+    row[3] = Value::Numeric(rng.UniformReal(0, 10));
+    t.AppendRowUnchecked(std::move(row));
+  }
+  return t;
+}
+
+TEST(AssocMinerTest, FindsTheDeterministicDependency) {
+  Table t = AssocTable(900, 71);
+  AssocMinerConfig cfg;
+  cfg.min_support = 50;
+  cfg.min_confidence = 0.95;
+  AssociationRuleAuditor auditor(cfg);
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  ASSERT_GT(auditor.num_rules(), 0u);
+  // Among the mined rules there must be A=a0 -> B=b0 with confidence 1.
+  bool found = false;
+  for (const AssociationRule& rule : auditor.rules()) {
+    if (rule.premise.size() == 1 && rule.premise[0].first == 0 &&
+        rule.premise[0].second == 0 && rule.consequent_attr == 1 &&
+        rule.consequent_code == 0) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_GE(rule.support, 200.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AssocMinerTest, RespectsSupportAndConfidenceThresholds) {
+  Table t = AssocTable(900, 72);
+  AssocMinerConfig cfg;
+  cfg.min_support = 100;
+  cfg.min_confidence = 0.9;
+  AssociationRuleAuditor auditor(cfg);
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  for (const AssociationRule& rule : auditor.rules()) {
+    EXPECT_GE(rule.support, 100.0);
+    EXPECT_GE(rule.confidence, 0.9);
+    EXPECT_LE(rule.premise.size(), 2u);
+  }
+}
+
+TEST(AssocMinerTest, IgnoresNumericAttributes) {
+  // "association rules cannot directly model dependencies between numerical
+  // attributes" — the miner never references attribute N.
+  Table t = AssocTable(600, 73);
+  AssociationRuleAuditor auditor;
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  for (const AssociationRule& rule : auditor.rules()) {
+    EXPECT_NE(rule.consequent_attr, 3);
+    for (const auto& [attr, code] : rule.premise) {
+      EXPECT_NE(attr, 3);
+    }
+  }
+}
+
+TEST(AssocMinerTest, RejectsBadConfig) {
+  Table t = AssocTable(100, 74);
+  AssocMinerConfig bad_support;
+  bad_support.min_support = 0.0;
+  EXPECT_FALSE(AssociationRuleAuditor(bad_support).Mine(t).ok());
+  AssocMinerConfig bad_conf;
+  bad_conf.min_confidence = 1.5;
+  EXPECT_FALSE(AssociationRuleAuditor(bad_conf).Mine(t).ok());
+}
+
+TEST(AssocScoreTest, ViolationDetected) {
+  Table t = AssocTable(900, 75);
+  AssociationRuleAuditor auditor;
+  ASSERT_TRUE(auditor.Mine(t).ok());
+
+  Row bad(4);
+  bad[0] = Value::Nominal(0);
+  bad[1] = Value::Nominal(2);  // contradicts A=a0 -> B=b0
+  bad[2] = Value::Nominal(0);
+  bad[3] = Value::Numeric(5.0);
+  EXPECT_GT(auditor.Score(bad, ScoreCombination::kMax), 0.9);
+
+  Row good = bad;
+  good[1] = Value::Nominal(0);
+  EXPECT_DOUBLE_EQ(auditor.Score(good, ScoreCombination::kMax), 0.0);
+}
+
+TEST(AssocScoreTest, NullsAreNotViolations) {
+  Table t = AssocTable(900, 76);
+  AssociationRuleAuditor auditor;
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  Row row(4);
+  row[0] = Value::Nominal(0);
+  row[1] = Value::Null();
+  EXPECT_DOUBLE_EQ(auditor.Score(row, ScoreCombination::kMax), 0.0);
+}
+
+TEST(AssocScoreTest, SumDominatesMax) {
+  // Property: for every record, the (clamped) sum score >= the max score.
+  Table t = AssocTable(600, 77);
+  AssociationRuleAuditor auditor;
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  Rng rng(78);
+  for (int i = 0; i < 200; ++i) {
+    Row row(4);
+    row[0] = Value::Nominal(static_cast<int32_t>(rng.UniformInt(0, 2)));
+    row[1] = Value::Nominal(static_cast<int32_t>(rng.UniformInt(0, 2)));
+    row[2] = Value::Nominal(static_cast<int32_t>(rng.UniformInt(0, 1)));
+    row[3] = Value::Numeric(rng.UniformReal(0, 10));
+    EXPECT_GE(auditor.Score(row, ScoreCombination::kSum) + 1e-12,
+              auditor.Score(row, ScoreCombination::kMax));
+  }
+}
+
+TEST(AssocScoreTest, ScoreTableFlagsAboveThreshold) {
+  Table t = AssocTable(500, 79);
+  // Corrupt two records.
+  t.SetCell(0, 1, Value::Nominal((t.cell(0, 0).nominal_code() + 1) % 3));
+  t.SetCell(1, 1, Value::Nominal((t.cell(1, 0).nominal_code() + 1) % 3));
+  AssociationRuleAuditor auditor;
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  std::vector<bool> flagged;
+  auto scores =
+      auditor.ScoreTable(t, ScoreCombination::kMax, 0.9, &flagged);
+  ASSERT_EQ(scores.size(), t.num_rows());
+  EXPECT_TRUE(flagged[0]);
+  EXPECT_TRUE(flagged[1]);
+  size_t total = 0;
+  for (bool b : flagged) total += b ? 1 : 0;
+  EXPECT_LE(total, 4u);
+}
+
+TEST(AssocMinerTest, MaxRulesCapApplied) {
+  Table t = AssocTable(900, 80);
+  AssocMinerConfig cfg;
+  cfg.min_support = 5;
+  cfg.min_confidence = 0.05;
+  cfg.max_rules = 10;
+  AssociationRuleAuditor auditor(cfg);
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  EXPECT_LE(auditor.num_rules(), 10u);
+}
+
+TEST(AssocMinerTest, RuleToStringReadable) {
+  Table t = AssocTable(900, 81);
+  AssociationRuleAuditor auditor;
+  ASSERT_TRUE(auditor.Mine(t).ok());
+  ASSERT_GT(auditor.num_rules(), 0u);
+  const std::string text = auditor.rules()[0].ToString(t.schema());
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("confidence"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dq

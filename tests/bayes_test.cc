@@ -1,0 +1,193 @@
+// Unit tests for src/bayes: network construction, validation, ancestral
+// sampling.
+
+#include <gtest/gtest.h>
+
+#include "bayes/bayes_net.h"
+#include "table/date.h"
+
+namespace dq {
+namespace {
+
+Schema NetSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("A", {"a0", "a1"}).ok());
+  EXPECT_TRUE(s.AddNominal("B", {"b0", "b1", "b2"}).ok());
+  EXPECT_TRUE(s.AddNumeric("X", 0.0, 10.0).ok());
+  EXPECT_TRUE(s.AddNominal("C", {"c0", "c1"}).ok());
+  return s;
+}
+
+TEST(BayesNetTest, ParentsMustPreExist) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  EXPECT_FALSE(net.AddNode(1, {0}).ok());  // parent 0 not added yet
+  ASSERT_TRUE(net.AddNode(0).ok());
+  EXPECT_TRUE(net.AddNode(1, {0}).ok());
+}
+
+TEST(BayesNetTest, RejectsSelfParentAndDuplicates) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  EXPECT_FALSE(net.AddNode(1, {1}).ok());
+  EXPECT_EQ(net.AddNode(0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(BayesNetTest, RejectsNonNominalParent) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(2).ok());  // numeric node is fine
+  EXPECT_FALSE(net.AddNode(0, {2}).ok());  // numeric parent is not
+}
+
+TEST(BayesNetTest, CptArityValidation) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  ASSERT_TRUE(net.AddNode(1, {0}).ok());
+  EXPECT_EQ(*net.NumParentConfigs(1), 2u);
+  // Wrong number of rows.
+  EXPECT_FALSE(net.SetNominalCpt(1, {{1, 1, 1}}).ok());
+  // Wrong row arity.
+  EXPECT_FALSE(net.SetNominalCpt(1, {{1, 1}, {1, 1}}).ok());
+  // Negative / all-zero weights.
+  EXPECT_FALSE(net.SetNominalCpt(1, {{1, -1, 1}, {1, 1, 1}}).ok());
+  EXPECT_FALSE(net.SetNominalCpt(1, {{0, 0, 0}, {1, 1, 1}}).ok());
+  EXPECT_TRUE(net.SetNominalCpt(1, {{1, 1, 1}, {5, 1, 1}}).ok());
+}
+
+TEST(BayesNetTest, ValidateRequiresDistributions) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  EXPECT_FALSE(net.Validate().ok());
+  ASSERT_TRUE(net.SetNominalCpt(0, {{1, 1}}).ok());
+  EXPECT_TRUE(net.Validate().ok());
+}
+
+TEST(BayesNetTest, NominalCptOnNumericNodeRejected) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(2).ok());
+  EXPECT_FALSE(net.SetNominalCpt(2, {{1, 1}}).ok());
+  EXPECT_TRUE(net.SetConditionalSpecs(2, {DistributionSpec::Uniform()}).ok());
+}
+
+TEST(BayesNetTest, ConditionalSpecsOnNominalNodeRejected) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  EXPECT_FALSE(net.SetConditionalSpecs(0, {DistributionSpec::Uniform()}).ok());
+}
+
+TEST(BayesNetTest, SamplingFollowsCpt) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  ASSERT_TRUE(net.AddNode(1, {0}).ok());
+  // A is a0 80% of the time; B is deterministic given A.
+  ASSERT_TRUE(net.SetNominalCpt(0, {{8, 2}}).ok());
+  ASSERT_TRUE(net.SetNominalCpt(1, {{1, 0, 0}, {0, 0, 1}}).ok());
+
+  Rng rng(42);
+  int a0 = 0, consistent = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    Row row(s.num_attributes());
+    ASSERT_TRUE(net.SampleInto(&row, &rng).ok());
+    ASSERT_TRUE(row[0].is_nominal());
+    ASSERT_TRUE(row[1].is_nominal());
+    if (row[0].nominal_code() == 0) {
+      ++a0;
+      if (row[1].nominal_code() == 0) ++consistent;
+    } else if (row[1].nominal_code() == 2) {
+      ++consistent;
+    }
+  }
+  EXPECT_NEAR(a0 / static_cast<double>(n), 0.8, 0.03);
+  EXPECT_EQ(consistent, n);  // B deterministic given A
+}
+
+TEST(BayesNetTest, ConditionalNumericChild) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  ASSERT_TRUE(net.AddNode(2, {0}).ok());
+  ASSERT_TRUE(net.SetNominalCpt(0, {{1, 1}}).ok());
+  // X near 2 when A=a0, near 8 when A=a1.
+  ASSERT_TRUE(net.SetConditionalSpecs(
+                     2, {DistributionSpec::Normal(0.2, 0.02),
+                         DistributionSpec::Normal(0.8, 0.02)})
+                  .ok());
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    Row row(s.num_attributes());
+    ASSERT_TRUE(net.SampleInto(&row, &rng).ok());
+    const double x = row[2].numeric();
+    if (row[0].nominal_code() == 0) {
+      EXPECT_NEAR(x, 2.0, 1.5);
+    } else {
+      EXPECT_NEAR(x, 8.0, 1.5);
+    }
+  }
+}
+
+TEST(BayesNetTest, NullProbProducesNulls) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  ASSERT_TRUE(net.SetNominalCpt(0, {{1, 1}}).ok());
+  ASSERT_TRUE(net.SetNullProb(0, 0.5).ok());
+  EXPECT_FALSE(net.SetNullProb(0, 1.5).ok());
+  Rng rng(3);
+  int nulls = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Row row(s.num_attributes());
+    ASSERT_TRUE(net.SampleInto(&row, &rng).ok());
+    if (row[0].is_null()) ++nulls;
+  }
+  EXPECT_NEAR(nulls / 2000.0, 0.5, 0.05);
+}
+
+TEST(BayesNetTest, NullParentFallsBackToUniform) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(0).ok());
+  ASSERT_TRUE(net.AddNode(1, {0}).ok());
+  ASSERT_TRUE(net.SetNominalCpt(0, {{1, 1}}).ok());
+  ASSERT_TRUE(net.SetNominalCpt(1, {{1, 0, 0}, {0, 0, 1}}).ok());
+  ASSERT_TRUE(net.SetNullProb(0, 1.0).ok());  // parent always null
+  Rng rng(5);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    Row row(s.num_attributes());
+    ASSERT_TRUE(net.SampleInto(&row, &rng).ok());
+    EXPECT_TRUE(row[0].is_null());
+    ++counts[static_cast<size_t>(row[1].nominal_code())];
+  }
+  // Uniform fallback: the middle category (impossible under the CPT)
+  // must appear.
+  EXPECT_GT(counts[1], 500);
+}
+
+TEST(BayesNetTest, CoveredAttributesAndSampleArity) {
+  Schema s = NetSchema();
+  BayesianNetwork net(&s);
+  ASSERT_TRUE(net.AddNode(3).ok());
+  ASSERT_TRUE(net.SetNominalCpt(3, {{1, 3}}).ok());
+  EXPECT_TRUE(net.Covers(3));
+  EXPECT_FALSE(net.Covers(0));
+  EXPECT_EQ(net.covered_attributes(), std::vector<int>{3});
+
+  Rng rng(1);
+  Row wrong_arity(2);
+  EXPECT_FALSE(net.SampleInto(&wrong_arity, &rng).ok());
+  Row row(s.num_attributes());
+  ASSERT_TRUE(net.SampleInto(&row, &rng).ok());
+  EXPECT_TRUE(row[0].is_null());  // untouched
+  EXPECT_FALSE(row[3].is_null());
+}
+
+}  // namespace
+}  // namespace dq

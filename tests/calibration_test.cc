@@ -1,0 +1,105 @@
+// Tests for the calibration loop (fig. 1 iterative adjustment).
+
+#include <gtest/gtest.h>
+
+#include "eval/calibration.h"
+
+namespace dq {
+namespace {
+
+CalibrationConfig SmallConfig() {
+  CalibrationConfig config;
+  config.environment.num_records = 1200;
+  config.environment.num_rules = 20;
+  config.environment.seed = 3;
+  config.seeds = 1;
+  return config;
+}
+
+std::vector<CalibrationCandidate> TwoCandidates() {
+  std::vector<CalibrationCandidate> grid;
+  CalibrationCandidate a;
+  a.label = "c4.5 strict";
+  a.config.min_error_confidence = 0.9;
+  grid.push_back(a);
+  CalibrationCandidate b;
+  b.label = "c4.5 lax";
+  b.config.min_error_confidence = 0.5;
+  grid.push_back(b);
+  return grid;
+}
+
+TEST(CalibrationTest, RanksAllCandidates) {
+  auto results = Calibrate(SmallConfig(), TwoCandidates());
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 2u);
+  // Ranked descending by score.
+  EXPECT_GE((*results)[0].score, (*results)[1].score);
+  for (const CalibrationResult& r : *results) {
+    EXPECT_GE(r.sensitivity, 0.0);
+    EXPECT_LE(r.sensitivity, 1.0);
+    EXPECT_GE(r.specificity, 0.0);
+    EXPECT_LE(r.specificity, 1.0);
+  }
+}
+
+TEST(CalibrationTest, ScreeningGoalEnforcesSpecificityFloor) {
+  CalibrationConfig config = SmallConfig();
+  config.goal = AuditGoal::kScreening;
+  config.min_specificity = 1.01;  // impossible floor
+  auto results = Calibrate(config, TwoCandidates());
+  ASSERT_TRUE(results.ok());
+  for (const CalibrationResult& r : *results) {
+    EXPECT_DOUBLE_EQ(r.score, 0.0);
+  }
+}
+
+TEST(CalibrationTest, FilteringGoalScoresSpecificity) {
+  CalibrationConfig config = SmallConfig();
+  config.goal = AuditGoal::kFiltering;
+  config.min_sensitivity = 0.0;
+  auto results = Calibrate(config, TwoCandidates());
+  ASSERT_TRUE(results.ok());
+  for (const CalibrationResult& r : *results) {
+    EXPECT_DOUBLE_EQ(r.score, r.specificity);
+  }
+}
+
+TEST(CalibrationTest, BalancedGoalUsesYoudenJ) {
+  CalibrationConfig config = SmallConfig();
+  config.goal = AuditGoal::kBalanced;
+  auto results = Calibrate(config, TwoCandidates());
+  ASSERT_TRUE(results.ok());
+  for (const CalibrationResult& r : *results) {
+    EXPECT_NEAR(r.score,
+                std::max(0.0, r.sensitivity + r.specificity - 1.0), 1e-12);
+  }
+}
+
+TEST(CalibrationTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(Calibrate(SmallConfig(), {}).ok());
+  CalibrationConfig config = SmallConfig();
+  config.seeds = 0;
+  EXPECT_FALSE(Calibrate(config, TwoCandidates()).ok());
+}
+
+TEST(CalibrationTest, DefaultGridIsWellFormed) {
+  auto grid = DefaultCandidateGrid();
+  EXPECT_GE(grid.size(), 9u);
+  for (const CalibrationCandidate& c : grid) {
+    EXPECT_FALSE(c.label.empty());
+    EXPECT_GT(c.config.min_error_confidence, 0.0);
+  }
+}
+
+TEST(CalibrationTest, RenderedTableListsEveryCandidate) {
+  auto results = Calibrate(SmallConfig(), TwoCandidates());
+  ASSERT_TRUE(results.ok());
+  const std::string table = RenderCalibration(*results);
+  EXPECT_NE(table.find("c4.5 strict"), std::string::npos);
+  EXPECT_NE(table.find("c4.5 lax"), std::string::npos);
+  EXPECT_NE(table.find("sensitivity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dq

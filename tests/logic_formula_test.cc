@@ -1,0 +1,379 @@
+// Unit tests for TDG-formulae: evaluation semantics (Definition 1-3),
+// TDG-negation (Table 1) and DNF transformation. The negation and DNF
+// properties are checked against random rows, which pins the tricky null
+// semantics down behaviourally.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "logic/formula.h"
+#include "stats/distribution.h"
+
+namespace dq {
+namespace {
+
+Schema LogicSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("A", {"x", "y", "z"}).ok());
+  EXPECT_TRUE(s.AddNominal("B", {"x", "y", "z"}).ok());
+  EXPECT_TRUE(s.AddNumeric("N", 0.0, 10.0).ok());
+  EXPECT_TRUE(s.AddNumeric("M", 0.0, 10.0).ok());
+  EXPECT_TRUE(s.AddDate("D", 0, 100).ok());
+  return s;
+}
+
+Row MakeRow(Value a, Value b, Value n, Value m, Value d) {
+  return {a, b, n, m, d};
+}
+
+// --- Atom evaluation with null semantics -------------------------------------
+
+TEST(AtomTest, PropositionalEquality) {
+  Atom eq = Atom::Prop(0, AtomOp::kEq, Value::Nominal(1));
+  EXPECT_TRUE(eq.Evaluate(MakeRow(Value::Nominal(1), {}, {}, {}, {})));
+  EXPECT_FALSE(eq.Evaluate(MakeRow(Value::Nominal(2), {}, {}, {}, {})));
+  // Null never satisfies a comparison.
+  EXPECT_FALSE(eq.Evaluate(MakeRow(Value::Null(), {}, {}, {}, {})));
+}
+
+TEST(AtomTest, PropositionalInequalityFalseOnNull) {
+  Atom neq = Atom::Prop(0, AtomOp::kNeq, Value::Nominal(1));
+  EXPECT_TRUE(neq.Evaluate(MakeRow(Value::Nominal(0), {}, {}, {}, {})));
+  EXPECT_FALSE(neq.Evaluate(MakeRow(Value::Nominal(1), {}, {}, {}, {})));
+  EXPECT_FALSE(neq.Evaluate(MakeRow(Value::Null(), {}, {}, {}, {})));
+}
+
+TEST(AtomTest, NumericComparisons) {
+  Atom lt = Atom::Prop(2, AtomOp::kLt, Value::Numeric(5.0));
+  Atom gt = Atom::Prop(2, AtomOp::kGt, Value::Numeric(5.0));
+  Row low = MakeRow({}, {}, Value::Numeric(3.0), {}, {});
+  Row exact = MakeRow({}, {}, Value::Numeric(5.0), {}, {});
+  Row high = MakeRow({}, {}, Value::Numeric(8.0), {}, {});
+  EXPECT_TRUE(lt.Evaluate(low));
+  EXPECT_FALSE(lt.Evaluate(exact));
+  EXPECT_FALSE(lt.Evaluate(high));
+  EXPECT_FALSE(gt.Evaluate(low));
+  EXPECT_FALSE(gt.Evaluate(exact));
+  EXPECT_TRUE(gt.Evaluate(high));
+}
+
+TEST(AtomTest, NullTests) {
+  Atom isnull = Atom::Prop(0, AtomOp::kIsNull);
+  Atom notnull = Atom::Prop(0, AtomOp::kIsNotNull);
+  Row with_null = MakeRow(Value::Null(), {}, {}, {}, {});
+  Row with_value = MakeRow(Value::Nominal(0), {}, {}, {}, {});
+  EXPECT_TRUE(isnull.Evaluate(with_null));
+  EXPECT_FALSE(isnull.Evaluate(with_value));
+  EXPECT_FALSE(notnull.Evaluate(with_null));
+  EXPECT_TRUE(notnull.Evaluate(with_value));
+}
+
+TEST(AtomTest, RelationalAtoms) {
+  Atom eq = Atom::Rel(0, AtomOp::kEq, 1);
+  Atom lt = Atom::Rel(2, AtomOp::kLt, 3);
+  Row same = MakeRow(Value::Nominal(1), Value::Nominal(1), Value::Numeric(1),
+                     Value::Numeric(2), {});
+  Row diff = MakeRow(Value::Nominal(1), Value::Nominal(2), Value::Numeric(3),
+                     Value::Numeric(2), {});
+  EXPECT_TRUE(eq.Evaluate(same));
+  EXPECT_FALSE(eq.Evaluate(diff));
+  EXPECT_TRUE(lt.Evaluate(same));
+  EXPECT_FALSE(lt.Evaluate(diff));
+  // Null on either side falsifies.
+  Row null_rhs = MakeRow(Value::Nominal(1), Value::Null(), Value::Numeric(1),
+                         Value::Null(), {});
+  EXPECT_FALSE(eq.Evaluate(null_rhs));
+  EXPECT_FALSE(lt.Evaluate(null_rhs));
+}
+
+TEST(AtomTest, AttributesListsBothSides) {
+  EXPECT_EQ(Atom::Prop(3, AtomOp::kEq, Value::Numeric(1)).Attributes(),
+            (std::vector<int>{3}));
+  EXPECT_EQ(Atom::Rel(0, AtomOp::kNeq, 1).Attributes(),
+            (std::vector<int>{0, 1}));
+}
+
+// --- Atom validation ----------------------------------------------------------
+
+TEST(AtomValidationTest, AcceptsWellFormed) {
+  Schema s = LogicSchema();
+  EXPECT_TRUE(ValidateAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(2)), s).ok());
+  EXPECT_TRUE(ValidateAtom(Atom::Prop(2, AtomOp::kLt, Value::Numeric(5)), s).ok());
+  EXPECT_TRUE(ValidateAtom(Atom::Rel(2, AtomOp::kGt, 3), s).ok());
+  EXPECT_TRUE(ValidateAtom(Atom::Rel(0, AtomOp::kEq, 1), s).ok());
+  EXPECT_TRUE(ValidateAtom(Atom::Prop(4, AtomOp::kIsNull), s).ok());
+}
+
+TEST(AtomValidationTest, RejectsMalformed) {
+  Schema s = LogicSchema();
+  // Ordered comparison on nominal attribute.
+  EXPECT_FALSE(ValidateAtom(Atom::Prop(0, AtomOp::kLt, Value::Nominal(1)), s).ok());
+  // Constant outside domain.
+  EXPECT_FALSE(
+      ValidateAtom(Atom::Prop(2, AtomOp::kEq, Value::Numeric(11.0)), s).ok());
+  // Null constant.
+  EXPECT_FALSE(ValidateAtom(Atom::Prop(0, AtomOp::kEq, Value::Null()), s).ok());
+  // Mixed-type relational atom.
+  EXPECT_FALSE(ValidateAtom(Atom::Rel(0, AtomOp::kEq, 2), s).ok());
+  // Self-comparison.
+  EXPECT_FALSE(ValidateAtom(Atom::Rel(2, AtomOp::kLt, 2), s).ok());
+  // Out of range indices.
+  EXPECT_FALSE(ValidateAtom(Atom::Prop(9, AtomOp::kIsNull), s).ok());
+  Atom rel = Atom::Rel(0, AtomOp::kEq, 9);
+  EXPECT_FALSE(ValidateAtom(rel, s).ok());
+}
+
+TEST(AtomValidationTest, NominalRelationalNeedsSameCategories) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("A", {"x", "y"}).ok());
+  ASSERT_TRUE(s.AddNominal("B", {"x", "y"}).ok());
+  ASSERT_TRUE(s.AddNominal("C", {"p", "q"}).ok());
+  EXPECT_TRUE(ValidateAtom(Atom::Rel(0, AtomOp::kEq, 1), s).ok());
+  EXPECT_FALSE(ValidateAtom(Atom::Rel(0, AtomOp::kEq, 2), s).ok());
+}
+
+// --- Compound formulae ----------------------------------------------------------
+
+TEST(FormulaTest, AndOrEvaluation) {
+  Formula f = Formula::And(
+      {Formula::MakeAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(0))),
+       Formula::Or(
+           {Formula::MakeAtom(Atom::Prop(2, AtomOp::kLt, Value::Numeric(2))),
+            Formula::MakeAtom(Atom::Prop(2, AtomOp::kGt, Value::Numeric(8)))})});
+  EXPECT_TRUE(f.Evaluate(MakeRow(Value::Nominal(0), {}, Value::Numeric(1), {}, {})));
+  EXPECT_TRUE(f.Evaluate(MakeRow(Value::Nominal(0), {}, Value::Numeric(9), {}, {})));
+  EXPECT_FALSE(f.Evaluate(MakeRow(Value::Nominal(0), {}, Value::Numeric(5), {}, {})));
+  EXPECT_FALSE(f.Evaluate(MakeRow(Value::Nominal(1), {}, Value::Numeric(1), {}, {})));
+}
+
+TEST(FormulaTest, SingleChildCollapses) {
+  Formula atom = Formula::MakeAtom(Atom::Prop(0, AtomOp::kIsNull));
+  Formula collapsed = Formula::And({atom});
+  EXPECT_TRUE(collapsed.is_atom());
+}
+
+TEST(FormulaTest, CountAtomsAndDepth) {
+  Formula a = Formula::MakeAtom(Atom::Prop(0, AtomOp::kIsNull));
+  EXPECT_EQ(a.CountAtoms(), 1u);
+  EXPECT_EQ(a.Depth(), 1u);
+  Formula f = Formula::And({a, Formula::Or({a, a})});
+  EXPECT_EQ(f.CountAtoms(), 3u);
+  EXPECT_EQ(f.Depth(), 3u);
+}
+
+TEST(FormulaTest, AttributesDeduplicated) {
+  Formula f = Formula::And(
+      {Formula::MakeAtom(Atom::Rel(0, AtomOp::kEq, 1)),
+       Formula::MakeAtom(Atom::Prop(1, AtomOp::kIsNotNull)),
+       Formula::MakeAtom(Atom::Prop(4, AtomOp::kIsNull))});
+  EXPECT_EQ(f.Attributes(), (std::vector<int>{0, 1, 4}));
+}
+
+TEST(FormulaTest, ToStringReadable) {
+  Schema s = LogicSchema();
+  Formula f = Formula::And(
+      {Formula::MakeAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(1))),
+       Formula::MakeAtom(Atom::Rel(2, AtomOp::kLt, 3))});
+  EXPECT_EQ(f.ToString(s), "(A = y AND N < M)");
+}
+
+TEST(FormulaTest, RuleViolation) {
+  // A = x -> B = y.
+  Rule rule;
+  rule.premise = Formula::MakeAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(0)));
+  rule.consequent =
+      Formula::MakeAtom(Atom::Prop(1, AtomOp::kEq, Value::Nominal(1)));
+  EXPECT_FALSE(rule.Violates(
+      MakeRow(Value::Nominal(0), Value::Nominal(1), {}, {}, {})));
+  EXPECT_TRUE(rule.Violates(
+      MakeRow(Value::Nominal(0), Value::Nominal(0), {}, {}, {})));
+  // Premise false => not violated.
+  EXPECT_FALSE(rule.Violates(
+      MakeRow(Value::Nominal(2), Value::Nominal(0), {}, {}, {})));
+  EXPECT_FALSE(rule.Violates(MakeRow(Value::Null(), Value::Nominal(0), {}, {}, {})));
+}
+
+TEST(FormulaTest, AsConjunctionFlattens) {
+  Formula a = Formula::MakeAtom(Atom::Prop(0, AtomOp::kIsNull));
+  Formula f = Formula::And({a, Formula::And({a, a})});
+  auto atoms = f.AsConjunction();
+  ASSERT_TRUE(atoms.ok());
+  EXPECT_EQ(atoms->size(), 3u);
+  Formula with_or = Formula::And({a, Formula::Or({a, a})});
+  EXPECT_FALSE(with_or.AsConjunction().ok());
+}
+
+TEST(FormulaValidationTest, EmptyCompoundRejected) {
+  Schema s = LogicSchema();
+  EXPECT_FALSE(ValidateFormula(Formula::Or({}), s).ok());
+}
+
+// --- Negation and DNF: behavioural property checks -----------------------------
+
+/// Draws a random row over LogicSchema with ~20% nulls per cell.
+Row RandomRow(const Schema& s, Rng* rng) {
+  Row row(s.num_attributes());
+  for (size_t a = 0; a < s.num_attributes(); ++a) {
+    if (rng->Bernoulli(0.2)) continue;  // leave null
+    row[a] = SampleValue(DistributionSpec::Uniform(), s.attribute(a), rng);
+  }
+  return row;
+}
+
+/// Builds a random TDG-formula over LogicSchema.
+Formula RandomFormula(const Schema& s, Rng* rng, int depth) {
+  if (depth <= 1 || rng->Bernoulli(0.4)) {
+    // Random atom.
+    const int choice = static_cast<int>(rng->UniformInt(0, 6));
+    switch (choice) {
+      case 0:
+        return Formula::MakeAtom(Atom::Prop(
+            0, AtomOp::kEq, Value::Nominal(static_cast<int32_t>(rng->UniformInt(0, 2)))));
+      case 1:
+        return Formula::MakeAtom(Atom::Prop(
+            1, AtomOp::kNeq, Value::Nominal(static_cast<int32_t>(rng->UniformInt(0, 2)))));
+      case 2:
+        return Formula::MakeAtom(
+            Atom::Prop(2, AtomOp::kLt, Value::Numeric(rng->UniformReal(0, 10))));
+      case 3:
+        return Formula::MakeAtom(
+            Atom::Prop(3, AtomOp::kGt, Value::Numeric(rng->UniformReal(0, 10))));
+      case 4:
+        return Formula::MakeAtom(Atom::Prop(
+            static_cast<int>(rng->UniformInt(0, 4)), AtomOp::kIsNull));
+      case 5:
+        return Formula::MakeAtom(Atom::Rel(0, AtomOp::kEq, 1));
+      default:
+        return Formula::MakeAtom(Atom::Rel(2, AtomOp::kLt, 3));
+    }
+  }
+  const int n = static_cast<int>(rng->UniformInt(2, 3));
+  std::vector<Formula> children;
+  for (int i = 0; i < n; ++i) {
+    children.push_back(RandomFormula(s, rng, depth - 1));
+  }
+  return rng->Bernoulli(0.5) ? Formula::And(std::move(children))
+                             : Formula::Or(std::move(children));
+}
+
+TEST(NegationTest, TableOneCases) {
+  Schema s = LogicSchema();
+  Rng rng(77);
+  // For each atom shape, Negate must complement on random rows.
+  std::vector<Atom> atoms = {
+      Atom::Prop(0, AtomOp::kEq, Value::Nominal(1)),
+      Atom::Prop(0, AtomOp::kNeq, Value::Nominal(1)),
+      Atom::Prop(2, AtomOp::kLt, Value::Numeric(5)),
+      Atom::Prop(2, AtomOp::kGt, Value::Numeric(5)),
+      Atom::Prop(0, AtomOp::kIsNull),
+      Atom::Prop(0, AtomOp::kIsNotNull),
+      Atom::Rel(0, AtomOp::kEq, 1),
+      Atom::Rel(0, AtomOp::kNeq, 1),
+      Atom::Rel(2, AtomOp::kLt, 3),
+      Atom::Rel(2, AtomOp::kGt, 3),
+  };
+  for (const Atom& atom : atoms) {
+    Formula f = Formula::MakeAtom(atom);
+    Formula neg = Negate(f);
+    for (int i = 0; i < 300; ++i) {
+      Row row = RandomRow(s, &rng);
+      EXPECT_NE(f.Evaluate(row), neg.Evaluate(row))
+          << atom.ToString(s) << " on row " << i;
+    }
+  }
+}
+
+TEST(NegationTest, RandomFormulaProperty) {
+  // Property: for random compound formulae, Negate(f) is the exact
+  // complement of f on random rows (de Morgan over TDG semantics).
+  Schema s = LogicSchema();
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    Formula f = RandomFormula(s, &rng, 3);
+    Formula neg = Negate(f);
+    for (int i = 0; i < 50; ++i) {
+      Row row = RandomRow(s, &rng);
+      ASSERT_NE(f.Evaluate(row), neg.Evaluate(row)) << f.ToString(s);
+    }
+  }
+}
+
+TEST(NegationTest, DoubleNegationPreservesSemantics) {
+  Schema s = LogicSchema();
+  Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    Formula f = RandomFormula(s, &rng, 3);
+    Formula nn = Negate(Negate(f));
+    for (int i = 0; i < 50; ++i) {
+      Row row = RandomRow(s, &rng);
+      ASSERT_EQ(f.Evaluate(row), nn.Evaluate(row)) << f.ToString(s);
+    }
+  }
+}
+
+TEST(DnfTest, PreservesSemantics) {
+  // Property: the disjunction of DNF conjunctions evaluates exactly as the
+  // original formula.
+  Schema s = LogicSchema();
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    Formula f = RandomFormula(s, &rng, 3);
+    auto dnf = ToDnf(f);
+    ASSERT_TRUE(dnf.ok());
+    for (int i = 0; i < 40; ++i) {
+      Row row = RandomRow(s, &rng);
+      bool dnf_value = false;
+      for (const auto& conj : *dnf) {
+        bool all = true;
+        for (const Atom& atom : conj) {
+          if (!atom.Evaluate(row)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          dnf_value = true;
+          break;
+        }
+      }
+      ASSERT_EQ(f.Evaluate(row), dnf_value) << f.ToString(s);
+    }
+  }
+}
+
+TEST(DnfTest, AtomIsItsOwnDnf) {
+  Formula f = Formula::MakeAtom(Atom::Prop(0, AtomOp::kIsNull));
+  auto dnf = ToDnf(f);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].size(), 1u);
+}
+
+TEST(DnfTest, CrossProductSize) {
+  // (a OR b) AND (c OR d) -> 4 disjuncts of 2 atoms.
+  Formula a = Formula::MakeAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(0)));
+  Formula b = Formula::MakeAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(1)));
+  Formula c = Formula::MakeAtom(Atom::Prop(1, AtomOp::kEq, Value::Nominal(0)));
+  Formula d = Formula::MakeAtom(Atom::Prop(1, AtomOp::kEq, Value::Nominal(1)));
+  Formula f = Formula::And({Formula::Or({a, b}), Formula::Or({c, d})});
+  auto dnf = ToDnf(f);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 4u);
+  for (const auto& conj : *dnf) EXPECT_EQ(conj.size(), 2u);
+}
+
+TEST(DnfTest, ExpansionLimitEnforced) {
+  // 2^13 disjuncts exceeds a limit of 4096.
+  std::vector<Formula> conjuncts;
+  for (int i = 0; i < 13; ++i) {
+    Formula a = Formula::MakeAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(0)));
+    Formula b = Formula::MakeAtom(Atom::Prop(1, AtomOp::kEq, Value::Nominal(1)));
+    conjuncts.push_back(Formula::Or({a, b}));
+  }
+  auto dnf = ToDnf(Formula::And(std::move(conjuncts)), 4096);
+  EXPECT_FALSE(dnf.ok());
+  EXPECT_TRUE(dnf.status().IsExhausted());
+}
+
+}  // namespace
+}  // namespace dq

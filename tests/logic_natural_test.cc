@@ -1,0 +1,188 @@
+// Tests for natural TDG-formulae, rules and rule sets (Definitions 4-6),
+// including every example the paper gives in sec. 4.1.2.
+
+#include <gtest/gtest.h>
+
+#include "logic/natural.h"
+
+namespace dq {
+namespace {
+
+Schema NaturalSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("A", {"Val1", "Val2", "Val3"}).ok());
+  EXPECT_TRUE(s.AddNominal("B", {"Val1", "Val2", "Val3"}).ok());
+  EXPECT_TRUE(s.AddNominal("C", {"Val1", "Val2", "Val3"}).ok());
+  EXPECT_TRUE(s.AddNumeric("N", 0.0, 10.0).ok());
+  return s;
+}
+
+Formula AEq(int32_t v) {
+  return Formula::MakeAtom(Atom::Prop(0, AtomOp::kEq, Value::Nominal(v)));
+}
+Formula ANeq(int32_t v) {
+  return Formula::MakeAtom(Atom::Prop(0, AtomOp::kNeq, Value::Nominal(v)));
+}
+Formula BEq(int32_t v) {
+  return Formula::MakeAtom(Atom::Prop(1, AtomOp::kEq, Value::Nominal(v)));
+}
+Formula CEq(int32_t v) {
+  return Formula::MakeAtom(Atom::Prop(2, AtomOp::kEq, Value::Nominal(v)));
+}
+
+// --- Definition 4: natural formulae -------------------------------------------
+
+TEST(NaturalFormulaTest, SatisfiableAtomIsNatural) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  EXPECT_TRUE(*checker.IsNaturalFormula(AEq(0)));
+}
+
+TEST(NaturalFormulaTest, UnsatisfiableAtomIsNotNatural) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  // N > 10 cannot hold inside the domain [0, 10].
+  Formula f = Formula::MakeAtom(Atom::Prop(3, AtomOp::kGt, Value::Numeric(10.0)));
+  EXPECT_FALSE(*checker.IsNaturalFormula(f));
+}
+
+TEST(NaturalFormulaTest, ContradictoryConjunctionNotNatural) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  // A = Val1 AND A = Val2 is unsatisfiable.
+  EXPECT_FALSE(*checker.IsNaturalFormula(Formula::And({AEq(0), AEq(1)})));
+}
+
+TEST(NaturalFormulaTest, RedundantConjunctNotNatural) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  // A = Val1 AND A != Val2: the second conjunct is implied by the first.
+  EXPECT_FALSE(*checker.IsNaturalFormula(Formula::And({AEq(0), ANeq(1)})));
+  // Independent conjuncts over different attributes are fine.
+  EXPECT_TRUE(*checker.IsNaturalFormula(Formula::And({AEq(0), BEq(1)})));
+}
+
+TEST(NaturalFormulaTest, RedundantDisjunctNotNatural) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  // A = Val1 OR A != Val2: the first disjunct is implied by the second.
+  EXPECT_FALSE(*checker.IsNaturalFormula(Formula::Or({AEq(0), ANeq(1)})));
+  EXPECT_TRUE(*checker.IsNaturalFormula(Formula::Or({AEq(0), AEq(1)})));
+}
+
+TEST(NaturalFormulaTest, NestedNaturalness) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  // (A=Val1 AND A=Val2) OR B=Val1: inner conjunction is not natural.
+  Formula f = Formula::Or({Formula::And({AEq(0), AEq(1)}), BEq(0)});
+  EXPECT_FALSE(*checker.IsNaturalFormula(f));
+}
+
+// --- Definition 5: natural rules ------------------------------------------------
+
+TEST(NaturalRuleTest, PaperContradictoryRule) {
+  // "A = Val1 -> A = Val2": premise and consequent jointly unsatisfiable.
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule r{AEq(0), AEq(1)};
+  EXPECT_FALSE(*checker.IsNaturalRule(r));
+}
+
+TEST(NaturalRuleTest, PaperUnsatisfiablePremise) {
+  // "A = Val1 AND A = Val2 -> B = Val1".
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule r{Formula::And({AEq(0), AEq(1)}), BEq(0)};
+  EXPECT_FALSE(*checker.IsNaturalRule(r));
+}
+
+TEST(NaturalRuleTest, PaperTautologicalRule) {
+  // "A = Val1 -> A != Val2".
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule r{AEq(0), ANeq(1)};
+  EXPECT_FALSE(*checker.IsNaturalRule(r));
+}
+
+TEST(NaturalRuleTest, OrdinaryDependencyIsNatural) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule r{AEq(0), BEq(1)};
+  EXPECT_TRUE(*checker.IsNaturalRule(r));
+}
+
+TEST(NaturalRuleTest, CompoundNaturalRule) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule r{Formula::And({AEq(0), BEq(1)}), CEq(2)};
+  EXPECT_TRUE(*checker.IsNaturalRule(r));
+}
+
+// --- Definition 6: natural rule sets ---------------------------------------------
+
+TEST(NaturalRuleSetTest, PaperMutuallyContradictoryRules) {
+  // A = Val1 -> B = Val1 and A = Val1 -> B = Val2 contradict each other.
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule r1{AEq(0), BEq(0)};
+  Rule r2{AEq(0), BEq(1)};
+  EXPECT_TRUE(*checker.IsNaturalRule(r1));
+  EXPECT_TRUE(*checker.IsNaturalRule(r2));
+  EXPECT_FALSE(*checker.PairCompatible(r1, r2));
+  EXPECT_FALSE(*checker.CanAdd({r1}, r2));
+}
+
+TEST(NaturalRuleSetTest, PaperRedundantRulePair) {
+  // A = Val1 AND B = Val2 -> C = Val1 is redundant given
+  // A = Val1 -> C = Val1.
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule specific{Formula::And({AEq(0), BEq(1)}), CEq(0)};
+  Rule general{AEq(0), CEq(0)};
+  EXPECT_FALSE(*checker.PairCompatible(specific, general));
+  EXPECT_FALSE(*checker.IsNaturalRuleSet({specific, general}));
+}
+
+TEST(NaturalRuleSetTest, IndependentRulesCompatible) {
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule r1{AEq(0), BEq(0)};
+  Rule r2{AEq(1), BEq(1)};
+  Rule r3{CEq(0), BEq(2)};
+  EXPECT_TRUE(*checker.PairCompatible(r1, r2));
+  EXPECT_TRUE(*checker.IsNaturalRuleSet({r1, r2, r3}));
+}
+
+TEST(NaturalRuleSetTest, RefinementWithNewInformationAllowed) {
+  // A=Val1 -> B=Val1 plus A=Val1 AND C=Val1 -> B=Val1 AND ... the second
+  // adds no information w.r.t. B; but a second rule constraining a NEW
+  // attribute is fine.
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule general{AEq(0), BEq(0)};
+  Rule refine_same{Formula::And({AEq(0), CEq(0)}), BEq(0)};
+  EXPECT_FALSE(*checker.PairCompatible(general, refine_same));
+  Rule refine_new{Formula::And({AEq(0), BEq(0)}), CEq(1)};
+  EXPECT_TRUE(*checker.PairCompatible(general, refine_new));
+}
+
+TEST(NaturalRuleSetTest, CompatibleConsequentsOnOverlap) {
+  // Stronger premise, consequent consistent with (not implied by) the
+  // weaker rule's consequent: allowed.
+  Schema s = NaturalSchema();
+  NaturalnessChecker checker(&s);
+  Rule weak{AEq(0),
+            Formula::Or({BEq(0), BEq(1)})};
+  Rule strong{Formula::And({AEq(0), CEq(0)}), BEq(0)};
+  // strong's premise implies weak's premise; consequents jointly
+  // satisfiable and strong's premise + weak's consequent does not imply
+  // strong's consequent -> compatible... but note PairCompatible also
+  // checks the reverse direction (weak => strong premise does not hold).
+  EXPECT_TRUE(*checker.PairCompatible(weak, strong));
+  // Whereas if the stronger consequent contradicts the weaker one:
+  Rule strong_bad{Formula::And({AEq(0), CEq(0)}), BEq(2)};
+  EXPECT_FALSE(*checker.PairCompatible(weak, strong_bad));
+}
+
+}  // namespace
+}  // namespace dq

@@ -1,0 +1,248 @@
+// Tests for the controlled data corruption components (sec. 4.2).
+
+#include <gtest/gtest.h>
+
+#include "pollution/pipeline.h"
+#include "stats/distribution.h"
+#include "table/date.h"
+
+namespace dq {
+namespace {
+
+Schema PollutionSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("A", {"a0", "a1", "a2"}).ok());
+  EXPECT_TRUE(s.AddNominal("B", {"b0", "b1", "b2"}).ok());
+  EXPECT_TRUE(s.AddNumeric("N", 0.0, 100.0).ok());
+  EXPECT_TRUE(s.AddNumeric("M", 0.0, 100.0).ok());
+  return s;
+}
+
+Table MakeCleanTable(size_t rows) {
+  Schema s = PollutionSchema();
+  Table t(s);
+  Rng rng(99);
+  for (size_t r = 0; r < rows; ++r) {
+    Row row(4);
+    row[0] = Value::Nominal(static_cast<int32_t>(rng.UniformInt(0, 2)));
+    row[1] = Value::Nominal(static_cast<int32_t>(rng.UniformInt(0, 2)));
+    row[2] = Value::Numeric(rng.UniformReal(0, 100));
+    row[3] = Value::Numeric(rng.UniformReal(0, 100));
+    t.AppendRowUnchecked(std::move(row));
+  }
+  return t;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].StrictEquals(b[i])) return false;
+  }
+  return true;
+}
+
+TEST(PolluterConfigTest, ValidationCatchesBadParameters) {
+  Schema s = PollutionSchema();
+  PolluterConfig wrong = PolluterConfig::WrongValue(1.5);
+  EXPECT_FALSE(ValidatePolluter(wrong, s).ok());
+  PolluterConfig lim = PolluterConfig::Limiter(0.1, 0.9, 0.1);  // lo > hi
+  EXPECT_FALSE(ValidatePolluter(lim, s).ok());
+  PolluterConfig lim_on_nominal = PolluterConfig::Limiter(0.1);
+  lim_on_nominal.target_attrs = {0};
+  EXPECT_FALSE(ValidatePolluter(lim_on_nominal, s).ok());
+  PolluterConfig dup = PolluterConfig::Duplicator(0.1, 2.0);
+  EXPECT_FALSE(ValidatePolluter(dup, s).ok());
+  PolluterConfig out_of_range = PolluterConfig::NullValue(0.1);
+  out_of_range.target_attrs = {9};
+  EXPECT_FALSE(ValidatePolluter(out_of_range, s).ok());
+  EXPECT_TRUE(ValidatePolluter(PolluterConfig::WrongValue(0.1), s).ok());
+}
+
+TEST(PolluterConfigTest, ApplicableAttributesFiltersByType) {
+  Schema s = PollutionSchema();
+  PolluterConfig lim = PolluterConfig::Limiter(0.1);
+  EXPECT_EQ(ApplicableAttributes(lim, s), (std::vector<int>{2, 3}));
+  PolluterConfig wrong = PolluterConfig::WrongValue(0.1);
+  EXPECT_EQ(ApplicableAttributes(wrong, s).size(), 4u);
+  PolluterConfig dup = PolluterConfig::Duplicator(0.1);
+  EXPECT_TRUE(ApplicableAttributes(dup, s).empty());
+}
+
+TEST(PollutionPipelineTest, ZeroProbabilityChangesNothing) {
+  Table clean = MakeCleanTable(200);
+  PollutionPipeline pipeline({PolluterConfig::WrongValue(0.0)}, 1);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dirty.num_rows(), clean.num_rows());
+  EXPECT_EQ(result->CorruptedCount(), 0u);
+  EXPECT_TRUE(result->log.empty());
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    EXPECT_TRUE(RowsEqual(clean.row(r), result->dirty.row(r)));
+  }
+}
+
+TEST(PollutionPipelineTest, WrongValueChangesFlaggedCells) {
+  Table clean = MakeCleanTable(500);
+  PollutionPipeline pipeline({PolluterConfig::WrongValue(0.3)}, 2);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->CorruptedCount(), 100u);
+  for (const CorruptionEvent& ev : result->log) {
+    EXPECT_EQ(ev.kind, PolluterKind::kWrongValue);
+    EXPECT_FALSE(ev.new_value.StrictEquals(ev.old_value));
+    // The dirty table actually carries the new value.
+    EXPECT_TRUE(result->dirty.cell(ev.dirty_row, static_cast<size_t>(ev.attr))
+                    .StrictEquals(ev.new_value));
+    EXPECT_TRUE(result->is_corrupted[ev.dirty_row]);
+  }
+}
+
+TEST(PollutionPipelineTest, GroundTruthMatchesCellDiff) {
+  // Property: is_corrupted[r] exactly when the dirty row differs from its
+  // clean origin (no duplicator involved here).
+  Table clean = MakeCleanTable(400);
+  PollutionPipeline pipeline(
+      {PolluterConfig::WrongValue(0.1), PolluterConfig::NullValue(0.1),
+       PolluterConfig::Limiter(0.1, 0.2, 0.8), PolluterConfig::Switcher(0.1)},
+      3);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  for (size_t r = 0; r < result->dirty.num_rows(); ++r) {
+    const bool differs =
+        !RowsEqual(clean.row(result->origin[r]), result->dirty.row(r));
+    EXPECT_EQ(result->is_corrupted[r], differs) << "row " << r;
+  }
+}
+
+TEST(PollutionPipelineTest, NullValuePolluter) {
+  Table clean = MakeCleanTable(300);
+  PollutionPipeline pipeline({PolluterConfig::NullValue(0.5)}, 4);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->log.size(), 50u);
+  for (const CorruptionEvent& ev : result->log) {
+    EXPECT_TRUE(ev.new_value.is_null());
+    EXPECT_FALSE(ev.old_value.is_null());
+  }
+}
+
+TEST(PollutionPipelineTest, LimiterCutsIntoBounds) {
+  Table clean = MakeCleanTable(300);
+  PollutionPipeline pipeline({PolluterConfig::Limiter(0.5, 0.25, 0.75)}, 5);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->log.size(), 20u);
+  for (const CorruptionEvent& ev : result->log) {
+    const double x = ev.new_value.numeric();
+    EXPECT_GE(x, 25.0 - 1e-9);
+    EXPECT_LE(x, 75.0 + 1e-9);
+    // Limiter only fires when it actually cuts.
+    const double old = ev.old_value.numeric();
+    EXPECT_TRUE(old < 25.0 || old > 75.0);
+  }
+}
+
+TEST(PollutionPipelineTest, SwitcherSwapsCompatibleAttributes) {
+  Table clean = MakeCleanTable(300);
+  PollutionPipeline pipeline({PolluterConfig::Switcher(0.4)}, 6);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->log.size(), 30u);
+  for (const CorruptionEvent& ev : result->log) {
+    ASSERT_GE(ev.attr2, 0);
+    const Value& now_attr =
+        result->dirty.cell(ev.dirty_row, static_cast<size_t>(ev.attr));
+    const Value& now_partner =
+        result->dirty.cell(ev.dirty_row, static_cast<size_t>(ev.attr2));
+    const Value& was_attr = clean.cell(result->origin[ev.dirty_row],
+                                       static_cast<size_t>(ev.attr));
+    const Value& was_partner = clean.cell(result->origin[ev.dirty_row],
+                                          static_cast<size_t>(ev.attr2));
+    EXPECT_TRUE(now_attr.StrictEquals(was_partner));
+    EXPECT_TRUE(now_partner.StrictEquals(was_attr));
+  }
+  // Switched rows still validate against the schema.
+  EXPECT_TRUE(result->dirty.Validate().ok());
+}
+
+TEST(PollutionPipelineTest, DuplicatorAddsAndRemovesRows) {
+  Table clean = MakeCleanTable(600);
+  PollutionPipeline pipeline({PolluterConfig::Duplicator(0.2, 0.5)}, 7);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->deleted_clean_rows.empty());
+  // Duplicates are marked corrupted and share their origin's cells.
+  size_t duplicates = 0;
+  std::vector<int> seen(clean.num_rows(), 0);
+  for (size_t r = 0; r < result->dirty.num_rows(); ++r) {
+    ++seen[result->origin[r]];
+  }
+  for (size_t r = 0; r < result->dirty.num_rows(); ++r) {
+    if (seen[result->origin[r]] > 1 && result->is_corrupted[r]) {
+      ++duplicates;
+      EXPECT_TRUE(
+          RowsEqual(clean.row(result->origin[r]), result->dirty.row(r)));
+    }
+  }
+  EXPECT_GT(duplicates, 20u);
+  // Deleted rows are gone.
+  for (size_t deleted : result->deleted_clean_rows) {
+    EXPECT_EQ(seen[deleted], 0);
+  }
+}
+
+TEST(PollutionPipelineTest, PollutionFactorScalesVolume) {
+  Table clean = MakeCleanTable(800);
+  auto run = [&](double factor) {
+    PollutionPipeline pipeline({PolluterConfig::WrongValue(0.05)}, 8, factor);
+    auto result = pipeline.Apply(clean);
+    EXPECT_TRUE(result.ok());
+    return result->CorruptedCount();
+  };
+  const size_t at_1 = run(1.0);
+  const size_t at_3 = run(3.0);
+  EXPECT_GT(at_3, at_1 * 2);
+  EXPECT_EQ(run(0.0), 0u);
+}
+
+TEST(PollutionPipelineTest, FactorClampsProbabilityAtOne) {
+  Table clean = MakeCleanTable(100);
+  PollutionPipeline pipeline({PolluterConfig::NullValue(0.5)}, 9, 100.0);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());  // p = 50 clamps to 1.0 rather than failing
+  EXPECT_EQ(result->CorruptedCount(), 100u);
+}
+
+TEST(PollutionPipelineTest, DeterministicForSeed) {
+  Table clean = MakeCleanTable(300);
+  PollutionPipeline p1(DefaultPolluterMix(), 10);
+  PollutionPipeline p2(DefaultPolluterMix(), 10);
+  auto r1 = p1.Apply(clean);
+  auto r2 = p2.Apply(clean);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->dirty.num_rows(), r2->dirty.num_rows());
+  EXPECT_EQ(r1->log.size(), r2->log.size());
+  for (size_t r = 0; r < r1->dirty.num_rows(); ++r) {
+    EXPECT_TRUE(RowsEqual(r1->dirty.row(r), r2->dirty.row(r)));
+  }
+}
+
+TEST(PollutionPipelineTest, DefaultMixValidatesOnBaseSchemas) {
+  Schema s = PollutionSchema();
+  PollutionPipeline pipeline(DefaultPolluterMix(), 11);
+  EXPECT_TRUE(pipeline.Validate(s).ok());
+}
+
+TEST(PollutionPipelineTest, EventToStringMentionsPolluter) {
+  Table clean = MakeCleanTable(200);
+  PollutionPipeline pipeline({PolluterConfig::NullValue(0.5)}, 12);
+  auto result = pipeline.Apply(clean);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->log.empty());
+  const std::string s = result->log[0].ToString(clean.schema());
+  EXPECT_NE(s.find("null-value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dq

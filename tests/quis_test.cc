@@ -1,0 +1,132 @@
+// Tests for the synthetic QUIS engine-composition sample (sec. 6.2
+// surrogate).
+
+#include <gtest/gtest.h>
+
+#include "quis/quis_sample.h"
+
+namespace dq {
+namespace {
+
+QuisConfig SmallConfig() {
+  QuisConfig cfg;
+  cfg.num_records = 20000;  // 1/10 of paper scale for fast tests
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(QuisTest, SchemaHasEightAttributes) {
+  Schema s = MakeQuisSchema();
+  EXPECT_EQ(s.num_attributes(), 8u);  // "It contains 8 attributes"
+  // Mostly nominal, plus displacement and production date.
+  EXPECT_TRUE(s.IndexOf("BRV").ok());
+  EXPECT_TRUE(s.IndexOf("GBM").ok());
+  EXPECT_TRUE(s.IndexOf("KBM").ok());
+  EXPECT_TRUE(s.IndexOf("PROD_DATE").ok());
+  int nominal = 0;
+  for (const AttributeDef& a : s.attributes()) {
+    if (a.type == DataType::kNominal) ++nominal;
+  }
+  EXPECT_EQ(nominal, 6);
+}
+
+TEST(QuisTest, GeneratesRequestedVolume) {
+  auto sample = GenerateQuisSample(SmallConfig());
+  ASSERT_TRUE(sample.ok()) << sample.status();
+  EXPECT_EQ(sample->table.num_rows(), 20000u);
+  EXPECT_TRUE(sample->table.Validate().ok());
+}
+
+TEST(QuisTest, HeadlineRuleHasExactlyOneDeviation) {
+  auto sample = GenerateQuisSample(SmallConfig());
+  ASSERT_TRUE(sample.ok());
+  const Schema& s = sample->table.schema();
+  const int brv = *s.IndexOf("BRV");
+  const int gbm = *s.IndexOf("GBM");
+  const int32_t brv404 = *s.CategoryCode(brv, "404");
+  const int32_t gbm901 = *s.CategoryCode(gbm, "901");
+  const int32_t gbm911 = *s.CategoryCode(gbm, "911");
+
+  size_t count404 = 0, deviations = 0;
+  for (size_t r = 0; r < sample->table.num_rows(); ++r) {
+    if (sample->table.cell(r, static_cast<size_t>(brv)).nominal_code() !=
+        brv404) {
+      continue;
+    }
+    ++count404;
+    const int32_t g =
+        sample->table.cell(r, static_cast<size_t>(gbm)).nominal_code();
+    if (g != gbm901) {
+      ++deviations;
+      EXPECT_EQ(g, gbm911);
+      EXPECT_EQ(r, sample->planted_deviation_row);
+    }
+  }
+  EXPECT_EQ(deviations, 1u);  // "One instance, however, contradicts the rule"
+  EXPECT_EQ(count404, sample->brv404_count);
+  // ~8% of the table at any scale (16118 / 200000 in the paper).
+  EXPECT_NEAR(static_cast<double>(count404) / 20000.0, 0.0806, 0.01);
+}
+
+TEST(QuisTest, SecondRuleSliceHasExpectedPurity) {
+  auto sample = GenerateQuisSample(SmallConfig());
+  ASSERT_TRUE(sample.ok());
+  ASSERT_GT(sample->kbm01_gbm901_count, 0u);
+  const double purity =
+      static_cast<double>(sample->kbm01_gbm901_brv501_count) /
+      static_cast<double>(sample->kbm01_gbm901_count);
+  // ~96% of the KBM=01 AND GBM=901 slice is BRV=501, so a deviating
+  // instance lands near the paper's 92% confidence.
+  EXPECT_GT(purity, 0.9);
+  EXPECT_LT(purity, 0.99);
+  // Slice size ~4.8% of the table (9530 / 200000 in the paper).
+  EXPECT_NEAR(sample->kbm01_gbm901_count / 20000.0, 0.05, 0.015);
+}
+
+TEST(QuisTest, DeterministicForSeed) {
+  auto s1 = GenerateQuisSample(SmallConfig());
+  auto s2 = GenerateQuisSample(SmallConfig());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->brv404_count, s2->brv404_count);
+  EXPECT_EQ(s1->planted_deviation_row, s2->planted_deviation_row);
+  for (size_t r = 0; r < 200; ++r) {
+    for (size_t a = 0; a < 8; ++a) {
+      EXPECT_TRUE(s1->table.cell(r, a).StrictEquals(s2->table.cell(r, a)));
+    }
+  }
+}
+
+TEST(QuisTest, DisplacementTracksEngineModel) {
+  auto sample = GenerateQuisSample(SmallConfig());
+  ASSERT_TRUE(sample.ok());
+  const Schema& s = sample->table.schema();
+  const int gbm = *s.IndexOf("GBM");
+  const int disp = *s.IndexOf("DISPLACEMENT");
+  const int32_t gbm901 = *s.CategoryCode(gbm, "901");
+  size_t in_band = 0, total = 0;
+  for (size_t r = 0; r < sample->table.num_rows(); ++r) {
+    if (sample->table.cell(r, static_cast<size_t>(gbm)).nominal_code() !=
+        gbm901) {
+      continue;
+    }
+    ++total;
+    const double d =
+        sample->table.cell(r, static_cast<size_t>(disp)).numeric();
+    if (d < 8000) ++in_band;  // 901 band centre 4000, sd 1200
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(in_band) / static_cast<double>(total), 0.95);
+}
+
+TEST(QuisTest, RejectsDegenerateConfigs) {
+  QuisConfig tiny;
+  tiny.num_records = 10;
+  EXPECT_FALSE(GenerateQuisSample(tiny).ok());
+  QuisConfig bad_noise;
+  bad_noise.noise_prob = 1.5;
+  EXPECT_FALSE(GenerateQuisSample(bad_noise).ok());
+}
+
+}  // namespace
+}  // namespace dq

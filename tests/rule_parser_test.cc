@@ -1,0 +1,186 @@
+// Tests for the textual TDG-rule parser (expert-written dependencies,
+// sec. 3.2).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logic/rule_parser.h"
+#include "table/date.h"
+
+namespace dq {
+namespace {
+
+Schema ParserSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("BRV", {"401", "404", "501"}).ok());
+  EXPECT_TRUE(s.AddNominal("GBM", {"901", "902", "911"}).ok());
+  EXPECT_TRUE(s.AddNominal("KBM", {"01", "02"}).ok());
+  EXPECT_TRUE(s.AddNumeric("N", 0.0, 100.0).ok());
+  EXPECT_TRUE(s.AddNumeric("M", 0.0, 100.0).ok());
+  EXPECT_TRUE(s.AddDate("D", DaysFromCivil({1990, 1, 1}),
+                        DaysFromCivil({2003, 12, 31}))
+                  .ok());
+  return s;
+}
+
+TEST(RuleParserTest, PaperHeadlineRule) {
+  Schema s = ParserSchema();
+  auto rule = ParseRule(s, "BRV = 404 -> GBM = 901");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->ToString(s), "BRV = 404 -> GBM = 901");
+  Row row(6);
+  row[0] = Value::Nominal(1);  // 404
+  row[1] = Value::Nominal(2);  // 911 -- violates
+  EXPECT_TRUE(rule->Violates(row));
+  row[1] = Value::Nominal(0);  // 901
+  EXPECT_FALSE(rule->Violates(row));
+}
+
+TEST(RuleParserTest, ConjunctivePremise) {
+  Schema s = ParserSchema();
+  auto rule = ParseRule(s, "KBM = 01 AND GBM = 901 -> BRV = 501");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->premise.CountAtoms(), 2u);
+  EXPECT_EQ(rule->premise.kind(), Formula::Kind::kAnd);
+}
+
+TEST(RuleParserTest, PrecedenceAndParentheses) {
+  Schema s = ParserSchema();
+  // AND binds tighter than OR.
+  auto f = ParseFormula(s, "BRV = 401 OR BRV = 404 AND GBM = 901");
+  ASSERT_TRUE(f.ok()) << f.status();
+  ASSERT_EQ(f->kind(), Formula::Kind::kOr);
+  ASSERT_EQ(f->children().size(), 2u);
+  EXPECT_EQ(f->children()[1].kind(), Formula::Kind::kAnd);
+
+  auto g = ParseFormula(s, "(BRV = 401 OR BRV = 404) AND GBM = 901");
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->kind(), Formula::Kind::kAnd);
+  EXPECT_EQ(g->children()[0].kind(), Formula::Kind::kOr);
+}
+
+TEST(RuleParserTest, NumericDateAndNullAtoms) {
+  Schema s = ParserSchema();
+  auto f = ParseFormula(
+      s, "N < 5.5 AND M > 50 AND D > 1999-12-31 AND KBM isnotnull");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->CountAtoms(), 4u);
+  Row row(6);
+  row[3] = Value::Numeric(2.0);
+  row[4] = Value::Numeric(80.0);
+  row[5] = Value::Date(DaysFromCivil({2001, 5, 5}));
+  row[2] = Value::Nominal(0);
+  EXPECT_TRUE(f->Evaluate(row));
+  row[2] = Value::Null();
+  EXPECT_FALSE(f->Evaluate(row));
+}
+
+TEST(RuleParserTest, RelationalAtoms) {
+  Schema s = ParserSchema();
+  auto f = ParseFormula(s, "N < M");
+  ASSERT_TRUE(f.ok()) << f.status();
+  ASSERT_TRUE(f->is_atom());
+  EXPECT_TRUE(f->atom().rhs_is_attr);
+  EXPECT_EQ(f->atom().rhs_attr, 4);
+
+  // Same-category-list nominal equality.
+  auto g = ParseFormula(s, "N != M");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->atom().op, AtomOp::kNeq);
+}
+
+TEST(RuleParserTest, QuotedOperandForcesConstant) {
+  Schema s;
+  // A category spelled like an attribute name.
+  ASSERT_TRUE(s.AddNominal("A", {"B", "x"}).ok());
+  ASSERT_TRUE(s.AddNominal("B", {"B", "x"}).ok());
+  auto relational = ParseFormula(s, "A = B");
+  ASSERT_TRUE(relational.ok());
+  EXPECT_TRUE(relational->atom().rhs_is_attr);
+  auto constant = ParseFormula(s, "A = 'B'");
+  ASSERT_TRUE(constant.ok());
+  EXPECT_FALSE(constant->atom().rhs_is_attr);
+  EXPECT_EQ(constant->atom().rhs_value.nominal_code(), 0);
+}
+
+TEST(RuleParserTest, KeywordsAreCaseInsensitive) {
+  Schema s = ParserSchema();
+  auto f = ParseFormula(s, "BRV = 401 and GBM = 901 or KBM IsNull");
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f->kind(), Formula::Kind::kOr);
+}
+
+TEST(RuleParserTest, ErrorsCarryOffsets) {
+  Schema s = ParserSchema();
+  auto missing_arrow = ParseRule(s, "BRV = 404 GBM = 901");
+  ASSERT_FALSE(missing_arrow.ok());
+  EXPECT_NE(missing_arrow.status().message().find("expected '->'"),
+            std::string::npos);
+
+  auto unknown_attr = ParseFormula(s, "NOPE = 1");
+  ASSERT_FALSE(unknown_attr.ok());
+  EXPECT_NE(unknown_attr.status().message().find("unknown attribute"),
+            std::string::npos);
+
+  auto bad_value = ParseFormula(s, "BRV = 999");
+  ASSERT_FALSE(bad_value.ok());
+
+  auto ordered_on_nominal = ParseFormula(s, "BRV < 404");
+  ASSERT_FALSE(ordered_on_nominal.ok());
+
+  auto unbalanced = ParseFormula(s, "(BRV = 404");
+  ASSERT_FALSE(unbalanced.ok());
+  EXPECT_NE(unbalanced.status().message().find("expected ')'"),
+            std::string::npos);
+
+  auto unterminated = ParseFormula(s, "BRV = '404");
+  ASSERT_FALSE(unterminated.ok());
+
+  auto trailing = ParseFormula(s, "BRV = 404 )");
+  ASSERT_FALSE(trailing.ok());
+}
+
+TEST(RuleParserTest, MixedTypeRelationalRejected) {
+  Schema s = ParserSchema();
+  auto f = ParseFormula(s, "N = BRV");
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(RuleParserTest, RoundTripThroughToString) {
+  // Parsing the printed form of a parsed formula yields the same
+  // evaluation behaviour.
+  Schema s = ParserSchema();
+  const char* inputs[] = {
+      "BRV = 404 -> GBM = 901",
+      "(N < 20 OR N > 80) AND BRV != 401 -> KBM = 02",
+      "D > 2000-01-01 AND KBM isnotnull -> M > 10",
+  };
+  for (const char* input : inputs) {
+    auto rule = ParseRule(s, input);
+    ASSERT_TRUE(rule.ok()) << input << ": " << rule.status();
+    auto reparsed = ParseRule(s, rule->ToString(s));
+    ASSERT_TRUE(reparsed.ok()) << rule->ToString(s);
+    EXPECT_EQ(rule->ToString(s), reparsed->ToString(s));
+  }
+}
+
+TEST(RuleParserTest, RuleFileWithCommentsAndErrors) {
+  Schema s = ParserSchema();
+  std::istringstream good(
+      "# expert dependencies\n"
+      "BRV = 404 -> GBM = 901\n"
+      "\n"
+      "KBM = 01 AND GBM = 901 -> BRV = 501\n");
+  auto rules = ParseRuleFile(s, &good);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_EQ(rules->size(), 2u);
+
+  std::istringstream bad("BRV = 404 -> GBM = 901\nbroken line\n");
+  auto failed = ParseRuleFile(s, &bad);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dq

@@ -1,0 +1,92 @@
+// Tests for the textual schema specification parser used by the dqaudit
+// command-line tool.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "table/date.h"
+#include "table/schema_spec.h"
+
+namespace dq {
+namespace {
+
+TEST(SchemaSpecTest, ParsesAllTypes) {
+  std::istringstream in(
+      "# engine composition\n"
+      "BRV nominal 401,404,501\n"
+      "DISPLACEMENT numeric 2000 16000\n"
+      "\n"
+      "PROD_DATE date 1990-01-01 2003-06-30\n");
+  auto schema = ParseSchemaSpec(&in);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->num_attributes(), 3u);
+  EXPECT_EQ(schema->attribute(0).type, DataType::kNominal);
+  EXPECT_EQ(schema->attribute(0).categories.size(), 3u);
+  EXPECT_EQ(schema->attribute(1).type, DataType::kNumeric);
+  EXPECT_DOUBLE_EQ(schema->attribute(1).numeric_max, 16000.0);
+  EXPECT_EQ(schema->attribute(2).type, DataType::kDate);
+  EXPECT_EQ(schema->attribute(2).date_min, DaysFromCivil({1990, 1, 1}));
+}
+
+TEST(SchemaSpecTest, RejectsMalformedLines) {
+  {
+    std::istringstream in("X unknown 1 2\n");
+    EXPECT_FALSE(ParseSchemaSpec(&in).ok());
+  }
+  {
+    std::istringstream in("X numeric 5\n");  // missing max
+    EXPECT_FALSE(ParseSchemaSpec(&in).ok());
+  }
+  {
+    std::istringstream in("X date 1990-01-01 not-a-date\n");
+    EXPECT_FALSE(ParseSchemaSpec(&in).ok());
+  }
+  {
+    std::istringstream in("X numeric 5 1\n");  // empty range
+    EXPECT_FALSE(ParseSchemaSpec(&in).ok());
+  }
+  {
+    std::istringstream in("X nominal a,a\n");  // duplicate category
+    EXPECT_FALSE(ParseSchemaSpec(&in).ok());
+  }
+  {
+    std::istringstream in("# only comments\n");
+    EXPECT_FALSE(ParseSchemaSpec(&in).ok());
+  }
+}
+
+TEST(SchemaSpecTest, ErrorsMentionLineNumbers) {
+  std::istringstream in("A nominal x,y\nB bogus\n");
+  auto schema = ParseSchemaSpec(&in);
+  ASSERT_FALSE(schema.ok());
+  EXPECT_NE(schema.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SchemaSpecTest, FormatParseRoundTrip) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("color", {"red", "green"}).ok());
+  ASSERT_TRUE(s.AddNumeric("weight", 0.5, 99.5).ok());
+  ASSERT_TRUE(s.AddDate("built", DaysFromCivil({2000, 1, 1}),
+                        DaysFromCivil({2010, 12, 31}))
+                  .ok());
+  const std::string spec = FormatSchemaSpec(s);
+  std::istringstream in(spec);
+  auto back = ParseSchemaSpec(&in);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_attributes(), 3u);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_EQ(back->attribute(a).name, s.attribute(a).name);
+    EXPECT_EQ(back->attribute(a).type, s.attribute(a).type);
+  }
+  EXPECT_EQ(back->attribute(0).categories, s.attribute(0).categories);
+  EXPECT_DOUBLE_EQ(back->attribute(1).numeric_min, 0.5);
+  EXPECT_EQ(back->attribute(2).date_max, DaysFromCivil({2010, 12, 31}));
+}
+
+TEST(SchemaSpecTest, MissingFileFails) {
+  EXPECT_FALSE(ParseSchemaSpecFile("/nonexistent/schema.txt").ok());
+}
+
+}  // namespace
+}  // namespace dq

@@ -1,0 +1,347 @@
+// Tests for the persistent rule-set structure model (sec. 2.2 asynchrony,
+// sec. 5.4 rule export) and the interactive review module (sec. 5.3).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "audit/review.h"
+#include "audit/structure_model.h"
+#include "common/random.h"
+
+namespace dq {
+namespace {
+
+Schema ModelSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("X", {"x0", "x1", "x2"}).ok());
+  EXPECT_TRUE(s.AddNominal("Y", {"y0", "y1", "y2"}).ok());
+  EXPECT_TRUE(s.AddNumeric("Z", 0.0, 100.0).ok());
+  return s;
+}
+
+/// Y mirrors X; Z depends on X (x * 30 + noise); plants `errors` deviations
+/// in Y at the front.
+Table ModelTable(size_t rows, size_t errors, uint64_t seed) {
+  Schema s = ModelSchema();
+  Table t(s);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    const int32_t x = static_cast<int32_t>(rng.UniformInt(0, 2));
+    int32_t y = x;
+    if (r < errors) y = (x + 1) % 3;
+    Row row(3);
+    row[0] = Value::Nominal(x);
+    row[1] = Value::Nominal(y);
+    row[2] = Value::Numeric(30.0 * x + rng.UniformReal(0.0, 10.0));
+    t.AppendRowUnchecked(std::move(row));
+  }
+  return t;
+}
+
+struct Fixture {
+  Table table;
+  AuditorConfig config;
+  Auditor auditor;
+  AuditModel model;
+
+  explicit Fixture(size_t rows = 3000, size_t errors = 4, uint64_t seed = 60)
+      : table(ModelTable(rows, errors, seed)), auditor(MakeConfig()) {
+    auto induced = auditor.Induce(table);
+    EXPECT_TRUE(induced.ok()) << induced.status();
+    model = std::move(*induced);
+  }
+  static AuditorConfig MakeConfig() {
+    AuditorConfig c;
+    c.min_error_confidence = 0.8;
+    return c;
+  }
+};
+
+TEST(StructureModelTest, BuildsNonEmptyRuleSets) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  EXPECT_GT(sm.TotalRules(), 0u);
+  EXPECT_FALSE(sm.rule_sets().empty());
+  for (const AttributeRuleSet& set : sm.rule_sets()) {
+    for (const StructureRule& rule : set.rules) {
+      EXPECT_EQ(rule.class_attr, set.class_attr);
+      EXPECT_EQ(static_cast<int>(rule.class_counts.size()),
+                set.encoder.num_classes());
+    }
+  }
+}
+
+TEST(StructureModelTest, CheckFlagsPlantedErrors) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  auto report = sm.Check(f.table, f.config);
+  ASSERT_TRUE(report.ok());
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(report->IsFlagged(r)) << "planted row " << r;
+  }
+}
+
+TEST(StructureModelTest, CheckAgreesWithTreeAudit) {
+  // Rule-set checking and tree-based auditing coincide for records with
+  // fully known path attributes (which is all of them here).
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  auto rule_report = sm.Check(f.table, f.config);
+  auto tree_report = f.auditor.Audit(f.model, f.table);
+  ASSERT_TRUE(rule_report.ok());
+  ASSERT_TRUE(tree_report.ok());
+  EXPECT_EQ(rule_report->NumFlagged(), tree_report->NumFlagged());
+  for (size_t r = 0; r < f.table.num_rows(); ++r) {
+    EXPECT_EQ(rule_report->IsFlagged(r), tree_report->IsFlagged(r))
+        << "row " << r;
+    if (rule_report->IsFlagged(r)) {
+      EXPECT_NEAR(rule_report->record_confidence[r],
+                  tree_report->record_confidence[r], 1e-9);
+    }
+  }
+}
+
+TEST(StructureModelTest, SerializationRoundTrip) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  std::ostringstream os;
+  ASSERT_TRUE(sm.SerializeTo(&os).ok());
+  std::istringstream is(os.str());
+  auto back = StructureModel::Deserialize(f.table.schema(), &is);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->TotalRules(), sm.TotalRules());
+
+  // The deserialized model checks identically.
+  auto before = sm.Check(f.table, f.config);
+  auto after = back->Check(f.table, f.config);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->NumFlagged(), after->NumFlagged());
+  for (size_t r = 0; r < f.table.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(before->record_confidence[r],
+                     after->record_confidence[r]);
+  }
+}
+
+TEST(StructureModelTest, RoundTripPreservesDiscretizedEncoders) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  // The Z attribute (numeric class) must have a discretized encoder if it
+  // produced rules.
+  std::ostringstream os;
+  ASSERT_TRUE(sm.SerializeTo(&os).ok());
+  std::istringstream is(os.str());
+  auto back = StructureModel::Deserialize(f.table.schema(), &is);
+  ASSERT_TRUE(back.ok());
+  for (const AttributeRuleSet& set : back->rule_sets()) {
+    if (set.class_attr == 2) {
+      EXPECT_TRUE(set.encoder.is_discretized());
+      EXPECT_GT(set.encoder.num_classes(), 1);
+    }
+  }
+}
+
+TEST(StructureModelTest, FileRoundTrip) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  const std::string path = testing::TempDir() + "/dq_structure_model.dqmodel";
+  ASSERT_TRUE(sm.SaveToFile(path).ok());
+  auto back = StructureModel::LoadFromFile(f.table.schema(), path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->TotalRules(), sm.TotalRules());
+}
+
+TEST(StructureModelTest, DeserializeRejectsGarbage) {
+  Schema s = ModelSchema();
+  {
+    std::istringstream is("not a model\n");
+    EXPECT_FALSE(StructureModel::Deserialize(s, &is).ok());
+  }
+  {
+    std::istringstream is("dqmodel v1\nbogus tag\nend\n");
+    EXPECT_FALSE(StructureModel::Deserialize(s, &is).ok());
+  }
+  {
+    // Missing 'end'.
+    std::istringstream is("dqmodel v1\nattrset 0 nominal\n");
+    EXPECT_FALSE(StructureModel::Deserialize(s, &is).ok());
+  }
+  {
+    // Rule before any attrset.
+    std::istringstream is(
+        "dqmodel v1\nrule 0 10 1 0.5 counts 3 10 0 0 conds 0\nend\n");
+    EXPECT_FALSE(StructureModel::Deserialize(s, &is).ok());
+  }
+  {
+    // Class-count arity mismatch (X has 3 categories).
+    std::istringstream is(
+        "dqmodel v1\nattrset 0 nominal\n"
+        "rule 0 10 1 0.5 counts 2 10 0 conds 0\nend\n");
+    EXPECT_FALSE(StructureModel::Deserialize(s, &is).ok());
+  }
+  {
+    // Attribute index out of range in a condition.
+    std::istringstream is(
+        "dqmodel v1\nattrset 0 nominal\n"
+        "rule 0 10 1 0.5 counts 3 10 0 0 conds 1\ncond 9 cat 0\nend\n");
+    EXPECT_FALSE(StructureModel::Deserialize(s, &is).ok());
+  }
+}
+
+TEST(StructureModelTest, MinimalHandAuthoredModel) {
+  Schema s = ModelSchema();
+  std::istringstream is(
+      "dqmodel v1\n"
+      "attrset 1 nominal\n"
+      "rule 1 100 0.99 0.5 counts 3 1 99 0 conds 1\n"
+      "cond 0 cat 0\n"
+      "end\n");
+  auto sm = StructureModel::Deserialize(s, &is);
+  ASSERT_TRUE(sm.ok()) << sm.status();
+  ASSERT_EQ(sm->TotalRules(), 1u);
+
+  // A record matching the rule with a deviating Y is flagged.
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Nominal(0), Value::Nominal(0),
+                           Value::Numeric(1.0)})
+                  .ok());  // deviates (rule says Y=y1)
+  ASSERT_TRUE(t.AppendRow({Value::Nominal(0), Value::Nominal(1),
+                           Value::Numeric(1.0)})
+                  .ok());  // conforms
+  ASSERT_TRUE(t.AppendRow({Value::Nominal(2), Value::Nominal(0),
+                           Value::Numeric(1.0)})
+                  .ok());  // rule does not apply
+  AuditorConfig config;
+  config.min_error_confidence = 0.8;
+  auto report = sm->Check(t, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->IsFlagged(0));
+  EXPECT_FALSE(report->IsFlagged(1));
+  EXPECT_FALSE(report->IsFlagged(2));
+  EXPECT_EQ(report->suspicious[0].suggestion.nominal_code(), 1);
+}
+
+TEST(StructureModelTest, NullPathValueMatchesNoRule) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  Table t(f.table.schema());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Null(), Value::Nominal(0), Value::Numeric(5.0)})
+          .ok());
+  auto report = sm.Check(t, f.config);
+  ASSERT_TRUE(report.ok());
+  // The Y rules condition on X; with X null no rule matches, so the only
+  // possible flags come from other attribute models.
+  for (const Suspicion& s : report->suspicious) {
+    EXPECT_NE(s.attr, 1);
+  }
+}
+
+TEST(StructureModelTest, DropUselessShrinksButLosesPureLeafDetection) {
+  // The sec. 5.4 reduction removes zero-expErrorConf (pure) leaves: the
+  // model shrinks, but a *new* record deviating inside a pure partition is
+  // no longer caught — the reason keep-all is the checking default. Train
+  // on pristine data so every Y leaf is pure.
+  Fixture f(3000, /*errors=*/0, 61);
+  StructureModel full =
+      StructureModel::FromAuditModel(f.model, f.table.schema(), false);
+  StructureModel reduced =
+      StructureModel::FromAuditModel(f.model, f.table.schema(), true);
+  EXPECT_LT(reduced.TotalRules(), full.TotalRules());
+
+  Row row(3);
+  row[0] = Value::Nominal(1);
+  row[1] = Value::Nominal(0);  // violates Y == X
+  row[2] = Value::Numeric(31.0);
+  const auto full_verdict = full.CheckRecord(row, f.config);
+  EXPECT_TRUE(full_verdict.suspicious);
+  const auto reduced_verdict = reduced.CheckRecord(row, f.config);
+  EXPECT_LT(reduced_verdict.error_confidence, full_verdict.error_confidence);
+}
+
+TEST(StructureModelTest, CheckRecordMatchesBatchCheck) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  auto report = sm.Check(f.table, f.config);
+  ASSERT_TRUE(report.ok());
+  for (size_t r = 0; r < 200; ++r) {
+    const auto verdict = sm.CheckRecord(f.table.row(r), f.config);
+    EXPECT_EQ(verdict.suspicious, report->IsFlagged(r)) << "row " << r;
+    EXPECT_DOUBLE_EQ(verdict.error_confidence, report->record_confidence[r]);
+  }
+}
+
+TEST(StructureModelTest, CheckRecordOnConformingRecord) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  Row row(3);
+  row[0] = Value::Nominal(1);
+  row[1] = Value::Nominal(1);  // consistent with Y == X
+  row[2] = Value::Numeric(32.0);
+  const auto verdict = sm.CheckRecord(row, f.config);
+  EXPECT_FALSE(verdict.suspicious);
+}
+
+TEST(StructureModelTest, CheckRecordOnDeviatingRecord) {
+  Fixture f;
+  StructureModel sm = StructureModel::FromAuditModel(f.model, f.table.schema());
+  Row row(3);
+  row[0] = Value::Nominal(1);
+  row[1] = Value::Nominal(2);  // violates Y == X
+  row[2] = Value::Numeric(32.0);
+  const auto verdict = sm.CheckRecord(row, f.config);
+  EXPECT_TRUE(verdict.suspicious);
+  EXPECT_GE(verdict.error_confidence, 0.8);
+  EXPECT_GT(verdict.support, 0.0);
+}
+
+// --- Review (sec. 5.3) -----------------------------------------------------------
+
+TEST(ReviewTest, ExplainsPlantedDeviation) {
+  Fixture f;
+  auto detail = ExplainRecord(f.model, f.table, 0, f.config);
+  ASSERT_TRUE(detail.ok());
+  EXPECT_GT(detail->combined_confidence, 0.8);
+  ASSERT_FALSE(detail->dissenting.empty());
+  // Dissenting opinions are sorted strongest first.
+  for (size_t i = 1; i < detail->dissenting.size(); ++i) {
+    EXPECT_GE(detail->dissenting[i - 1].error_confidence,
+              detail->dissenting[i].error_confidence);
+  }
+  // Each opinion carries a usable distribution.
+  for (const ClassifierOpinion& o : detail->dissenting) {
+    double total = 0.0;
+    for (double p : o.distribution) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    EXPECT_GT(o.support, 0.0);
+  }
+}
+
+TEST(ReviewTest, CleanRecordHasNoDissent) {
+  Fixture f;
+  auto detail = ExplainRecord(f.model, f.table, f.table.num_rows() - 1,
+                              f.config);
+  ASSERT_TRUE(detail.ok());
+  EXPECT_LT(detail->combined_confidence, 0.8);
+}
+
+TEST(ReviewTest, RenderMentionsObservedAndPredicted) {
+  Fixture f;
+  auto detail = ExplainRecord(f.model, f.table, 0, f.config);
+  ASSERT_TRUE(detail.ok());
+  const std::string sheet = RenderSuspicionDetail(*detail, f.model, f.table);
+  EXPECT_NE(sheet.find("observed"), std::string::npos);
+  EXPECT_NE(sheet.find("predicted"), std::string::npos);
+  EXPECT_NE(sheet.find("distribution"), std::string::npos);
+}
+
+TEST(ReviewTest, RowOutOfRangeRejected) {
+  Fixture f;
+  EXPECT_FALSE(ExplainRecord(f.model, f.table, f.table.num_rows(),
+                             f.config)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dq

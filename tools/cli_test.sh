@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the dqgen / dqaudit command-line tools:
+# generate a benchmark database, pollute it, audit it, persist the structure
+# model, and re-check against the persisted model.
+set -euo pipefail
+
+DQGEN="$1"
+DQAUDIT="$2"
+SPEC="$3"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$DQGEN" --schema "$SPEC" --records 3000 --rules 12 --seed 5 \
+  --clean "$WORK/clean.csv" --dirty "$WORK/dirty.csv" \
+  --log "$WORK/corruption.log" --truth "$WORK/truth.csv" --print-rules \
+  > "$WORK/gen.out"
+grep -q "generated 3000 records" "$WORK/gen.out"
+grep -q "polluted" "$WORK/gen.out"
+grep -q "rule: " "$WORK/gen.out"
+test -s "$WORK/clean.csv"
+test -s "$WORK/dirty.csv"
+test -s "$WORK/corruption.log"
+head -1 "$WORK/truth.csv" | grep -q "row,corrupted,origin"
+
+"$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" \
+  --min-conf 0.8 --top 5 --explain 1 --rules --summary \
+  --save-model "$WORK/model.dqmodel" --corrected "$WORK/corrected.csv" \
+  --report "$WORK/report.csv" \
+  > "$WORK/audit.out"
+grep -q "audited [0-9]* records" "$WORK/audit.out"
+head -1 "$WORK/report.csv" | grep -q "rank,row,error_confidence"
+grep -q "loaded [0-9]* records" "$WORK/audit.out"
+grep -q "suspicious at minimal error confidence" "$WORK/audit.out"
+grep -q "persisted" "$WORK/audit.out"
+test -s "$WORK/model.dqmodel"
+head -1 "$WORK/model.dqmodel" | grep -q "dqmodel v1"
+test -s "$WORK/corrected.csv"
+
+"$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" \
+  --load-model "$WORK/model.dqmodel" --min-conf 0.8 --top 3 \
+  > "$WORK/check.out"
+grep -q "checked against" "$WORK/check.out"
+
+# Rule-set checking flags a subset of the tree audit: records with null
+# path attributes match no exported rule (tree predictions blend branches
+# instead). Allow that small gap, but never more flags than the audit.
+AUDIT_N=$(grep -o "^[0-9]* of [0-9]* records suspicious" "$WORK/audit.out" | cut -d' ' -f1)
+CHECK_N=$(grep -o "[0-9]* suspicious records" "$WORK/check.out" | cut -d' ' -f1)
+if [ "$CHECK_N" -gt "$AUDIT_N" ]; then
+  echo "model check flagged more ($CHECK_N) than the audit ($AUDIT_N)" >&2
+  exit 1
+fi
+GAP=$((AUDIT_N - CHECK_N))
+LIMIT=$((AUDIT_N / 4 + 3))
+if [ "$GAP" -gt "$LIMIT" ]; then
+  echo "model check lost too many flags: audit $AUDIT_N vs check $CHECK_N" >&2
+  exit 1
+fi
+
+# Expert-written rule files drive the generator directly.
+RULES="$(dirname "$SPEC")/parts.rules"
+"$DQGEN" --schema "$SPEC" --records 2000 --rules-file "$RULES" --seed 8 \
+  --clean "$WORK/expert_clean.csv" --print-rules > "$WORK/expert.out"
+grep -q "rule: GROUP = G1 -> FAMILY = F2" "$WORK/expert.out"
+grep -q "generated 2000 records following 4 rules" "$WORK/expert.out"
+
+echo "cli round trip OK ($AUDIT_N suspicious records)"

@@ -1,0 +1,248 @@
+// dqaudit — command-line data auditing for CSV files.
+//
+// Usage:
+//   dqaudit --schema spec.txt --data table.csv [options]
+//
+// Options:
+//   --schema FILE      schema specification (see table/schema_spec.h)
+//   --data FILE        CSV data to audit (header row required)
+//   --train FILE       CSV data to induce on (default: the audit data;
+//                      sec. 2.2's asynchronous regime)
+//   --min-conf X       minimal error confidence (default 0.8)
+//   --level X          confidence level for the bounds (default 0.95)
+//   --inducer NAME     c45 | naive-bayes | knn | oner (default c45)
+//   --save-model FILE  persist the induced structure model (rule sets)
+//   --load-model FILE  skip induction, check against a persisted model
+//   --top N            print the N strongest suspicions (default 20)
+//   --explain N        print review sheets for the top N suspicions
+//   --rules            print the induced structure model
+//   --corrected FILE   write the auto-corrected table as CSV
+//   --report FILE      write the ranked suspicions as CSV
+//   --summary          print the per-attribute flag summary
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "audit/review.h"
+#include "audit/rule_export.h"
+#include "audit/summary.h"
+#include "audit/structure_model.h"
+#include "eval/report_io.h"
+#include "table/csv.h"
+#include "table/schema_spec.h"
+
+using namespace dq;
+
+namespace {
+
+struct Options {
+  std::string schema_path;
+  std::string data_path;
+  std::string train_path;
+  std::string save_model_path;
+  std::string load_model_path;
+  std::string corrected_path;
+  std::string report_path;
+  double min_conf = 0.8;
+  double level = 0.95;
+  std::string inducer = "c45";
+  int top = 20;
+  int explain = 0;
+  bool print_rules = false;
+  bool print_summary = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: dqaudit --schema spec.txt --data table.csv\n"
+               "  [--train t.csv] [--min-conf 0.8] [--level 0.95]\n"
+               "  [--inducer c45|naive-bayes|knn|oner] [--save-model m]\n"
+               "  [--load-model m] [--top 20] [--explain 5] [--rules]\n"
+               "  [--corrected out.csv] [--report report.csv]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--schema" && need_value(&opts->schema_path)) continue;
+    if (arg == "--data" && need_value(&opts->data_path)) continue;
+    if (arg == "--train" && need_value(&opts->train_path)) continue;
+    if (arg == "--save-model" && need_value(&opts->save_model_path)) continue;
+    if (arg == "--load-model" && need_value(&opts->load_model_path)) continue;
+    if (arg == "--corrected" && need_value(&opts->corrected_path)) continue;
+    if (arg == "--report" && need_value(&opts->report_path)) continue;
+    if (arg == "--inducer" && need_value(&opts->inducer)) continue;
+    if (arg == "--min-conf" && need_value(&value)) {
+      opts->min_conf = std::atof(value.c_str());
+      continue;
+    }
+    if (arg == "--level" && need_value(&value)) {
+      opts->level = std::atof(value.c_str());
+      continue;
+    }
+    if (arg == "--top" && need_value(&value)) {
+      opts->top = std::atoi(value.c_str());
+      continue;
+    }
+    if (arg == "--explain" && need_value(&value)) {
+      opts->explain = std::atoi(value.c_str());
+      continue;
+    }
+    if (arg == "--rules") {
+      opts->print_rules = true;
+      continue;
+    }
+    if (arg == "--summary") {
+      opts->print_summary = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
+    return false;
+  }
+  if (opts->schema_path.empty() || opts->data_path.empty()) {
+    return false;
+  }
+  return true;
+}
+
+Result<InducerKind> InducerFromName(const std::string& name) {
+  if (name == "c45") return InducerKind::kC45;
+  if (name == "naive-bayes") return InducerKind::kNaiveBayes;
+  if (name == "knn") return InducerKind::kKnn;
+  if (name == "oner") return InducerKind::kOneR;
+  return Status::InvalidArgument("unknown inducer '" + name + "'");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "dqaudit: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    Usage();
+    return 2;
+  }
+
+  auto schema = ParseSchemaSpecFile(opts.schema_path);
+  if (!schema.ok()) return Fail(schema.status());
+  auto data = ReadCsvFile(*schema, opts.data_path);
+  if (!data.ok()) return Fail(data.status());
+  std::printf("loaded %zu records x %zu attributes from %s\n",
+              data->num_rows(), schema->num_attributes(),
+              opts.data_path.c_str());
+
+  AuditorConfig config;
+  config.min_error_confidence = opts.min_conf;
+  config.confidence_level = opts.level;
+  auto kind = InducerFromName(opts.inducer);
+  if (!kind.ok()) return Fail(kind.status());
+  config.inducer = *kind;
+  Auditor auditor(config);
+
+  // Checking via a persisted structure model needs no induction.
+  if (!opts.load_model_path.empty()) {
+    auto model = StructureModel::LoadFromFile(*schema, opts.load_model_path);
+    if (!model.ok()) return Fail(model.status());
+    auto report = model->Check(*data, config);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("checked against %zu persisted rules: %zu suspicious "
+                "records\n",
+                model->TotalRules(), report->NumFlagged());
+    const size_t limit = std::min<size_t>(report->suspicious.size(),
+                                          static_cast<size_t>(opts.top));
+    for (size_t i = 0; i < limit; ++i) {
+      const Suspicion& s = report->suspicious[i];
+      std::printf("  row %6zu  conf %.4f  %s = %s -> suggest %s\n", s.row,
+                  s.error_confidence,
+                  schema->attribute(static_cast<size_t>(s.attr)).name.c_str(),
+                  schema->ValueToString(s.attr, s.observed).c_str(),
+                  schema->ValueToString(s.attr, s.suggestion).c_str());
+    }
+    return 0;
+  }
+
+  // Structure induction (on --train if given, else on the audit data).
+  const Table* train = &*data;
+  std::optional<Table> train_storage;
+  if (!opts.train_path.empty()) {
+    auto loaded = ReadCsvFile(*schema, opts.train_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    train_storage = std::move(*loaded);
+    train = &*train_storage;
+  }
+  auto model = auditor.Induce(*train);
+  if (!model.ok()) return Fail(model.status());
+
+  if (opts.print_rules) {
+    std::printf("%s", RenderStructureModel(*model, *schema).c_str());
+  }
+  if (!opts.save_model_path.empty()) {
+    StructureModel structure = StructureModel::FromAuditModel(*model, *schema);
+    Status saved = structure.SaveToFile(opts.save_model_path);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("persisted %zu rules to %s\n", structure.TotalRules(),
+                opts.save_model_path.c_str());
+  }
+
+  auto report = auditor.Audit(*model, *data);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%zu of %zu records suspicious at minimal error confidence "
+              "%.2f\n",
+              report->NumFlagged(), data->num_rows(), opts.min_conf);
+  const size_t limit = std::min<size_t>(report->suspicious.size(),
+                                        static_cast<size_t>(opts.top));
+  for (size_t i = 0; i < limit; ++i) {
+    const Suspicion& s = report->suspicious[i];
+    std::printf("  row %6zu  conf %.4f  %s = %s -> suggest %s (support "
+                "%.0f)\n",
+                s.row, s.error_confidence,
+                schema->attribute(static_cast<size_t>(s.attr)).name.c_str(),
+                schema->ValueToString(s.attr, s.observed).c_str(),
+                schema->ValueToString(s.attr, s.suggestion).c_str(),
+                s.support);
+  }
+
+  for (int i = 0; i < opts.explain &&
+                  static_cast<size_t>(i) < report->suspicious.size();
+       ++i) {
+    auto detail =
+        ExplainRecord(*model, *data, report->suspicious[static_cast<size_t>(i)].row,
+                      config);
+    if (detail.ok()) {
+      std::printf("\n%s", RenderSuspicionDetail(*detail, *model, *data).c_str());
+    }
+  }
+
+  if (opts.print_summary) {
+    const AuditSummary summary = SummarizeReport(*report, *data);
+    std::printf("\n%s\n", RenderAuditSummary(summary, *schema).c_str());
+  }
+
+  if (!opts.report_path.empty()) {
+    Status written = WriteAuditReportCsvFile(*report, *data, opts.report_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote ranked report to %s\n", opts.report_path.c_str());
+  }
+
+  if (!opts.corrected_path.empty()) {
+    auto corrected = auditor.ApplyCorrections(*report, *data);
+    if (!corrected.ok()) return Fail(corrected.status());
+    Status written = WriteCsvFile(*corrected, opts.corrected_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("\nwrote corrected table to %s\n", opts.corrected_path.c_str());
+  }
+  return 0;
+}
