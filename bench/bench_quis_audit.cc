@@ -24,6 +24,7 @@ using namespace dq;
 
 int main(int argc, char** argv) {
   const bool quick = dq::bench::QuickMode(argc, argv);
+  const int threads = dq::bench::ThreadsArg(argc, argv);
   QuisConfig qcfg;
   qcfg.num_records = quick ? 20000 : 200000;
   qcfg.seed = 2003;
@@ -36,15 +37,17 @@ int main(int argc, char** argv) {
 
   AuditorConfig acfg;
   acfg.min_error_confidence = 0.8;
+  acfg.num_threads = threads;
   Auditor auditor(acfg);
+  AuditTimings timings;
   const auto t0 = std::chrono::steady_clock::now();
-  auto model = auditor.Induce(sample->table);
+  auto model = auditor.Induce(sample->table, &timings);
   if (!model.ok()) {
     std::fprintf(stderr, "induction failed: %s\n",
                  model.status().ToString().c_str());
     return 1;
   }
-  auto report = auditor.Audit(*model, sample->table);
+  auto report = auditor.Audit(*model, sample->table, &timings);
   if (!report.ok()) {
     std::fprintf(stderr, "audit failed: %s\n",
                  report.status().ToString().c_str());
@@ -62,6 +65,19 @@ int main(int argc, char** argv) {
               seconds);
   std::printf("suspicious records: %zu (paper: ~6000)\n",
               report->NumFlagged());
+
+  std::printf("\nphase breakdown (threads=%d):\n", timings.threads_used);
+  std::printf("  induce:  %8.1f ms (c4.5 presort %.1f ms, tree build "
+              "%.1f ms)\n",
+              timings.induce_ms, timings.presort_ms, timings.tree_build_ms);
+  for (const auto& [attr, ms] : timings.induce_attr_ms) {
+    std::printf("    %-8s %8.1f ms\n",
+                sample->table.schema()
+                    .attribute(static_cast<size_t>(attr))
+                    .name.c_str(),
+                ms);
+  }
+  std::printf("  audit:   %8.1f ms\n", timings.audit_ms);
 
   // Headline rule: BRV = 404 -> GBM = 901.
   const Schema& s = sample->table.schema();
@@ -130,5 +146,24 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", rules[i].ToString(s, am->encoder).c_str());
     }
   }
+
+  dq::bench::BenchJson json("quis_audit");
+  json.Add("records", sample->table.num_rows());
+  json.Add("seed", static_cast<size_t>(qcfg.seed));
+  json.Add("quick", quick ? 1 : 0);
+  json.Add("threads_requested", threads);
+  json.Add("threads_used", timings.threads_used);
+  json.Add("runtime_s", seconds);
+  json.Add("induce_ms", timings.induce_ms);
+  json.Add("presort_ms", timings.presort_ms);
+  json.Add("tree_build_ms", timings.tree_build_ms);
+  json.Add("audit_ms", timings.audit_ms);
+  json.Add("suspicious", report->NumFlagged());
+  json.Add("brv404_instances", sample->brv404_count);
+  json.Add("planted_confidence", planted_conf);
+  json.Add("planted_rank", rank);
+  json.Add("kbm01_gbm901_slice", sample->kbm01_gbm901_count);
+  json.Add("kbm01_gbm901_deviation_confidence", best_conf);
+  json.WriteFile();
   return 0;
 }

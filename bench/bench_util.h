@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/test_environment.h"
@@ -62,6 +64,82 @@ inline bool QuickMode(int argc, char** argv) {
   }
   return false;
 }
+
+/// "--threads N" on the command line (default 0 = hardware concurrency).
+inline int ThreadsArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads") {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 0;
+}
+
+/// Accumulates flat key/value pairs and writes them as
+/// `BENCH_<name>.json` next to the binary, so sweeps can be diffed and
+/// plotted without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    Add("bench", name_);
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escaped(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, size_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Writes `BENCH_<name>.json` into the working directory.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("{\n", f);
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace dq::bench
 

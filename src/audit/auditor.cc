@@ -1,8 +1,12 @@
 #include "audit/auditor.h"
 
 #include <algorithm>
+#include <optional>
+#include <unordered_set>
 
 #include "audit/error_confidence.h"
+#include "common/parallel.h"
+#include "common/timer.h"
 
 namespace dq {
 
@@ -40,65 +44,127 @@ std::unique_ptr<Classifier> Auditor::MakeClassifier() const {
   return nullptr;
 }
 
-Result<AuditModel> Auditor::Induce(const Table& train) const {
+namespace {
+
+/// Key for the (class_attr, excluded_base_attr) pair set; attribute
+/// indices are non-negative, so the packed form is collision-free.
+uint64_t ExclusionKey(int class_attr, int base_attr) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(class_attr)) << 32) |
+         static_cast<uint32_t>(base_attr);
+}
+
+}  // namespace
+
+Result<AuditModel> Auditor::Induce(const Table& train,
+                                   AuditTimings* timings) const {
   if (train.num_rows() == 0) {
     return Status::FailedPrecondition("cannot induce structure on empty table");
   }
   const Schema& schema = train.schema();
-  AuditModel model;
+  WallTimer total;
 
+  const std::unordered_set<int> skip(config_.skip_class_attrs.begin(),
+                                     config_.skip_class_attrs.end());
+  std::unordered_set<uint64_t> excluded;
+  excluded.reserve(config_.excluded_base_attrs.size());
+  for (const auto& [class_attr, base_attr] : config_.excluded_base_attrs) {
+    excluded.insert(ExclusionKey(class_attr, base_attr));
+  }
+
+  // Collect the per-attribute induction jobs up front; each is independent
+  // of the others (one classifier per class attribute, sec. 5), so they
+  // dispatch across the thread pool and land in pre-assigned slots —
+  // the model is identical for every thread count.
+  struct Job {
+    int class_attr = -1;
+    std::vector<int> base_attrs;
+  };
+  std::vector<Job> jobs;
   for (size_t attr = 0; attr < schema.num_attributes(); ++attr) {
     const int class_attr = static_cast<int>(attr);
-    if (std::find(config_.skip_class_attrs.begin(),
-                  config_.skip_class_attrs.end(),
-                  class_attr) != config_.skip_class_attrs.end()) {
-      continue;
-    }
-
-    AttributeModel am;
-    am.class_attr = class_attr;
+    if (skip.count(class_attr) != 0) continue;
+    Job job;
+    job.class_attr = class_attr;
     for (size_t base = 0; base < schema.num_attributes(); ++base) {
       if (base == attr) continue;
-      const std::pair<int, int> exclusion{class_attr, static_cast<int>(base)};
-      if (std::find(config_.excluded_base_attrs.begin(),
-                    config_.excluded_base_attrs.end(),
-                    exclusion) != config_.excluded_base_attrs.end()) {
+      if (excluded.count(ExclusionKey(class_attr, static_cast<int>(base))) !=
+          0) {
         continue;
       }
-      am.base_attrs.push_back(static_cast<int>(base));
+      job.base_attrs.push_back(static_cast<int>(base));
     }
-    if (am.base_attrs.empty()) continue;
+    if (job.base_attrs.empty()) continue;
+    jobs.push_back(std::move(job));
+  }
+
+  const int threads = ResolveThreadCount(config_.num_threads);
+  std::vector<std::optional<AttributeModel>> slots(jobs.size());
+  std::vector<double> job_ms(jobs.size(), 0.0);
+  std::vector<Status> fatal(jobs.size());
+  ParallelFor(threads, jobs.size(), [&](size_t j) {
+    ScopedTimer timer(&job_ms[j]);
+    const Job& job = jobs[j];
+    AttributeModel am;
+    am.class_attr = job.class_attr;
+    am.base_attrs = job.base_attrs;
 
     auto encoder =
-        ClassEncoder::Fit(train, class_attr, config_.numeric_class_bins);
-    if (!encoder.ok()) continue;  // e.g. all-null ordered attribute
+        ClassEncoder::Fit(train, job.class_attr, config_.numeric_class_bins);
+    if (!encoder.ok()) return;  // e.g. all-null ordered attribute
     am.encoder = std::move(*encoder);
 
     am.classifier = MakeClassifier();
     if (am.classifier == nullptr) {
-      return Status::Internal("classifier factory returned null");
+      fatal[j] = Status::Internal("classifier factory returned null");
+      return;
     }
     TrainingData td;
     td.table = &train;
-    td.class_attr = class_attr;
+    td.class_attr = job.class_attr;
     td.base_attrs = am.base_attrs;
     td.encoder = &am.encoder;
     Status trained = am.classifier->Train(td);
     if (!trained.ok()) {
       // An attribute that cannot be modelled (e.g. all class values null)
       // is skipped rather than failing the whole audit.
-      continue;
+      return;
     }
-    model.AddAttributeModel(std::move(am));
+    slots[j] = std::move(am);
+  });
+  for (const Status& status : fatal) {
+    if (!status.ok()) return status;
+  }
+
+  AuditModel model;
+  double presort_ms = 0.0;
+  double tree_build_ms = 0.0;
+  for (size_t j = 0; j < slots.size(); ++j) {
+    if (!slots[j].has_value()) continue;
+    if (const auto* tree =
+            dynamic_cast<const C45Tree*>(slots[j]->classifier.get())) {
+      presort_ms += tree->presort_ms();
+      tree_build_ms += tree->build_ms();
+    }
+    model.AddAttributeModel(std::move(*slots[j]));
   }
   if (model.num_models() == 0) {
     return Status::FailedPrecondition("no attribute could be modelled");
   }
+  if (timings != nullptr) {
+    timings->threads_used = threads;
+    timings->induce_ms = total.ElapsedMs();
+    timings->presort_ms = presort_ms;
+    timings->tree_build_ms = tree_build_ms;
+    timings->induce_attr_ms.clear();
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      timings->induce_attr_ms.emplace_back(jobs[j].class_attr, job_ms[j]);
+    }
+  }
   return model;
 }
 
-Result<AuditReport> Auditor::Audit(const AuditModel& model,
-                                   const Table& data) const {
+Result<AuditReport> Auditor::Audit(const AuditModel& model, const Table& data,
+                                   AuditTimings* timings) const {
   AuditReport report;
   const size_t n = data.num_rows();
   report.record_confidence.assign(n, 0.0);
@@ -107,7 +173,14 @@ Result<AuditReport> Auditor::Audit(const AuditModel& model,
   report.record_support.assign(n, 0.0);
   report.flagged.assign(n, false);
 
-  for (size_t r = 0; r < n; ++r) {
+  WallTimer total;
+  const int threads = ResolveThreadCount(config_.num_threads);
+
+  // Each record is scored independently (Def. 7/8) into its own slot, so
+  // rows chunk across the pool. The bit-packed `flagged` vector and the
+  // ranked suspicion list are filled serially below from the per-row
+  // results, which keeps them byte-identical to a serial run.
+  ParallelFor(threads, n, [&](size_t r) {
     const Row& row = data.row(r);
     double best_conf = 0.0;
     int best_attr = -1;
@@ -133,16 +206,20 @@ Result<AuditReport> Auditor::Audit(const AuditModel& model,
     report.record_attr[r] = best_attr;
     report.record_suggestion[r] = best_suggestion;
     report.record_support[r] = best_support;
+  });
 
+  for (size_t r = 0; r < n; ++r) {
+    const double best_conf = report.record_confidence[r];
+    const int best_attr = report.record_attr[r];
     if (best_conf >= config_.min_error_confidence && best_attr >= 0) {
       report.flagged[r] = true;
       Suspicion s;
       s.row = r;
       s.error_confidence = best_conf;
       s.attr = best_attr;
-      s.observed = row[static_cast<size_t>(best_attr)];
-      s.suggestion = best_suggestion;
-      s.support = best_support;
+      s.observed = data.cell(r, static_cast<size_t>(best_attr));
+      s.suggestion = report.record_suggestion[r];
+      s.support = report.record_support[r];
       report.suspicious.push_back(std::move(s));
     }
   }
@@ -151,6 +228,10 @@ Result<AuditReport> Auditor::Audit(const AuditModel& model,
                    [](const Suspicion& a, const Suspicion& b) {
                      return a.error_confidence > b.error_confidence;
                    });
+  if (timings != nullptr) {
+    timings->threads_used = threads;
+    timings->audit_ms = total.ElapsedMs();
+  }
   return report;
 }
 

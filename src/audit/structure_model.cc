@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "audit/error_confidence.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace dq {
@@ -54,24 +55,31 @@ Result<AuditReport> StructureModel::Check(const Table& data,
   report.record_support.assign(n, 0.0);
   report.flagged.assign(n, false);
 
-  for (size_t r = 0; r < n; ++r) {
-    const Row& row = data.row(r);
-    const RecordVerdict verdict = CheckRecord(row, config);
+  // Records are independent: chunk rows across the pool into pre-assigned
+  // slots, then build the bit-packed flags and the ranked list serially so
+  // the report matches a serial run byte for byte.
+  ParallelFor(ResolveThreadCount(config.num_threads), n, [&](size_t r) {
+    const RecordVerdict verdict = CheckRecord(data.row(r), config);
     report.record_confidence[r] = verdict.error_confidence;
     report.record_attr[r] = verdict.attr;
     report.record_suggestion[r] = verdict.suggestion;
     report.record_support[r] = verdict.support;
-    if (verdict.suspicious) {
-      report.flagged[r] = true;
-      Suspicion s;
-      s.row = r;
-      s.error_confidence = verdict.error_confidence;
-      s.attr = verdict.attr;
-      s.observed = row[static_cast<size_t>(verdict.attr)];
-      s.suggestion = verdict.suggestion;
-      s.support = verdict.support;
-      report.suspicious.push_back(std::move(s));
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const int attr = report.record_attr[r];
+    if (attr < 0 ||
+        report.record_confidence[r] < config.min_error_confidence) {
+      continue;
     }
+    report.flagged[r] = true;
+    Suspicion s;
+    s.row = r;
+    s.error_confidence = report.record_confidence[r];
+    s.attr = attr;
+    s.observed = data.cell(r, static_cast<size_t>(attr));
+    s.suggestion = report.record_suggestion[r];
+    s.support = report.record_support[r];
+    report.suspicious.push_back(std::move(s));
   }
   std::stable_sort(report.suspicious.begin(), report.suspicious.end(),
                    [](const Suspicion& a, const Suspicion& b) {

@@ -1,0 +1,109 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace dq {
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested <= 0) {
+    return requested == 0 ? HardwareThreads() : 1;
+  }
+  return requested;
+}
+
+uint64_t TaskSeed(uint64_t base_seed, uint64_t task_id) {
+  // Child stream: mix the task id into a decorrelated lane, then mix again
+  // with the base so adjacent (seed, id) pairs never share prefixes.
+  return SplitMix64(SplitMix64(base_seed) ^
+                    SplitMix64(task_id + 0x9e3779b97f4a7c15ULL));
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = ResolveThreadCount(num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunks =
+      std::min<size_t>(static_cast<size_t>(num_threads()), n);
+  if (chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    futures.push_back(Submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  const int threads = ResolveThreadCount(num_threads);
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(n, fn);
+}
+
+}  // namespace dq

@@ -1,0 +1,48 @@
+// Lightweight wall-clock instrumentation for the per-phase timing stats
+// the audit summary and benchmark binaries report.
+
+#ifndef DQ_COMMON_TIMER_H_
+#define DQ_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dq {
+
+/// \brief Restartable wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Adds the scope's wall-clock duration to *target_ms on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* target_ms) : target_ms_(target_ms) {}
+  ~ScopedTimer() {
+    if (target_ms_ != nullptr) *target_ms_ += timer_.ElapsedMs();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMs() const { return timer_.ElapsedMs(); }
+
+ private:
+  double* target_ms_;
+  WallTimer timer_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_COMMON_TIMER_H_

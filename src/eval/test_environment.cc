@@ -138,20 +138,24 @@ Result<ExperimentResult> TestEnvironment::Run() const {
   // single-database regime of sec. 8).
   Auditor auditor(config_.auditor);
   t0 = std::chrono::steady_clock::now();
-  DQ_ASSIGN_OR_RETURN(AuditModel model, auditor.Induce(result.pollution.dirty));
+  DQ_ASSIGN_OR_RETURN(AuditModel model,
+                      auditor.Induce(result.pollution.dirty, &result.timings));
   result.induce_ms = ElapsedMs(t0);
   t0 = std::chrono::steady_clock::now();
-  DQ_ASSIGN_OR_RETURN(result.report,
-                      auditor.Audit(model, result.pollution.dirty));
+  DQ_ASSIGN_OR_RETURN(result.report, auditor.Audit(model, result.pollution.dirty,
+                                                   &result.timings));
   result.audit_ms = ElapsedMs(t0);
 
-  // 5. Evaluation (sec. 4.3).
-  result.detection = EvaluateDetection(result.pollution, result.report);
+  // 5. Evaluation (sec. 4.3). Detection/correction scoring chunks rows
+  // across the same worker count the auditor uses.
+  result.detection = EvaluateDetection(result.pollution, result.report,
+                                       config_.auditor.num_threads);
   DQ_ASSIGN_OR_RETURN(
       Table corrected,
       auditor.ApplyCorrections(result.report, result.pollution.dirty));
-  result.correction = EvaluateCorrection(result.clean, result.pollution,
-                                         result.report, corrected);
+  result.correction =
+      EvaluateCorrection(result.clean, result.pollution, result.report,
+                         corrected, config_.auditor.num_threads);
   result.sensitivity = result.detection.Sensitivity();
   result.specificity = result.detection.Specificity();
   result.correction_improvement = result.correction.Improvement();

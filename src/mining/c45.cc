@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/strings.h"
+#include "common/timer.h"
 #include "stats/confidence.h"
 #include "stats/descriptive.h"
 
@@ -77,6 +79,30 @@ struct C45Tree::BuildContext {
   std::vector<int> base_attrs;
   int num_classes;
   double min_inst;
+
+  // Columnar view of the base attributes, built once per Train call:
+  // ordered_cols[a][row] is the OrderedValue (NaN = null) of ordered base
+  // attributes, nominal_cols[a][row] the category code (-1 = null) of
+  // nominal ones. Non-base attributes keep empty columns.
+  std::vector<std::vector<double>> ordered_cols;
+  std::vector<std::vector<int32_t>> nominal_cols;
+
+  // Presort active: the table has at least one ordered base attribute and
+  // the config enables the SLIQ-style sorted index lists.
+  bool presort = false;
+
+  // Per-row branch assignment scratch used while partitioning one node
+  // (-2 = not in node, -1 = missing split value, >= 0 = branch index).
+  std::vector<int32_t> branch_scratch;
+};
+
+/// Per-node training state: the instance set plus (in presort mode) one
+/// value-ordered instance list per ordered base attribute. The lists are
+/// partitioned stably alongside the instances, so the upfront sort order
+/// survives to every descendant and no node ever re-sorts.
+struct C45Tree::NodeData {
+  std::vector<std::pair<uint32_t, double>> insts;
+  std::vector<std::vector<std::pair<uint32_t, double>>> sorted;
 };
 
 C45Tree::C45Tree(C45Config config) : config_(config) {}
@@ -174,20 +200,83 @@ Status C45Tree::Train(const TrainingData& data) {
   ctx.min_inst =
       MinInstForConfidence(config_.min_error_confidence, config_.confidence_level);
 
-  std::vector<bool> avail(table_->schema().num_attributes(), false);
+  const Schema& schema = table_->schema();
+  const size_t num_rows = table_->num_rows();
+  presort_ms_ = 0.0;
+  build_ms_ = 0.0;
+
+  // Columnar encoding: one dense value column per base attribute, so the
+  // split search and partitioning never chase Row/Value indirections.
+  ctx.ordered_cols.assign(schema.num_attributes(), {});
+  ctx.nominal_cols.assign(schema.num_attributes(), {});
+  bool has_ordered_base = false;
+  {
+    ScopedTimer timer(&presort_ms_);
+    for (int a : data.base_attrs) {
+      const size_t attr = static_cast<size_t>(a);
+      if (schema.attribute(attr).type == DataType::kNominal) {
+        std::vector<int32_t>& col = ctx.nominal_cols[attr];
+        col.resize(num_rows);
+        for (size_t r = 0; r < num_rows; ++r) {
+          const Value& v = table_->cell(r, attr);
+          col[r] = v.is_null() ? -1 : v.nominal_code();
+        }
+      } else {
+        has_ordered_base = true;
+        std::vector<double>& col = ctx.ordered_cols[attr];
+        col.resize(num_rows);
+        for (size_t r = 0; r < num_rows; ++r) {
+          const Value& v = table_->cell(r, attr);
+          col[r] = v.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                               : v.OrderedValue();
+        }
+      }
+    }
+  }
+  ctx.presort = config_.presort && has_ordered_base;
+
+  NodeData root_data;
+  root_data.insts = std::move(insts);
+  if (ctx.presort) {
+    // The one upfront sort (SLIQ-style): every ordered base attribute gets
+    // a value-ordered list of the root instances with known values; ties
+    // keep row order (stable), so parallel/serial runs agree bitwise.
+    ScopedTimer timer(&presort_ms_);
+    ctx.branch_scratch.assign(num_rows, -2);
+    root_data.sorted.assign(schema.num_attributes(), {});
+    for (int a : data.base_attrs) {
+      const size_t attr = static_cast<size_t>(a);
+      const std::vector<double>& col = ctx.ordered_cols[attr];
+      if (col.empty()) continue;
+      std::vector<std::pair<uint32_t, double>>& list = root_data.sorted[attr];
+      list.reserve(root_data.insts.size());
+      for (const auto& inst : root_data.insts) {
+        if (!std::isnan(col[inst.first])) list.push_back(inst);
+      }
+      std::stable_sort(list.begin(), list.end(),
+                       [&col](const auto& x, const auto& y) {
+                         return col[x.first] < col[y.first];
+                       });
+    }
+  }
+
+  std::vector<bool> avail(schema.num_attributes(), false);
   for (int a : data.base_attrs) avail[static_cast<size_t>(a)] = true;
 
-  root_ = Build(&ctx, std::move(insts), std::move(avail), 0);
-  if (config_.pruning == PruningMode::kPessimistic) {
-    PrunePessimistic(root_.get());
+  {
+    ScopedTimer timer(&build_ms_);
+    root_ = Build(&ctx, std::move(root_data), std::move(avail), 0);
+    if (config_.pruning == PruningMode::kPessimistic) {
+      PrunePessimistic(root_.get());
+    }
   }
   return Status::OK();
 }
 
-std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
-                                              std::vector<Inst> insts,
+std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
                                               std::vector<bool> avail,
                                               int depth) {
+  std::vector<Inst>& insts = data.insts;
   auto node = std::make_unique<Node>();
   node->class_counts.assign(static_cast<size_t>(ctx->num_classes), 0.0);
   for (const Inst& inst : insts) {
@@ -217,6 +306,64 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
   const Schema& schema = ctx->table->schema();
   std::vector<SplitEval> evals(schema.num_attributes());
   const double node_entropy = EntropyFromCounts(node->class_counts);
+  const std::vector<int>& class_codes = *ctx->class_codes;
+
+  // Threshold sweep shared by the presorted and the legacy path; `entries`
+  // must be in ascending value order.
+  struct SweepEntry {
+    double val;
+    uint32_t row;
+    double weight;
+  };
+  auto eval_ordered_split = [&](const std::vector<SweepEntry>& entries,
+                                const std::vector<double>& known_counts,
+                                double known, SplitEval* eval) {
+    const double known_entropy = EntropyFromCounts(known_counts);
+    std::vector<double> left(static_cast<size_t>(ctx->num_classes), 0.0);
+    std::vector<double> right = known_counts;
+    double left_w = 0.0;
+    double best_gain = -1.0;
+    double best_thr = 0.0;
+    double best_left_w = 0.0;
+    size_t distinct = 1;
+    for (size_t i = 0; i + 1 < entries.size(); ++i) {
+      const size_t cls = static_cast<size_t>(class_codes[entries[i].row]);
+      left[cls] += entries[i].weight;
+      right[cls] -= entries[i].weight;
+      left_w += entries[i].weight;
+      if (entries[i + 1].val > entries[i].val + kEps) {
+        ++distinct;
+        const double right_w = known - left_w;
+        if (left_w < config_.min_split_weight ||
+            right_w < config_.min_split_weight) {
+          continue;
+        }
+        const double sub = left_w / known * EntropyFromCounts(left) +
+                           right_w / known * EntropyFromCounts(right);
+        const double gain = known_entropy - sub;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_thr = (entries[i].val + entries[i + 1].val) / 2.0;
+          best_left_w = left_w;
+        }
+      }
+    }
+    if (best_gain <= kEps) return;
+    const double known_frac = known / node->weight;
+    double gain = known_frac * best_gain;
+    if (config_.mdl_numeric_correction && distinct > 1) {
+      gain -= std::log2(static_cast<double>(distinct - 1)) / known;
+    }
+    if (gain <= kEps) return;
+    std::vector<double> si_weights{best_left_w, known - best_left_w};
+    if (node->weight - known > kEps) si_weights.push_back(node->weight - known);
+    const double split_info = EntropyFromCounts(si_weights);
+    eval->valid = true;
+    eval->gain = gain;
+    eval->gain_ratio = split_info > kEps ? gain / split_info : 0.0;
+    eval->ordered = true;
+    eval->threshold = best_thr;
+  };
 
   for (int attr : ctx->base_attrs) {
     if (!avail[static_cast<size_t>(attr)]) continue;
@@ -224,17 +371,19 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
     SplitEval& eval = evals[static_cast<size_t>(attr)];
 
     if (def.type == DataType::kNominal) {
+      const std::vector<int32_t>& col =
+          ctx->nominal_cols[static_cast<size_t>(attr)];
       const size_t k = def.categories.size();
       std::vector<std::vector<double>> branch_counts(
           k, std::vector<double>(static_cast<size_t>(ctx->num_classes), 0.0));
       std::vector<double> branch_weights(k, 0.0);
       double known = 0.0;
       for (const Inst& inst : insts) {
-        const Value& v = ctx->table->cell(inst.first, static_cast<size_t>(attr));
-        if (v.is_null()) continue;
-        const size_t b = static_cast<size_t>(v.nominal_code());
-        branch_counts[b][static_cast<size_t>(
-            (*ctx->class_codes)[inst.first])] += inst.second;
+        const int32_t code = col[inst.first];
+        if (code < 0) continue;
+        const size_t b = static_cast<size_t>(code);
+        branch_counts[b][static_cast<size_t>(class_codes[inst.first])] +=
+            inst.second;
         branch_weights[b] += inst.second;
         known += inst.second;
       }
@@ -262,70 +411,40 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
       eval.gain_ratio = split_info > kEps ? gain / split_info : 0.0;
     } else {
       // Ordered attribute: sweep thresholds between distinct values.
-      std::vector<std::pair<double, const Inst*>> sorted;
-      sorted.reserve(insts.size());
-      double known = 0.0;
+      const std::vector<double>& col =
+          ctx->ordered_cols[static_cast<size_t>(attr)];
+      std::vector<SweepEntry> entries;
       std::vector<double> known_counts(static_cast<size_t>(ctx->num_classes),
                                        0.0);
-      for (const Inst& inst : insts) {
-        const Value& v = ctx->table->cell(inst.first, static_cast<size_t>(attr));
-        if (v.is_null()) continue;
-        sorted.emplace_back(v.OrderedValue(), &inst);
-        known += inst.second;
-        known_counts[static_cast<size_t>((*ctx->class_codes)[inst.first])] +=
-            inst.second;
-      }
-      if (known <= kEps || sorted.size() < 2) continue;
-      std::sort(sorted.begin(), sorted.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-
-      const double known_entropy = EntropyFromCounts(known_counts);
-      std::vector<double> left(static_cast<size_t>(ctx->num_classes), 0.0);
-      std::vector<double> right = known_counts;
-      double left_w = 0.0;
-      double best_gain = -1.0;
-      double best_thr = 0.0;
-      double best_left_w = 0.0;
-      size_t distinct = 1;
-      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
-        const Inst* inst = sorted[i].second;
-        const size_t cls =
-            static_cast<size_t>((*ctx->class_codes)[inst->first]);
-        left[cls] += inst->second;
-        right[cls] -= inst->second;
-        left_w += inst->second;
-        if (sorted[i + 1].first > sorted[i].first + kEps) {
-          ++distinct;
-          const double right_w = known - left_w;
-          if (left_w < config_.min_split_weight ||
-              right_w < config_.min_split_weight) {
-            continue;
-          }
-          const double sub = left_w / known * EntropyFromCounts(left) +
-                             right_w / known * EntropyFromCounts(right);
-          const double gain = known_entropy - sub;
-          if (gain > best_gain) {
-            best_gain = gain;
-            best_thr = (sorted[i].first + sorted[i + 1].first) / 2.0;
-            best_left_w = left_w;
-          }
+      double known = 0.0;
+      if (ctx->presort) {
+        // The node's instances are already in value order: reuse the
+        // partitioned sorted list instead of sorting.
+        const std::vector<Inst>& list = data.sorted[static_cast<size_t>(attr)];
+        entries.reserve(list.size());
+        for (const Inst& inst : list) {
+          entries.push_back({col[inst.first], inst.first, inst.second});
+          known += inst.second;
+          known_counts[static_cast<size_t>(class_codes[inst.first])] +=
+              inst.second;
         }
+      } else {
+        entries.reserve(insts.size());
+        for (const Inst& inst : insts) {
+          const double v = col[inst.first];
+          if (std::isnan(v)) continue;
+          entries.push_back({v, inst.first, inst.second});
+          known += inst.second;
+          known_counts[static_cast<size_t>(class_codes[inst.first])] +=
+              inst.second;
+        }
+        std::sort(entries.begin(), entries.end(),
+                  [](const SweepEntry& x, const SweepEntry& y) {
+                    return x.val < y.val;
+                  });
       }
-      if (best_gain <= kEps) continue;
-      const double known_frac = known / node->weight;
-      double gain = known_frac * best_gain;
-      if (config_.mdl_numeric_correction && distinct > 1) {
-        gain -= std::log2(static_cast<double>(distinct - 1)) / known;
-      }
-      if (gain <= kEps) continue;
-      std::vector<double> si_weights{best_left_w, known - best_left_w};
-      if (node->weight - known > kEps) si_weights.push_back(node->weight - known);
-      const double split_info = EntropyFromCounts(si_weights);
-      eval.valid = true;
-      eval.gain = gain;
-      eval.gain_ratio = split_info > kEps ? gain / split_info : 0.0;
-      eval.ordered = true;
-      eval.threshold = best_thr;
+      if (known <= kEps || entries.size() < 2) continue;
+      eval_ordered_split(entries, known_counts, known, &eval);
     }
   }
 
@@ -364,24 +483,40 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
   std::vector<Inst> missing;
   std::vector<double> part_weights(num_children, 0.0);
   double known = 0.0;
+  const std::vector<double>& ordered_col =
+      ctx->ordered_cols[static_cast<size_t>(best_attr)];
+  const std::vector<int32_t>& nominal_col =
+      ctx->nominal_cols[static_cast<size_t>(best_attr)];
   for (const Inst& inst : insts) {
-    const Value& v = ctx->table->cell(inst.first, static_cast<size_t>(best_attr));
-    if (v.is_null()) {
-      missing.push_back(inst);
-      continue;
-    }
     size_t b;
     if (best.ordered) {
-      b = v.OrderedValue() <= best.threshold ? 0 : 1;
+      const double v = ordered_col[inst.first];
+      if (std::isnan(v)) {
+        if (ctx->presort) ctx->branch_scratch[inst.first] = -1;
+        missing.push_back(inst);
+        continue;
+      }
+      b = v <= best.threshold ? 0 : 1;
     } else {
-      b = static_cast<size_t>(v.nominal_code());
+      const int32_t code = nominal_col[inst.first];
+      if (code < 0) {
+        if (ctx->presort) ctx->branch_scratch[inst.first] = -1;
+        missing.push_back(inst);
+        continue;
+      }
+      b = static_cast<size_t>(code);
+    }
+    if (ctx->presort) {
+      ctx->branch_scratch[inst.first] = static_cast<int32_t>(b);
     }
     parts[b].push_back(inst);
     part_weights[b] += inst.second;
     known += inst.second;
   }
-  insts.clear();
-  insts.shrink_to_fit();
+  auto reset_scratch = [&] {
+    if (!ctx->presort) return;
+    for (const Inst& inst : insts) ctx->branch_scratch[inst.first] = -2;
+  };
 
   // minInst pre-pruning (sec. 5.4): require at least one partition with
   // minInst instances of one class.
@@ -390,14 +525,16 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
     for (size_t b = 0; b < num_children && !any_strong; ++b) {
       std::vector<double> counts(static_cast<size_t>(ctx->num_classes), 0.0);
       for (const Inst& inst : parts[b]) {
-        counts[static_cast<size_t>((*ctx->class_codes)[inst.first])] +=
-            inst.second;
+        counts[static_cast<size_t>(class_codes[inst.first])] += inst.second;
       }
       if (counts[static_cast<size_t>(MajorityOf(counts))] >= ctx->min_inst) {
         any_strong = true;
       }
     }
-    if (!any_strong) return node;
+    if (!any_strong) {
+      reset_scratch();
+      return node;
+    }
   }
 
   // Distribute missing-value instances over non-empty branches.
@@ -410,6 +547,41 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
       }
     }
   }
+
+  // Stable partition of the per-attribute sorted lists: children inherit
+  // their slices in the same value order, so no descendant ever re-sorts.
+  // Missing-value instances replicate into every non-empty branch with the
+  // same scaled weight their parts[] copy received above.
+  std::vector<std::vector<std::vector<Inst>>> child_sorted;
+  if (ctx->presort) {
+    child_sorted.assign(num_children, {});
+    for (size_t b = 0; b < num_children; ++b) {
+      if (!parts[b].empty()) {
+        child_sorted[b].assign(schema.num_attributes(), {});
+      }
+    }
+    for (size_t a = 0; a < data.sorted.size(); ++a) {
+      const std::vector<Inst>& list = data.sorted[a];
+      if (list.empty()) continue;
+      for (const Inst& e : list) {
+        const int32_t br = ctx->branch_scratch[e.first];
+        if (br >= 0) {
+          child_sorted[static_cast<size_t>(br)][a].push_back(e);
+        } else if (br == -1 && known > kEps) {
+          for (size_t b = 0; b < num_children; ++b) {
+            if (part_weights[b] <= kEps) continue;
+            const double w = e.second * part_weights[b] / known;
+            if (w > 1e-6) child_sorted[b][a].emplace_back(e.first, w);
+          }
+        }
+      }
+    }
+    reset_scratch();
+  }
+  insts.clear();
+  insts.shrink_to_fit();
+  data.sorted.clear();
+  data.sorted.shrink_to_fit();
 
   node->split_attr = best_attr;
   node->ordered_split = best.ordered;
@@ -433,7 +605,10 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx,
       node->children.push_back(std::move(child));
       continue;
     }
-    auto child = Build(ctx, std::move(parts[b]), child_avail, depth + 1);
+    NodeData child_data;
+    child_data.insts = std::move(parts[b]);
+    if (ctx->presort) child_data.sorted = std::move(child_sorted[b]);
+    auto child = Build(ctx, std::move(child_data), child_avail, depth + 1);
     subtree_exp += child->weight * child->expected_error_conf;
     subtree_weight += child->weight;
     node->children.push_back(std::move(child));

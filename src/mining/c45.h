@@ -74,6 +74,15 @@ struct C45Config {
   /// Release-8 MDL correction for numeric splits
   /// (gain -= log2(distinct-1)/n).
   bool mdl_numeric_correction = true;
+
+  /// SLIQ-style presort: encode the training table into dense per-attribute
+  /// columns and sort every ordered base attribute once up front; each node
+  /// then partitions the sorted index lists stably instead of re-sorting,
+  /// turning numeric split search from O(nodes * rows log rows) into one
+  /// upfront sort plus linear scans. Off = the original per-node
+  /// std::sort path (kept for memory-constrained use and as the
+  /// equivalence-test reference).
+  bool presort = true;
 };
 
 /// \brief Smallest number of single-class instances a leaf needs before a
@@ -119,6 +128,13 @@ class C45Tree : public Classifier {
   size_t LeafCount() const;
   size_t TreeDepth() const;
 
+  /// \brief Wall-clock spent encoding columns + presorting ordered
+  /// attributes in the last Train call (0 when presort is off).
+  double presort_ms() const { return presort_ms_; }
+  /// \brief Wall-clock of the recursive tree construction in the last
+  /// Train call (split search + partitioning, excluding the presort).
+  double build_ms() const { return build_ms_; }
+
   /// \brief Pretty-prints the tree.
   std::string ToString(const Schema& schema) const;
 
@@ -130,9 +146,9 @@ class C45Tree : public Classifier {
  private:
   struct Node;
   struct BuildContext;
+  struct NodeData;
 
-  std::unique_ptr<Node> Build(BuildContext* ctx,
-                              std::vector<std::pair<uint32_t, double>> insts,
+  std::unique_ptr<Node> Build(BuildContext* ctx, NodeData data,
                               std::vector<bool> avail, int depth);
   double PessimisticErrors(const Node& node) const;
   void PrunePessimistic(Node* node);
@@ -144,6 +160,8 @@ class C45Tree : public Classifier {
   int class_attr_ = -1;
   const ClassEncoder* encoder_ = nullptr;
   int num_classes_ = 0;
+  double presort_ms_ = 0.0;
+  double build_ms_ = 0.0;
   std::unique_ptr<Node> root_;
 };
 

@@ -24,11 +24,13 @@ test -s "$WORK/corruption.log"
 head -1 "$WORK/truth.csv" | grep -q "row,corrupted,origin"
 
 "$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" \
-  --min-conf 0.8 --top 5 --explain 1 --rules --summary \
+  --min-conf 0.8 --top 5 --explain 1 --rules --summary --threads 2 \
   --save-model "$WORK/model.dqmodel" --corrected "$WORK/corrected.csv" \
   --report "$WORK/report.csv" \
   > "$WORK/audit.out"
 grep -q "audited [0-9]* records" "$WORK/audit.out"
+grep -q "timings (threads=" "$WORK/audit.out"
+grep -q "induction time per attribute" "$WORK/audit.out"
 head -1 "$WORK/report.csv" | grep -q "rank,row,error_confidence"
 grep -q "loaded [0-9]* records" "$WORK/audit.out"
 grep -q "suspicious at minimal error confidence" "$WORK/audit.out"
@@ -38,7 +40,7 @@ head -1 "$WORK/model.dqmodel" | grep -q "dqmodel v1"
 test -s "$WORK/corrected.csv"
 
 "$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" \
-  --load-model "$WORK/model.dqmodel" --min-conf 0.8 --top 3 \
+  --load-model "$WORK/model.dqmodel" --min-conf 0.8 --top 3 --threads 2 \
   > "$WORK/check.out"
 grep -q "checked against" "$WORK/check.out"
 
