@@ -1,0 +1,165 @@
+// dqlint: static analysis for TDG-rule programs.
+//
+// The paper defines the pragmatic satisfiability test by domain-range
+// propagation (sec. 4.1.3) and the implication test precisely so that
+// contradictory or redundant rules can be detected *before* data is
+// generated or audited. This module packages those tests — together with
+// the schema validation the parser performs — as a configurable battery of
+// lint checks over a rule file, each with a stable check ID, a severity and
+// a source location, suitable for CI gating.
+//
+// Check registry (IDs are stable; never renumber):
+//   DQ001 syntax-error             error    line fails to parse
+//   DQ002 unknown-attribute        error    name not in the schema
+//   DQ003 type-mismatch           error    operator/operand types clash
+//   DQ004 bad-constant            error    constant unparseable / outside
+//                                          the attribute domain
+//   DQ005 impossible-atom         warning  a comparison that can never hold
+//                                          given the attribute's domain range
+//   DQ010 unsat-premise           error    premise unsatisfiable: the rule
+//                                          can never fire (sec. 4.1.3)
+//   DQ011 unsat-consequent        error    consequent unsatisfiable: every
+//                                          firing row violates the rule
+//   DQ012 contradictory-rule      error    sides satisfiable but jointly
+//                                          unsatisfiable (Definition 5)
+//   DQ013 tautological-conclusion warning  consequent always holds; the rule
+//                                          constrains nothing
+//   DQ014 self-evident-rule       warning  premise already implies the
+//                                          consequent (Definition 5)
+//   DQ020 contradictory-pair      error    one premise implies the other
+//                                          but the conclusions conflict: no
+//                                          record can comply with both
+//                                          rules where the stronger premise
+//                                          fires (Definition 6)
+//   DQ021 duplicate-rule          warning  logically equivalent to an
+//                                          earlier rule
+//   DQ022 subsumed-rule           warning  implied by a stronger rule
+//                                          (premise implies the other
+//                                          premise, its consequent implies
+//                                          ours) — adds no information
+//   DQ023 conflicting-overlap     note     premises overlap but the
+//                                          conclusions conflict there; the
+//                                          pair rules out the overlap
+//                                          region (normal in rule chains,
+//                                          worth knowing about)
+//   DQ030 check-skipped           note     a satisfiability/implication
+//                                          test exhausted its DNF budget
+
+#ifndef DQ_LINT_LINT_H_
+#define DQ_LINT_LINT_H_
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/natural.h"
+#include "logic/rule_parser.h"
+
+namespace dq {
+
+enum class LintSeverity : uint8_t { kError = 0, kWarning = 1, kNote = 2 };
+
+const char* LintSeverityToString(LintSeverity severity);
+
+/// \brief Registry entry for one lint check.
+struct LintCheckInfo {
+  const char* id;        ///< "DQ010"
+  const char* name;      ///< "unsat-premise"
+  LintSeverity severity;
+  const char* summary;   ///< one-line description
+};
+
+/// \brief All known checks, in ID order.
+const std::vector<LintCheckInfo>& LintChecks();
+
+/// \brief One finding of the analyzer.
+struct LintDiagnostic {
+  std::string check_id;    ///< stable ID, e.g. "DQ010"
+  std::string check_name;  ///< slug, e.g. "unsat-premise"
+  LintSeverity severity = LintSeverity::kError;
+  SourceLocation loc;
+  std::string message;
+  /// Index into the linted rule list (-1 for parse-level diagnostics that
+  /// have no surviving rule).
+  int rule_index = -1;
+  /// Partner rule for pairwise checks (-1 otherwise).
+  int other_rule_index = -1;
+  SourceLocation other_loc;
+};
+
+/// \brief Analyzer configuration.
+struct LintOptions {
+  /// Check IDs ("DQ022") or names ("subsumed-rule") to suppress.
+  std::set<std::string> disabled;
+  /// DNF budget handed to the satisfiability test.
+  size_t max_dnf_disjuncts = 4096;
+  /// Pairwise checks are O(n^2) satisfiability tests; beyond this many
+  /// rules they are skipped with a DQ030 note.
+  size_t max_pairwise_rules = 256;
+};
+
+/// \brief Result of one lint run.
+struct LintResult {
+  std::vector<LintDiagnostic> diagnostics;
+  size_t rules_checked = 0;
+
+  size_t CountSeverity(LintSeverity severity) const;
+  size_t NumErrors() const { return CountSeverity(LintSeverity::kError); }
+  size_t NumWarnings() const { return CountSeverity(LintSeverity::kWarning); }
+  size_t NumNotes() const { return CountSeverity(LintSeverity::kNote); }
+  bool HasErrors() const { return NumErrors() > 0; }
+};
+
+/// \brief Static analyzer for TDG-rule programs over a fixed schema.
+class Linter {
+ public:
+  explicit Linter(const Schema* schema, LintOptions options = {});
+
+  /// \brief Lints a rule file (lenient parse + full check battery).
+  LintResult LintFile(std::istream* in) const;
+
+  /// \brief Lints a rule file on disk; fails only on I/O errors.
+  Result<LintResult> LintFileAt(const std::string& path) const;
+
+  /// \brief Lints an already-parsed rule file.
+  LintResult LintParse(const RuleFileParse& parse) const;
+
+  /// \brief Lints an in-memory rule set (locations are synthesized as one
+  /// rule per line, in order). Used for generated rule sets.
+  LintResult LintRules(const std::vector<Rule>& rules) const;
+
+  const Schema& schema() const { return *schema_; }
+  const LintOptions& options() const { return options_; }
+
+ private:
+  bool Enabled(const LintCheckInfo& check) const;
+  void Emit(const LintCheckInfo& check, SourceLocation loc, std::string message,
+            int rule_index, LintResult* out) const;
+  void CheckAtoms(const ParsedRule& rule, int index, LintResult* out) const;
+  void CheckRule(const ParsedRule& rule, int index, LintResult* out) const;
+  void CheckPair(const ParsedRule& a, int ia, const ParsedRule& b, int ib,
+                 LintResult* out) const;
+  /// Wraps a fallible sat/implication call: on failure emits DQ030 and
+  /// returns `fallback`.
+  bool Try(const Result<bool>& result, SourceLocation loc, int rule_index,
+           const char* what, bool fallback, LintResult* out) const;
+
+  const Schema* schema_;
+  LintOptions options_;
+  SatChecker sat_;
+};
+
+/// \brief Renders diagnostics in compiler style:
+/// "name:line:col: severity: message [DQ010 unsat-premise]".
+std::string RenderLintText(const LintResult& result,
+                           const std::string& source_name);
+
+/// \brief Renders diagnostics as a JSON object (stable schema, see
+/// docs/FORMATS.md).
+std::string RenderLintJson(const LintResult& result,
+                           const std::string& source_name);
+
+}  // namespace dq
+
+#endif  // DQ_LINT_LINT_H_

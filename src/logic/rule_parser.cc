@@ -8,6 +8,28 @@
 
 namespace dq {
 
+std::string SourceLocation::ToString() const {
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
+const char* ParseErrorKindToString(ParseError::Kind kind) {
+  switch (kind) {
+    case ParseError::Kind::kSyntax:
+      return "syntax";
+    case ParseError::Kind::kUnknownAttribute:
+      return "unknown-attribute";
+    case ParseError::Kind::kTypeMismatch:
+      return "type-mismatch";
+    case ParseError::Kind::kBadConstant:
+      return "bad-constant";
+  }
+  return "?";
+}
+
+std::string ParseError::Render() const {
+  return loc.ToString() + " ('" + token + "'): " + message;
+}
+
 namespace {
 
 enum class TokenKind {
@@ -23,15 +45,23 @@ enum class TokenKind {
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;
-  size_t pos = 0;  // character offset for error messages
+  size_t pos = 0;  // character offset within the parsed text
 };
 
-Status SyntaxError(const Token& token, const std::string& what) {
-  return Status::InvalidArgument("parse error at offset " +
-                                 std::to_string(token.pos) + " ('" +
-                                 (token.kind == TokenKind::kEnd ? "<end>"
-                                                                : token.text) +
-                                 "'): " + what);
+std::string TokenDisplay(const Token& token) {
+  return token.kind == TokenKind::kEnd ? "<end>" : token.text;
+}
+
+/// Builds a ParseError anchored at `token` on line `line`.
+ParseError MakeError(ParseError::Kind kind, size_t line, const Token& token,
+                     std::string message) {
+  ParseError err;
+  err.kind = kind;
+  err.loc.line = line;
+  err.loc.column = token.pos + 1;
+  err.token = TokenDisplay(token);
+  err.message = std::move(message);
+  return err;
 }
 
 bool IsWordChar(char c) {
@@ -39,8 +69,9 @@ bool IsWordChar(char c) {
          c == '-' || c == '+' || c == ':';
 }
 
-Result<std::vector<Token>> Tokenize(const std::string& text) {
-  std::vector<Token> tokens;
+/// Tokenizes `text`; returns false and fills `*error` on lexical failure.
+bool Tokenize(const std::string& text, size_t line, std::vector<Token>* tokens,
+              ParseError* error) {
   size_t i = 0;
   while (i < text.size()) {
     const char c = text[i];
@@ -73,9 +104,13 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
     } else if (c == '\'') {
       const size_t close = text.find('\'', i + 1);
       if (close == std::string::npos) {
-        return Status::InvalidArgument("parse error at offset " +
-                                       std::to_string(i) +
-                                       ": unterminated quote");
+        Token at;
+        at.pos = i;
+        at.kind = TokenKind::kWord;
+        at.text = text.substr(i);
+        *error = MakeError(ParseError::Kind::kSyntax, line, at,
+                           "unterminated quote");
+        return false;
       }
       token.kind = TokenKind::kQuoted;
       token.text = text.substr(i + 1, close - i - 1);
@@ -91,18 +126,21 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
       token.text = text.substr(i, j - i);
       i = j;
     } else {
-      return Status::InvalidArgument("parse error at offset " +
-                                     std::to_string(i) +
-                                     ": unexpected character '" +
-                                     std::string(1, c) + "'");
+      Token at;
+      at.pos = i;
+      at.kind = TokenKind::kWord;
+      at.text = std::string(1, c);
+      *error = MakeError(ParseError::Kind::kSyntax, line, at,
+                         "unexpected character '" + std::string(1, c) + "'");
+      return false;
     }
-    tokens.push_back(std::move(token));
+    tokens->push_back(std::move(token));
   }
   Token end;
   end.kind = TokenKind::kEnd;
   end.pos = text.size();
-  tokens.push_back(end);
-  return tokens;
+  tokens->push_back(end);
+  return true;
 }
 
 std::string Lower(std::string s) {
@@ -110,29 +148,35 @@ std::string Lower(std::string s) {
   return s;
 }
 
-/// Recursive-descent parser over the token stream.
+/// Recursive-descent parser over the token stream. Failures are recorded as
+/// a structured ParseError (the Status returned through Result<> carries the
+/// rendered form of the same error).
 class Parser {
  public:
-  Parser(const Schema& schema, std::vector<Token> tokens)
-      : schema_(schema), tokens_(std::move(tokens)) {}
+  Parser(const Schema& schema, std::vector<Token> tokens, size_t line)
+      : schema_(schema), tokens_(std::move(tokens)), line_(line) {}
 
   Result<Formula> ParseFormulaToEnd() {
     DQ_ASSIGN_OR_RETURN(Formula f, ParseOr());
     if (Peek().kind != TokenKind::kEnd) {
-      return SyntaxError(Peek(), "trailing input after formula");
+      return Error(ParseError::Kind::kSyntax, Peek(),
+                   "trailing input after formula");
     }
     return f;
   }
 
   Result<Rule> ParseRuleToEnd() {
+    first_token_pos_ = Peek().pos;
     DQ_ASSIGN_OR_RETURN(Formula premise, ParseOr());
     if (Peek().kind != TokenKind::kArrow) {
-      return SyntaxError(Peek(), "expected '->'");
+      return Error(ParseError::Kind::kSyntax, Peek(), "expected '->'");
     }
+    premise_atom_count_ = atom_locs_.size();
     Advance();
     DQ_ASSIGN_OR_RETURN(Formula consequent, ParseOr());
     if (Peek().kind != TokenKind::kEnd) {
-      return SyntaxError(Peek(), "trailing input after rule");
+      return Error(ParseError::Kind::kSyntax, Peek(),
+                   "trailing input after rule");
     }
     Rule rule;
     rule.premise = std::move(premise);
@@ -140,9 +184,19 @@ class Parser {
     return rule;
   }
 
+  const ParseError& error() const { return error_; }
+  size_t first_token_pos() const { return first_token_pos_; }
+  const std::vector<SourceLocation>& atom_locs() const { return atom_locs_; }
+  size_t premise_atom_count() const { return premise_atom_count_; }
+
  private:
   const Token& Peek() const { return tokens_[pos_]; }
   void Advance() { ++pos_; }
+
+  Status Error(ParseError::Kind kind, const Token& token, std::string what) {
+    error_ = MakeError(kind, line_, token, std::move(what));
+    return error_.ToStatus();
+  }
 
   bool PeekKeyword(const char* keyword) const {
     return Peek().kind == TokenKind::kWord && Lower(Peek().text) == keyword;
@@ -177,7 +231,7 @@ class Parser {
       Advance();
       DQ_ASSIGN_OR_RETURN(Formula inner, ParseOr());
       if (Peek().kind != TokenKind::kRParen) {
-        return SyntaxError(Peek(), "expected ')'");
+        return Error(ParseError::Kind::kSyntax, Peek(), "expected ')'");
       }
       Advance();
       return inner;
@@ -187,15 +241,17 @@ class Parser {
 
   Result<Formula> ParseAtom() {
     if (Peek().kind != TokenKind::kWord) {
-      return SyntaxError(Peek(), "expected an attribute name");
+      return Error(ParseError::Kind::kSyntax, Peek(),
+                   "expected an attribute name");
     }
     const Token name_token = Peek();
     auto attr = schema_.IndexOf(name_token.text);
     if (!attr.ok()) {
-      return SyntaxError(name_token,
-                         "unknown attribute '" + name_token.text + "'");
+      return Error(ParseError::Kind::kUnknownAttribute, name_token,
+                   "unknown attribute '" + name_token.text + "'");
     }
     Advance();
+    atom_locs_.push_back(SourceLocation{line_, name_token.pos + 1});
 
     // Null tests.
     if (PeekKeyword("isnull")) {
@@ -208,7 +264,8 @@ class Parser {
     }
 
     if (Peek().kind != TokenKind::kOp) {
-      return SyntaxError(Peek(), "expected '=', '!=', '<', '>' or a null test");
+      return Error(ParseError::Kind::kSyntax, Peek(),
+                   "expected '=', '!=', '<', '>' or a null test");
     }
     AtomOp op;
     if (Peek().text == "=") {
@@ -224,7 +281,7 @@ class Parser {
 
     const Token operand = Peek();
     if (operand.kind != TokenKind::kWord && operand.kind != TokenKind::kQuoted) {
-      return SyntaxError(operand, "expected an operand");
+      return Error(ParseError::Kind::kSyntax, operand, "expected an operand");
     }
     Advance();
 
@@ -234,41 +291,81 @@ class Parser {
       if (rhs_attr.ok()) {
         Atom atom = Atom::Rel(*attr, op, *rhs_attr);
         Status valid = ValidateAtom(atom, schema_);
-        if (!valid.ok()) return SyntaxError(operand, valid.message());
+        if (!valid.ok()) {
+          return Error(ParseError::Kind::kTypeMismatch, operand,
+                       valid.message());
+        }
         return Formula::MakeAtom(atom);
       }
     }
 
     auto value = schema_.ParseValue(*attr, operand.text);
     if (!value.ok()) {
-      return SyntaxError(operand, "cannot parse '" + operand.text +
-                                      "' as a value of attribute '" +
-                                      name_token.text + "': " +
-                                      value.status().message());
+      return Error(ParseError::Kind::kBadConstant, operand,
+                   "cannot parse '" + operand.text +
+                       "' as a value of attribute '" + name_token.text +
+                       "': " + value.status().message());
     }
     Atom atom = Atom::Prop(*attr, op, *value);
     Status valid = ValidateAtom(atom, schema_);
-    if (!valid.ok()) return SyntaxError(operand, valid.message());
+    if (!valid.ok()) {
+      const ParseError::Kind kind = valid.code() == StatusCode::kOutOfRange
+                                        ? ParseError::Kind::kBadConstant
+                                        : ParseError::Kind::kTypeMismatch;
+      return Error(kind, operand, valid.message());
+    }
     return Formula::MakeAtom(atom);
   }
 
   const Schema& schema_;
   std::vector<Token> tokens_;
+  size_t line_ = 1;
   size_t pos_ = 0;
+  ParseError error_;
+  size_t first_token_pos_ = 0;
+  std::vector<SourceLocation> atom_locs_;
+  size_t premise_atom_count_ = 0;
 };
 
 }  // namespace
 
 Result<Formula> ParseFormula(const Schema& schema, const std::string& text) {
-  DQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser parser(schema, std::move(tokens));
+  std::vector<Token> tokens;
+  ParseError lex_error;
+  if (!Tokenize(text, 1, &tokens, &lex_error)) return lex_error.ToStatus();
+  Parser parser(schema, std::move(tokens), 1);
   return parser.ParseFormulaToEnd();
 }
 
 Result<Rule> ParseRule(const Schema& schema, const std::string& text) {
-  DQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser parser(schema, std::move(tokens));
-  return parser.ParseRuleToEnd();
+  ParsedRule parsed;
+  ParseError error;
+  if (!ParseRuleDetailed(schema, text, 1, &parsed, &error)) {
+    return error.ToStatus();
+  }
+  return std::move(parsed.rule);
+}
+
+bool ParseRuleDetailed(const Schema& schema, const std::string& text,
+                       size_t line, ParsedRule* out, ParseError* error) {
+  std::vector<Token> tokens;
+  if (!Tokenize(text, line, &tokens, error)) return false;
+  Parser parser(schema, std::move(tokens), line);
+  auto rule = parser.ParseRuleToEnd();
+  if (!rule.ok()) {
+    *error = parser.error();
+    return false;
+  }
+  out->rule = std::move(*rule);
+  out->loc = SourceLocation{line, parser.first_token_pos() + 1};
+  out->text = std::string(TrimWhitespace(text));
+  const auto& locs = parser.atom_locs();
+  const size_t split = parser.premise_atom_count();
+  out->premise_atom_locs.assign(locs.begin(),
+                                locs.begin() + static_cast<ptrdiff_t>(split));
+  out->consequent_atom_locs.assign(locs.begin() + static_cast<ptrdiff_t>(split),
+                                   locs.end());
+  return true;
 }
 
 Result<std::vector<Rule>> ParseRuleFile(const Schema& schema,
@@ -280,13 +377,12 @@ Result<std::vector<Rule>> ParseRuleFile(const Schema& schema,
     ++line_no;
     std::string_view trimmed = TrimWhitespace(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
-    auto rule = ParseRule(schema, std::string(trimmed));
-    if (!rule.ok()) {
-      return Status::InvalidArgument("rule file line " +
-                                     std::to_string(line_no) + ": " +
-                                     rule.status().message());
+    ParsedRule parsed;
+    ParseError error;
+    if (!ParseRuleDetailed(schema, line, line_no, &parsed, &error)) {
+      return Status::InvalidArgument("rule file " + error.Render());
     }
-    rules.push_back(std::move(*rule));
+    rules.push_back(std::move(parsed.rule));
   }
   return rules;
 }
@@ -296,6 +392,32 @@ Result<std::vector<Rule>> ParseRuleFileAt(const Schema& schema,
   std::ifstream f(path);
   if (!f) return Status::IOError("cannot open '" + path + "' for reading");
   return ParseRuleFile(schema, &f);
+}
+
+RuleFileParse ParseRuleFileLenient(const Schema& schema, std::istream* in) {
+  RuleFileParse result;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    ParsedRule parsed;
+    ParseError error;
+    if (ParseRuleDetailed(schema, line, line_no, &parsed, &error)) {
+      result.rules.push_back(std::move(parsed));
+    } else {
+      result.errors.push_back(std::move(error));
+    }
+  }
+  return result;
+}
+
+Result<RuleFileParse> ParseRuleFileLenientAt(const Schema& schema,
+                                             const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  return ParseRuleFileLenient(schema, &f);
 }
 
 }  // namespace dq

@@ -20,6 +20,12 @@
 // otherwise it is parsed as a constant of the left attribute's type.
 // Quote it ('404') to force a constant even when it collides with an
 // attribute name. Keywords are case-insensitive; names/values are not.
+//
+// Every parse failure carries a structured ParseError with a 1-based
+// line/column location, the offending token and an error category; the
+// Status-based entry points render it into the error message. The lenient
+// file entry point collects one error per bad line instead of stopping at
+// the first, which is what the dqlint static analyzer builds on.
 
 #ifndef DQ_LOGIC_RULE_PARSER_H_
 #define DQ_LOGIC_RULE_PARSER_H_
@@ -32,18 +38,86 @@
 
 namespace dq {
 
+/// \brief 1-based position inside a rule string or rule file.
+struct SourceLocation {
+  size_t line = 1;
+  size_t column = 1;
+
+  /// \brief "line L, column C".
+  std::string ToString() const;
+
+  bool operator==(const SourceLocation& other) const {
+    return line == other.line && column == other.column;
+  }
+};
+
+/// \brief Structured description of one parse failure.
+struct ParseError {
+  enum class Kind : uint8_t {
+    kSyntax,            ///< malformed token stream or grammar violation
+    kUnknownAttribute,  ///< a name does not resolve against the schema
+    kTypeMismatch,      ///< operator/operand types are incompatible
+    kBadConstant,       ///< a constant fails to parse or lies outside domain
+  };
+
+  Kind kind = Kind::kSyntax;
+  SourceLocation loc;
+  std::string token;    ///< offending token text ("<end>" at end of input)
+  std::string message;  ///< description without a position prefix
+
+  /// \brief "line L, column C ('token'): message".
+  std::string Render() const;
+
+  Status ToStatus() const { return Status::InvalidArgument(Render()); }
+};
+
+const char* ParseErrorKindToString(ParseError::Kind kind);
+
+/// \brief One successfully parsed rule plus provenance for diagnostics.
+struct ParsedRule {
+  Rule rule;
+  SourceLocation loc;  ///< start of the rule's first token
+  std::string text;    ///< the source text (trimmed)
+  /// Start location of every atom in parse order, which equals the pre-order
+  /// atom traversal of the corresponding formula tree.
+  std::vector<SourceLocation> premise_atom_locs;
+  std::vector<SourceLocation> consequent_atom_locs;
+};
+
+/// \brief Outcome of leniently parsing a rule file: every non-empty,
+/// non-comment line yields either a rule or an error.
+struct RuleFileParse {
+  std::vector<ParsedRule> rules;
+  std::vector<ParseError> errors;
+};
+
 /// \brief Parses a TDG-formula; fails with a position-annotated message.
 Result<Formula> ParseFormula(const Schema& schema, const std::string& text);
 
 /// \brief Parses one TDG-rule "premise -> consequent".
 Result<Rule> ParseRule(const Schema& schema, const std::string& text);
 
+/// \brief Parses one rule with full provenance. Returns true on success and
+/// fills `*out`; on failure fills `*error` (locations use `line` as the
+/// 1-based line number and the character offset in `text` as the column).
+bool ParseRuleDetailed(const Schema& schema, const std::string& text,
+                       size_t line, ParsedRule* out, ParseError* error);
+
 /// \brief Parses a rule file: one rule per non-empty line, '#' comments.
+/// Stops at the first malformed line.
 Result<std::vector<Rule>> ParseRuleFile(const Schema& schema,
                                         std::istream* in);
 
 Result<std::vector<Rule>> ParseRuleFileAt(const Schema& schema,
                                           const std::string& path);
+
+/// \brief Lenient variant: collects every parseable rule and one ParseError
+/// per malformed line instead of stopping at the first failure.
+RuleFileParse ParseRuleFileLenient(const Schema& schema, std::istream* in);
+
+/// \brief Lenient file parse; fails only when the file cannot be opened.
+Result<RuleFileParse> ParseRuleFileLenientAt(const Schema& schema,
+                                             const std::string& path);
 
 }  // namespace dq
 

@@ -109,7 +109,7 @@ TEST(IntegrationTest, QuisStructureModelContainsHeadlineRule) {
         text.find("GBM = 901") != std::string::npos) {
       found = true;
       // Support close to the BRV=404 population.
-      EXPECT_GT(rule.support, sample->brv404_count * 0.9);
+      EXPECT_GT(rule.support, static_cast<double>(sample->brv404_count) * 0.9);
       EXPECT_GT(rule.purity, 0.999);
     }
   }

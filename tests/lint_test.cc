@@ -1,0 +1,370 @@
+// Tests for the dqlint static analyzer: every check ID on crafted
+// fixtures, source locations, text/JSON rendering, configuration, and the
+// guarantee that generated natural rule sets lint clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "lint/lint.h"
+#include "table/date.h"
+#include "tdg/rule_generator.h"
+
+namespace dq {
+namespace {
+
+Schema LintSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("GROUP", {"G1", "G2", "G3", "G4"}).ok());
+  EXPECT_TRUE(s.AddNominal("FAMILY", {"F1", "F2", "F3", "F4"}).ok());
+  EXPECT_TRUE(s.AddNominal("PLANT", {"MANNHEIM", "KASSEL", "BERLIN"}).ok());
+  EXPECT_TRUE(s.AddNumeric("WEIGHT", 0.1, 500.0).ok());
+  EXPECT_TRUE(s.AddDate("INTRODUCED", DaysFromCivil({1995, 1, 1}),
+                        DaysFromCivil({2003, 12, 31}))
+                  .ok());
+  return s;
+}
+
+LintResult LintText(const Schema& schema, const std::string& text,
+                    LintOptions options = {}) {
+  Linter linter(&schema, std::move(options));
+  std::istringstream in(text);
+  return linter.LintFile(&in);
+}
+
+/// All diagnostics with the given check ID.
+std::vector<LintDiagnostic> FindAll(const LintResult& result,
+                                    const std::string& id) {
+  std::vector<LintDiagnostic> out;
+  for (const LintDiagnostic& d : result.diagnostics) {
+    if (d.check_id == id) out.push_back(d);
+  }
+  return out;
+}
+
+TEST(LintTest, CleanFileProducesNoDiagnostics) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s,
+                                     "# comment\n"
+                                     "GROUP = G1 -> FAMILY = F2\n"
+                                     "\n"
+                                     "GROUP = G4 -> WEIGHT > 100\n");
+  EXPECT_EQ(result.rules_checked, 2u);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_FALSE(result.HasErrors());
+}
+
+TEST(LintTest, SyntaxErrorDQ001) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s, "GROUP = G1 FAMILY = F2\n");
+  auto found = FindAll(result, "DQ001");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].check_name, "syntax-error");
+  EXPECT_EQ(found[0].severity, LintSeverity::kError);
+  EXPECT_EQ(found[0].loc.line, 1u);
+  EXPECT_EQ(found[0].loc.column, 12u);  // at 'FAMILY' where '->' was expected
+}
+
+TEST(LintTest, UnknownAttributeDQ002) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s, "\n\nNOPE = 1 -> GROUP = G1\n");
+  auto found = FindAll(result, "DQ002");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].loc.line, 3u);
+  EXPECT_EQ(found[0].loc.column, 1u);
+  EXPECT_NE(found[0].message.find("NOPE"), std::string::npos);
+}
+
+TEST(LintTest, TypeMismatchDQ003) {
+  Schema s = LintSchema();
+  // Ordered comparison on a nominal attribute and a mixed-type relational
+  // atom are both type errors.
+  const LintResult result = LintText(s,
+                                     "GROUP < G2 -> FAMILY = F1\n"
+                                     "WEIGHT = PLANT -> FAMILY = F1\n");
+  auto found = FindAll(result, "DQ003");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].loc.line, 1u);
+  EXPECT_EQ(found[1].loc.line, 2u);
+}
+
+TEST(LintTest, BadConstantDQ004) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s,
+                                     "WEIGHT > 900 -> FAMILY = F1\n"
+                                     "GROUP = G9 -> FAMILY = F1\n");
+  auto found = FindAll(result, "DQ004");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].loc.line, 1u);
+  EXPECT_EQ(found[0].loc.column, 10u);  // the constant 900
+  EXPECT_EQ(found[1].loc.line, 2u);
+}
+
+TEST(LintTest, ImpossibleAtomDQ005) {
+  Schema s = LintSchema();
+  // 0.1 is inside the domain, but WEIGHT < 0.1 can never hold.
+  const LintResult result = LintText(s, "GROUP = G1 -> WEIGHT < 0.1\n");
+  auto found = FindAll(result, "DQ005");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(found[0].loc.line, 1u);
+  EXPECT_EQ(found[0].loc.column, 15u);  // the WEIGHT atom, not the rule
+}
+
+TEST(LintTest, UnsatPremiseDQ010) {
+  Schema s = LintSchema();
+  const LintResult result =
+      LintText(s, "GROUP = G1 AND GROUP = G2 -> FAMILY = F1\n");
+  auto found = FindAll(result, "DQ010");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kError);
+  EXPECT_EQ(found[0].loc.line, 1u);
+  EXPECT_EQ(found[0].rule_index, 0);
+}
+
+TEST(LintTest, UnsatConsequentDQ011) {
+  Schema s = LintSchema();
+  const LintResult result =
+      LintText(s, "GROUP = G1 -> FAMILY = F1 AND FAMILY = F2\n");
+  auto found = FindAll(result, "DQ011");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kError);
+}
+
+TEST(LintTest, ContradictoryRuleDQ012) {
+  Schema s = LintSchema();
+  // Both sides satisfiable alone, jointly impossible.
+  const LintResult result = LintText(s, "FAMILY = F3 -> FAMILY = F1\n");
+  auto found = FindAll(result, "DQ012");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kError);
+}
+
+TEST(LintTest, TautologicalConclusionDQ013) {
+  Schema s = LintSchema();
+  const LintResult result =
+      LintText(s, "GROUP = G1 -> FAMILY isnull OR FAMILY isnotnull\n");
+  auto found = FindAll(result, "DQ013");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kWarning);
+}
+
+TEST(LintTest, SelfEvidentRuleDQ014) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s, "WEIGHT > 400 -> WEIGHT > 100\n");
+  auto found = FindAll(result, "DQ014");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kWarning);
+}
+
+TEST(LintTest, ContradictoryPairDQ020) {
+  Schema s = LintSchema();
+  // Equal premises, conflicting conclusions: Definition 6 violation.
+  const LintResult result = LintText(s,
+                                     "GROUP = G3 -> FAMILY = F1\n"
+                                     "GROUP = G3 -> FAMILY = F2\n");
+  auto found = FindAll(result, "DQ020");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kError);
+  EXPECT_EQ(found[0].loc.line, 2u);
+  EXPECT_EQ(found[0].rule_index, 1);
+  EXPECT_EQ(found[0].other_rule_index, 0);
+  EXPECT_EQ(found[0].other_loc.line, 1u);
+}
+
+TEST(LintTest, ContradictoryPairStrongerPremiseDQ020) {
+  Schema s = LintSchema();
+  // The stronger premise (line 2) forces both conclusions; they conflict.
+  const LintResult result = LintText(s,
+                                     "GROUP = G3 -> FAMILY = F1\n"
+                                     "GROUP = G3 AND PLANT = KASSEL -> "
+                                     "FAMILY = F2\n");
+  auto found = FindAll(result, "DQ020");
+  ASSERT_EQ(found.size(), 1u);
+}
+
+TEST(LintTest, DuplicateRuleDQ021) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s,
+                                     "GROUP = G3 -> FAMILY = F1\n"
+                                     "GROUP = G3 -> FAMILY = F1\n");
+  auto found = FindAll(result, "DQ021");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].loc.line, 2u);
+  EXPECT_EQ(found[0].other_loc.line, 1u);
+}
+
+TEST(LintTest, SubsumedRuleDQ022) {
+  Schema s = LintSchema();
+  // Line 1 fires only on a subset of line 2's records and demands nothing
+  // more, so it adds no information.
+  const LintResult result = LintText(s,
+                                     "GROUP = G4 AND PLANT = BERLIN -> "
+                                     "WEIGHT > 100\n"
+                                     "GROUP = G4 -> WEIGHT > 100\n");
+  auto found = FindAll(result, "DQ022");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].loc.line, 1u);
+  EXPECT_EQ(found[0].other_loc.line, 2u);
+}
+
+TEST(LintTest, ConflictingOverlapDQ023IsNote) {
+  Schema s = LintSchema();
+  // Premises merely overlap (neither implies the other); the conclusions
+  // conflict on the overlap. This is rule chaining, not a defect.
+  const LintResult result = LintText(s,
+                                     "GROUP = G1 -> FAMILY = F2\n"
+                                     "FAMILY = F3 AND PLANT = KASSEL -> "
+                                     "WEIGHT > 100\n");
+  auto found = FindAll(result, "DQ023");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kNote);
+  EXPECT_FALSE(result.HasErrors());
+}
+
+TEST(LintTest, ErroneousRulesAreExcludedFromPairwiseChecks) {
+  Schema s = LintSchema();
+  // The first rule's premise is unsatisfiable; it must not also be
+  // reported as a duplicate/subsumption partner.
+  const LintResult result = LintText(s,
+                                     "GROUP = G1 AND GROUP = G2 -> "
+                                     "FAMILY = F1\n"
+                                     "GROUP = G1 AND GROUP = G2 -> "
+                                     "FAMILY = F1\n");
+  EXPECT_EQ(FindAll(result, "DQ010").size(), 2u);
+  EXPECT_TRUE(FindAll(result, "DQ021").empty());
+  EXPECT_TRUE(FindAll(result, "DQ020").empty());
+}
+
+TEST(LintTest, DisabledChecksAreSuppressed) {
+  Schema s = LintSchema();
+  LintOptions by_id;
+  by_id.disabled = {"DQ014"};
+  EXPECT_TRUE(
+      FindAll(LintText(s, "WEIGHT > 400 -> WEIGHT > 100\n", by_id), "DQ014")
+          .empty());
+  LintOptions by_name;
+  by_name.disabled = {"self-evident-rule"};
+  EXPECT_TRUE(
+      FindAll(LintText(s, "WEIGHT > 400 -> WEIGHT > 100\n", by_name), "DQ014")
+          .empty());
+}
+
+TEST(LintTest, DiagnosticsAreSortedByLocation) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s,
+                                     "GROUP = G3 -> FAMILY = F2\n"
+                                     "NOPE = 1 -> GROUP = G1\n"
+                                     "GROUP = G3 -> FAMILY = F1\n"
+                                     "GROUP = G3 -> FAMILY = F1\n");
+  ASSERT_GE(result.diagnostics.size(), 2u);
+  for (size_t i = 1; i < result.diagnostics.size(); ++i) {
+    EXPECT_LE(result.diagnostics[i - 1].loc.line,
+              result.diagnostics[i].loc.line);
+  }
+}
+
+TEST(LintTest, PairwiseLimitEmitsSkipNote) {
+  Schema s = LintSchema();
+  LintOptions options;
+  options.max_pairwise_rules = 1;
+  const LintResult result = LintText(s,
+                                     "GROUP = G3 -> FAMILY = F1\n"
+                                     "GROUP = G3 -> FAMILY = F2\n",
+                                     options);
+  EXPECT_TRUE(FindAll(result, "DQ020").empty());
+  auto skipped = FindAll(result, "DQ030");
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0].severity, LintSeverity::kNote);
+}
+
+TEST(LintTest, CheckRegistryIsStable) {
+  const auto& checks = LintChecks();
+  ASSERT_GE(checks.size(), 15u);
+  // IDs are unique and ascending.
+  for (size_t i = 1; i < checks.size(); ++i) {
+    EXPECT_LT(std::string(checks[i - 1].id), checks[i].id);
+  }
+}
+
+TEST(LintTest, TextRenderingIsCompilerStyle) {
+  Schema s = LintSchema();
+  const LintResult result =
+      LintText(s, "GROUP = G1 AND GROUP = G2 -> FAMILY = F1\n");
+  const std::string text = RenderLintText(result, "x.rules");
+  EXPECT_NE(text.find("x.rules:1:1: error: "), std::string::npos);
+  EXPECT_NE(text.find("[DQ010 unsat-premise]"), std::string::npos);
+  EXPECT_NE(text.find("1 rules checked, 1 errors"), std::string::npos);
+}
+
+TEST(LintTest, JsonRenderingHasStableSchema) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s,
+                                     "GROUP = G3 -> FAMILY = F1\n"
+                                     "GROUP = G3 -> FAMILY = F2\n");
+  const std::string json = RenderLintJson(result, "x.rules");
+  EXPECT_NE(json.find("\"source\": \"x.rules\""), std::string::npos);
+  EXPECT_NE(json.find("\"rules_checked\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"id\": \"DQ020\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"related_rule\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"related_line\": 1"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Quotes inside messages are escaped: every diagnostic message contains
+  // quoted rule fragments.
+  EXPECT_EQ(json.find("\"message\": \"conclusions conflict"),
+            json.find("\"message\":"));
+}
+
+TEST(LintTest, JsonEmptyDiagnosticsIsValid) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(s, "GROUP = G1 -> FAMILY = F2\n");
+  const std::string json = RenderLintJson(result, "ok.rules");
+  EXPECT_NE(json.find("\"diagnostics\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos);
+}
+
+TEST(LintTest, GeneratedNaturalRuleSetsLintClean) {
+  // The rule generator filters candidates through Definitions 4-6, which
+  // subsume every error- and warning-level lint check: a generated set
+  // must produce no errors and no warnings (informational notes allowed).
+  Schema s = LintSchema();
+  RuleGenConfig cfg;
+  cfg.num_rules = 8;
+  cfg.seed = 17;
+  RuleGenerator gen(&s, cfg);
+  auto rules = gen.Generate();
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ASSERT_EQ(rules->size(), 8u);
+
+  Linter linter(&s);
+  const LintResult result = linter.LintRules(*rules);
+  EXPECT_EQ(result.rules_checked, 8u);
+  EXPECT_EQ(result.NumErrors(), 0u) << RenderLintText(result, "<generated>");
+  EXPECT_EQ(result.NumWarnings(), 0u) << RenderLintText(result, "<generated>");
+}
+
+TEST(LintTest, LintRulesSynthesizesSequentialLocations) {
+  Schema s = LintSchema();
+  std::vector<Rule> rules;
+  auto r1 = ParseRule(s, "GROUP = G3 -> FAMILY = F1");
+  auto r2 = ParseRule(s, "GROUP = G3 -> FAMILY = F2");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  rules.push_back(*r1);
+  rules.push_back(*r2);
+  Linter linter(&s);
+  const LintResult result = linter.LintRules(rules);
+  auto found = FindAll(result, "DQ020");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].loc.line, 2u);
+  EXPECT_EQ(found[0].other_loc.line, 1u);
+}
+
+}  // namespace
+}  // namespace dq

@@ -109,8 +109,8 @@ INSTANTIATE_TEST_SUITE_P(AllInducers, InducerSuite,
                                          InducerKind::kNaiveBayes,
                                          InducerKind::kKnn,
                                          InducerKind::kOneR),
-                         [](const auto& info) {
-                           std::string name = InducerKindToString(info.param);
+                         [](const auto& param_info) {
+                           std::string name = InducerKindToString(param_info.param);
                            name.erase(std::remove_if(name.begin(), name.end(),
                                                      [](char c) {
                                                        return !isalnum(c);
@@ -227,8 +227,8 @@ INSTANTIATE_TEST_SUITE_P(AllPolluters, PolluterSuite,
                                          PolluterKind::kLimiter,
                                          PolluterKind::kSwitcher,
                                          PolluterKind::kDuplicator),
-                         [](const auto& info) {
-                           std::string name = PolluterKindToString(info.param);
+                         [](const auto& param_info) {
+                           std::string name = PolluterKindToString(param_info.param);
                            name.erase(std::remove(name.begin(), name.end(), '-'),
                                       name.end());
                            return name;
@@ -274,10 +274,10 @@ TEST_P(MinConfSuite, FlaggedRecordsMeetTheThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, MinConfSuite,
                          testing::Values(0.5, 0.7, 0.8, 0.9, 0.95),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "conf" +
                                   std::to_string(static_cast<int>(
-                                      info.param * 100));
+                                      param_info.param * 100));
                          });
 
 // ===========================================================================
@@ -418,7 +418,7 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(SatSchemaShape{"tiny", 2, 1.0, 3},
                     SatSchemaShape{"small", 4, 10.0, 30},
                     SatSchemaShape{"wide", 12, 1000.0, 3650}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& param_info) { return param_info.param.name; });
 
 }  // namespace
 }  // namespace dq

@@ -238,7 +238,7 @@ TEST(QuantRuleGeneratorTest, PremiseSelectivityStaysInsideWindow) {
     for (const Row& row : sample) {
       if (rule.premise.Evaluate(row)) ++hits;
     }
-    const double measured = static_cast<double>(hits) / sample.size();
+    const double measured = static_cast<double>(hits) / static_cast<double>(sample.size());
     // Monte-Carlo slack around the configured window.
     EXPECT_LE(measured, 0.16) << rule.ToString(s);
   }

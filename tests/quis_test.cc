@@ -80,7 +80,7 @@ TEST(QuisTest, SecondRuleSliceHasExpectedPurity) {
   EXPECT_GT(purity, 0.9);
   EXPECT_LT(purity, 0.99);
   // Slice size ~4.8% of the table (9530 / 200000 in the paper).
-  EXPECT_NEAR(sample->kbm01_gbm901_count / 20000.0, 0.05, 0.015);
+  EXPECT_NEAR(static_cast<double>(sample->kbm01_gbm901_count) / 20000.0, 0.05, 0.015);
 }
 
 TEST(QuisTest, DeterministicForSeed) {

@@ -165,6 +165,118 @@ TEST(RuleParserTest, RoundTripThroughToString) {
   }
 }
 
+// Expects ParseRuleDetailed to fail on `text` and returns the error.
+ParseError DetailedError(const Schema& s, const std::string& text,
+                         size_t line = 1) {
+  ParsedRule parsed;
+  ParseError error;
+  EXPECT_FALSE(ParseRuleDetailed(s, text, line, &parsed, &error)) << text;
+  return error;
+}
+
+TEST(RuleParserTest, DetailedSyntaxErrorLocations) {
+  Schema s = ParserSchema();
+
+  ParseError missing_arrow = DetailedError(s, "BRV = 404 GBM = 901");
+  EXPECT_EQ(missing_arrow.kind, ParseError::Kind::kSyntax);
+  EXPECT_EQ(missing_arrow.loc.line, 1u);
+  EXPECT_EQ(missing_arrow.loc.column, 11u);  // the stray 'GBM'
+  EXPECT_EQ(missing_arrow.token, "GBM");
+  EXPECT_NE(missing_arrow.message.find("expected '->'"), std::string::npos);
+
+  ParseError unbalanced = DetailedError(s, "(BRV = 404 -> GBM = 901");
+  EXPECT_EQ(unbalanced.kind, ParseError::Kind::kSyntax);
+  EXPECT_NE(unbalanced.message.find("expected ')'"), std::string::npos);
+
+  ParseError unterminated = DetailedError(s, "BRV = '404 -> GBM = 901");
+  EXPECT_EQ(unterminated.kind, ParseError::Kind::kSyntax);
+  EXPECT_EQ(unterminated.loc.column, 7u);  // where the quote opened
+
+  ParseError trailing = DetailedError(s, "BRV = 404 -> GBM = 901 )");
+  EXPECT_EQ(trailing.kind, ParseError::Kind::kSyntax);
+  EXPECT_EQ(trailing.loc.column, 24u);
+  EXPECT_EQ(trailing.token, ")");
+
+  ParseError empty_premise = DetailedError(s, "-> GBM = 901");
+  EXPECT_EQ(empty_premise.kind, ParseError::Kind::kSyntax);
+  EXPECT_EQ(empty_premise.loc.column, 1u);
+}
+
+TEST(RuleParserTest, DetailedSemanticErrorKinds) {
+  Schema s = ParserSchema();
+
+  ParseError unknown = DetailedError(s, "NOPE = 1 -> BRV = 404", 7);
+  EXPECT_EQ(unknown.kind, ParseError::Kind::kUnknownAttribute);
+  EXPECT_EQ(unknown.loc.line, 7u);  // caller-provided line number sticks
+  EXPECT_EQ(unknown.loc.column, 1u);
+  EXPECT_EQ(unknown.token, "NOPE");
+
+  ParseError bad_value = DetailedError(s, "BRV = 404 -> GBM = 999");
+  EXPECT_EQ(bad_value.kind, ParseError::Kind::kBadConstant);
+  EXPECT_EQ(bad_value.loc.column, 20u);  // the offending constant itself
+  EXPECT_EQ(bad_value.token, "999");
+
+  ParseError ordered_nominal = DetailedError(s, "BRV < 404 -> GBM = 901");
+  EXPECT_EQ(ordered_nominal.kind, ParseError::Kind::kTypeMismatch);
+  EXPECT_EQ(ordered_nominal.loc.column, 7u);
+
+  ParseError mixed_relational = DetailedError(s, "N = BRV -> GBM = 901");
+  EXPECT_EQ(mixed_relational.kind, ParseError::Kind::kTypeMismatch);
+
+  ParseError bad_number = DetailedError(s, "N < abc -> GBM = 901");
+  EXPECT_EQ(bad_number.kind, ParseError::Kind::kBadConstant);
+
+  ParseError bad_date = DetailedError(s, "D > 1999-13-99 -> GBM = 901");
+  EXPECT_EQ(bad_date.kind, ParseError::Kind::kBadConstant);
+}
+
+TEST(RuleParserTest, DetailedErrorRendering) {
+  Schema s = ParserSchema();
+  ParseError error = DetailedError(s, "NOPE = 1 -> BRV = 404", 3);
+  const std::string rendered = error.Render();
+  EXPECT_NE(rendered.find("line 3"), std::string::npos);
+  EXPECT_NE(rendered.find("column 1"), std::string::npos);
+  EXPECT_NE(rendered.find("'NOPE'"), std::string::npos);
+  EXPECT_FALSE(error.ToStatus().ok());
+  EXPECT_NE(error.ToStatus().message().find("NOPE"), std::string::npos);
+}
+
+TEST(RuleParserTest, DetailedParseRecordsAtomLocations) {
+  Schema s = ParserSchema();
+  ParsedRule parsed;
+  ParseError error;
+  ASSERT_TRUE(ParseRuleDetailed(s, "BRV = 404 AND KBM = 01 -> GBM = 901", 5,
+                                &parsed, &error))
+      << error.Render();
+  EXPECT_EQ(parsed.loc.line, 5u);
+  EXPECT_EQ(parsed.loc.column, 1u);
+  ASSERT_EQ(parsed.premise_atom_locs.size(), 2u);
+  EXPECT_EQ(parsed.premise_atom_locs[0].column, 1u);   // BRV
+  EXPECT_EQ(parsed.premise_atom_locs[1].column, 15u);  // KBM
+  ASSERT_EQ(parsed.consequent_atom_locs.size(), 1u);
+  EXPECT_EQ(parsed.consequent_atom_locs[0].column, 27u);  // GBM
+  EXPECT_EQ(parsed.text, "BRV = 404 AND KBM = 01 -> GBM = 901");
+}
+
+TEST(RuleParserTest, LenientFileParseCollectsAllErrors) {
+  Schema s = ParserSchema();
+  std::istringstream in(
+      "# comment\n"
+      "BRV = 404 -> GBM = 901\n"
+      "(BRV = 404 -> GBM = 901\n"
+      "NOPE = 1 -> BRV = 404\n"
+      "KBM = 01 -> BRV = 501\n");
+  RuleFileParse parse = ParseRuleFileLenient(s, &in);
+  ASSERT_EQ(parse.rules.size(), 2u);
+  EXPECT_EQ(parse.rules[0].loc.line, 2u);
+  EXPECT_EQ(parse.rules[1].loc.line, 5u);
+  ASSERT_EQ(parse.errors.size(), 2u);
+  EXPECT_EQ(parse.errors[0].loc.line, 3u);
+  EXPECT_EQ(parse.errors[0].kind, ParseError::Kind::kSyntax);
+  EXPECT_EQ(parse.errors[1].loc.line, 4u);
+  EXPECT_EQ(parse.errors[1].kind, ParseError::Kind::kUnknownAttribute);
+}
+
 TEST(RuleParserTest, RuleFileWithCommentsAndErrors) {
   Schema s = ParserSchema();
   std::istringstream good(

@@ -165,8 +165,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, DistributionDomainTest,
                                          DistributionKind::kCategorical,
                                          DistributionKind::kNormal,
                                          DistributionKind::kExponential),
-                         [](const auto& info) {
-                           return DistributionKindToString(info.param);
+                         [](const auto& param_info) {
+                           return DistributionKindToString(param_info.param);
                          });
 
 TEST(DistributionTest, UniformNominalCoversDomain) {

@@ -23,6 +23,11 @@
 //   --threads N        worker threads for induction/checking
 //                      (default 0 = hardware concurrency; results are
 //                      identical for every thread count)
+//   --rules-file FILE  expert-written TDG rules (sec. 3.2) checked
+//                      deterministically against the data: per-rule
+//                      violation counts plus example rows
+//   --lint             run the dqlint check battery over --rules-file
+//                      before auditing; lint errors abort with exit code 1
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +40,8 @@
 #include "audit/summary.h"
 #include "audit/structure_model.h"
 #include "eval/report_io.h"
+#include "lint/lint.h"
+#include "logic/rule_parser.h"
 #include "table/csv.h"
 #include "table/schema_spec.h"
 
@@ -50,6 +57,7 @@ struct Options {
   std::string load_model_path;
   std::string corrected_path;
   std::string report_path;
+  std::string rules_path;
   double min_conf = 0.8;
   double level = 0.95;
   std::string inducer = "c45";
@@ -58,6 +66,7 @@ struct Options {
   int threads = 0;
   bool print_rules = false;
   bool print_summary = false;
+  bool lint = false;
 };
 
 void Usage() {
@@ -67,7 +76,7 @@ void Usage() {
                "  [--inducer c45|naive-bayes|knn|oner] [--save-model m]\n"
                "  [--load-model m] [--top 20] [--explain 5] [--rules]\n"
                "  [--corrected out.csv] [--report report.csv]\n"
-               "  [--summary] [--threads 0]\n");
+               "  [--summary] [--threads 0] [--rules-file r.rules] [--lint]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -86,6 +95,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--load-model" && need_value(&opts->load_model_path)) continue;
     if (arg == "--corrected" && need_value(&opts->corrected_path)) continue;
     if (arg == "--report" && need_value(&opts->report_path)) continue;
+    if (arg == "--rules-file" && need_value(&opts->rules_path)) continue;
     if (arg == "--inducer" && need_value(&opts->inducer)) continue;
     if (arg == "--min-conf" && need_value(&value)) {
       opts->min_conf = std::atof(value.c_str());
@@ -115,10 +125,18 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->print_summary = true;
       continue;
     }
+    if (arg == "--lint") {
+      opts->lint = true;
+      continue;
+    }
     std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
     return false;
   }
   if (opts->schema_path.empty() || opts->data_path.empty()) {
+    return false;
+  }
+  if (opts->lint && opts->rules_path.empty()) {
+    std::fprintf(stderr, "--lint requires --rules-file\n");
     return false;
   }
   return true;
@@ -153,6 +171,46 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu records x %zu attributes from %s\n",
               data->num_rows(), schema->num_attributes(),
               opts.data_path.c_str());
+
+  // Expert-rule deviation check: deterministic violations of the
+  // domain-expert dependencies, complementing the induced structure model.
+  if (!opts.rules_path.empty()) {
+    if (opts.lint) {
+      Linter linter(&*schema);
+      auto lint_result = linter.LintFileAt(opts.rules_path);
+      if (!lint_result.ok()) return Fail(lint_result.status());
+      std::fputs(RenderLintText(*lint_result, opts.rules_path).c_str(),
+                 stderr);
+      if (lint_result->HasErrors()) {
+        std::fprintf(stderr,
+                     "dqaudit: rule file rejected by lint; fix the errors "
+                     "above or rerun without --lint\n");
+        return 1;
+      }
+    }
+    auto expert_rules = ParseRuleFileAt(*schema, opts.rules_path);
+    if (!expert_rules.ok()) return Fail(expert_rules.status());
+    size_t total_violations = 0;
+    for (size_t ri = 0; ri < expert_rules->size(); ++ri) {
+      const Rule& rule = (*expert_rules)[ri];
+      size_t count = 0;
+      size_t first = 0;
+      for (size_t r = 0; r < data->num_rows(); ++r) {
+        if (rule.Violates(data->row(r))) {
+          if (count == 0) first = r;
+          ++count;
+        }
+      }
+      total_violations += count;
+      if (count > 0) {
+        std::printf("expert rule %zu violated by %zu rows (first: row %zu): "
+                    "%s\n",
+                    ri + 1, count, first, rule.ToString(*schema).c_str());
+      }
+    }
+    std::printf("expert rules: %zu rules, %zu violating row/rule pairs\n",
+                expert_rules->size(), total_violations);
+  }
 
   AuditorConfig config;
   config.min_error_confidence = opts.min_conf;

@@ -17,12 +17,15 @@
 //   --log FILE        write the corruption log
 //   --truth FILE      write per-dirty-row ground truth (row,corrupted,origin)
 //   --print-rules     print the generated rule set
+//   --lint            run the dqlint check battery over the rule set before
+//                     generating; lint errors abort with exit code 1
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 
+#include "lint/lint.h"
 #include "logic/natural.h"
 #include "logic/rule_parser.h"
 #include "pollution/pipeline.h"
@@ -47,13 +50,15 @@ struct Options {
   uint64_t seed = 1;
   double factor = 1.0;
   bool print_rules = false;
+  bool lint = false;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: dqgen --schema spec.txt --records N --clean out.csv\n"
                "  [--rules 25] [--seed 1] [--dirty out.csv] [--factor 1.0]\n"
-               "  [--log corruption.log] [--truth truth.csv] [--print-rules]\n");
+               "  [--log corruption.log] [--truth truth.csv] [--print-rules]\n"
+               "  [--rules-file rules.txt] [--lint]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -91,6 +96,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->print_rules = true;
       continue;
     }
+    if (arg == "--lint") {
+      opts->lint = true;
+      continue;
+    }
     std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
     return false;
   }
@@ -117,6 +126,22 @@ int main(int argc, char** argv) {
 
   std::vector<Rule> rules;
   if (!opts.rules_path.empty()) {
+    // The lint pre-pass rejects malformed rule files with actionable,
+    // position-annotated diagnostics instead of silently generating
+    // garbage data.
+    if (opts.lint) {
+      Linter linter(&*schema);
+      auto lint_result = linter.LintFileAt(opts.rules_path);
+      if (!lint_result.ok()) return Fail(lint_result.status());
+      std::fputs(RenderLintText(*lint_result, opts.rules_path).c_str(),
+                 stderr);
+      if (lint_result->HasErrors()) {
+        std::fprintf(stderr,
+                     "dqgen: rule file rejected by lint; fix the errors "
+                     "above or rerun without --lint\n");
+        return 1;
+      }
+    }
     auto parsed = ParseRuleFileAt(*schema, opts.rules_path);
     if (!parsed.ok()) return Fail(parsed.status());
     rules = std::move(*parsed);
@@ -138,6 +163,15 @@ int main(int argc, char** argv) {
     auto generated = rule_gen.Generate();
     if (!generated.ok()) return Fail(generated.status());
     rules = std::move(*generated);
+    if (opts.lint) {
+      Linter linter(&*schema);
+      const LintResult lint_result = linter.LintRules(rules);
+      std::fputs(RenderLintText(lint_result, "<generated>").c_str(), stderr);
+      if (lint_result.HasErrors()) {
+        std::fprintf(stderr, "dqgen: generated rule set failed lint\n");
+        return 1;
+      }
+    }
   }
   if (opts.print_rules) {
     for (const Rule& r : rules) {

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end test for the dqlint static analyzer and the --lint pre-passes
+# of dqgen / dqaudit: a clean rule file lints clean, a deliberately broken
+# file trips every check category with correct locations, and both tools
+# reject broken rule files with a non-zero exit code.
+set -euo pipefail
+
+DQLINT="$1"
+DQGEN="$2"
+DQAUDIT="$3"
+TESTDATA="$4"
+
+SPEC="$TESTDATA/parts.spec"
+GOOD="$TESTDATA/parts.rules"
+BAD="$TESTDATA/parts_bad.rules"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# A clean expert rule file has no errors or warnings and exit code 0.
+# (A DQ023 note is fine: rule 1's consequent chains into rule 2's premise.)
+"$DQLINT" --schema "$SPEC" "$GOOD" > "$WORK/good.out"
+grep -q "4 rules checked, 0 errors, 0 warnings" "$WORK/good.out"
+
+# The broken file fails (exit 1) and reports every check category.
+if "$DQLINT" --schema "$SPEC" "$BAD" > "$WORK/bad.out"; then
+  echo "dqlint accepted a broken rule file" >&2
+  exit 1
+fi
+for id in DQ001 DQ002 DQ003 DQ004 DQ005 DQ010 DQ011 DQ012 DQ013 DQ014 \
+          DQ020 DQ021 DQ022; do
+  if ! grep -q "\[$id " "$WORK/bad.out"; then
+    echo "missing diagnostic $id in:" >&2
+    cat "$WORK/bad.out" >&2
+    exit 1
+  fi
+done
+# Diagnostics carry file:line:column locations.
+grep -q "parts_bad.rules:2:" "$WORK/bad.out"
+grep -q "parts_bad.rules:7:1: error: premise is unsatisfiable" "$WORK/bad.out"
+
+# JSON output carries the same findings in machine-readable form.
+"$DQLINT" --schema "$SPEC" --format json "$BAD" > "$WORK/bad.json" || true
+grep -q '"id": "DQ010"' "$WORK/bad.json"
+grep -q '"diagnostics"' "$WORK/bad.json"
+grep -q '"severity": "error"' "$WORK/bad.json"
+
+# --disable suppresses checks by ID or name.
+"$DQLINT" --schema "$SPEC" --disable DQ022,duplicate-rule "$BAD" \
+  > "$WORK/bad2.out" || true
+! grep -q "DQ022" "$WORK/bad2.out"
+! grep -q "DQ021" "$WORK/bad2.out"
+
+# --list-checks prints the registry.
+"$DQLINT" --list-checks | grep -q "DQ020"
+
+# --strict fails on warnings-only files; default passes them.
+printf 'WEIGHT > 400 -> WEIGHT > 100\n' > "$WORK/warn.rules"
+"$DQLINT" --schema "$SPEC" "$WORK/warn.rules" > /dev/null
+if "$DQLINT" --schema "$SPEC" --strict "$WORK/warn.rules" > /dev/null; then
+  echo "--strict did not fail on warnings" >&2
+  exit 1
+fi
+
+# dqgen --lint rejects the broken rule file before generating anything.
+if "$DQGEN" --schema "$SPEC" --records 10 --rules-file "$BAD" --lint \
+    --clean "$WORK/never.csv" 2> "$WORK/gen.err"; then
+  echo "dqgen --lint accepted a broken rule file" >&2
+  exit 1
+fi
+grep -q "rejected by lint" "$WORK/gen.err"
+test ! -s "$WORK/never.csv"
+
+# dqgen --lint passes a clean rule file and generates normally.
+"$DQGEN" --schema "$SPEC" --records 200 --rules-file "$GOOD" --lint \
+  --seed 3 --clean "$WORK/clean.csv" 2> /dev/null
+test -s "$WORK/clean.csv"
+
+# dqaudit --lint rejects the broken rule file before auditing.
+if "$DQAUDIT" --schema "$SPEC" --data "$WORK/clean.csv" \
+    --rules-file "$BAD" --lint > /dev/null 2> "$WORK/audit.err"; then
+  echo "dqaudit --lint accepted a broken rule file" >&2
+  exit 1
+fi
+grep -q "rejected by lint" "$WORK/audit.err"
+
+# dqaudit checks expert rules deterministically against the data.
+"$DQAUDIT" --schema "$SPEC" --data "$WORK/clean.csv" \
+  --rules-file "$GOOD" --lint > "$WORK/audit.out" 2> /dev/null
+grep -q "expert rules: 4 rules" "$WORK/audit.out"
+
+echo "lint cli OK"
