@@ -1,0 +1,155 @@
+// CSV ingest throughput: serial vs parallel streaming parse of the QUIS
+// surrogate, clean and with injected malformed records (the quarantine
+// path). The audit workflow starts by pointing the tool at a real
+// operational extract, so ingest is a first-class phase next to induce and
+// audit; this emitter makes its cost and recovery behaviour diffable.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "quis/quis_sample.h"
+#include "table/csv.h"
+
+using namespace dq;
+
+namespace {
+
+/// Corrupts every `stride`-th data line, cycling through the error kinds.
+std::string InjectDirt(const std::string& csv, size_t stride,
+                       size_t* injected) {
+  std::string out;
+  out.reserve(csv.size() + csv.size() / 16);
+  size_t line = 0;
+  size_t start = 0;
+  *injected = 0;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    std::string record = csv.substr(start, end - start);
+    // Line 0 is the header; corrupt every stride-th data line.
+    if (line > 0 && line % stride == 0) {
+      switch ((*injected)++ % 3) {
+        case 0:  // arity mismatch: drop the last field
+          record = record.substr(0, record.rfind(','));
+          break;
+        case 1:  // stray quote mid-field (offset 1 is inside the first
+                 // field, so the quote can never open a quoted field)
+          record.insert(1, 1, '"');
+          break;
+        case 2:  // bad value: out-of-domain category
+          record = "ZZZ" + record.substr(record.find(','));
+          break;
+      }
+    }
+    out += record;
+    out += '\n';
+    ++line;
+    start = end + 1;
+  }
+  return out;
+}
+
+double ParseMs(const Schema& schema, const std::string& csv,
+               const CsvOptions& options, IngestReport* report,
+               size_t* rows) {
+  std::istringstream is(csv);
+  auto table = ReadCsv(schema, &is, options, report);
+  if (!table.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 table.status().ToString().c_str());
+    std::exit(1);
+  }
+  *rows = table->num_rows();
+  return report->parse_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = dq::bench::QuickMode(argc, argv);
+  const int threads = dq::bench::ThreadsArg(argc, argv);
+  QuisConfig qcfg;
+  qcfg.num_records = quick ? 20000 : 200000;
+  qcfg.seed = 2003;
+  auto sample = GenerateQuisSample(qcfg);
+  if (!sample.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 sample.status().ToString().c_str());
+    return 1;
+  }
+  const Schema& schema = sample->table.schema();
+
+  std::ostringstream os;
+  if (!WriteCsv(sample->table, &os).ok()) {
+    std::fprintf(stderr, "write failed\n");
+    return 1;
+  }
+  const std::string clean = os.str();
+  const double mb = static_cast<double>(clean.size()) / (1024.0 * 1024.0);
+
+  CsvOptions serial_opts;
+  serial_opts.num_threads = 1;
+  CsvOptions parallel_opts;
+  parallel_opts.num_threads = threads;
+
+  IngestReport serial_report;
+  IngestReport parallel_report;
+  size_t serial_rows = 0;
+  size_t parallel_rows = 0;
+  const double serial_ms =
+      ParseMs(schema, clean, serial_opts, &serial_report, &serial_rows);
+  const double parallel_ms =
+      ParseMs(schema, clean, parallel_opts, &parallel_report, &parallel_rows);
+  if (serial_rows != parallel_rows) {
+    std::fprintf(stderr, "serial/parallel row count mismatch: %zu vs %zu\n",
+                 serial_rows, parallel_rows);
+    return 1;
+  }
+
+  size_t injected = 0;
+  const std::string dirty = InjectDirt(clean, 100, &injected);
+  CsvOptions lenient_opts;
+  lenient_opts.num_threads = threads;
+  lenient_opts.on_error = CsvErrorPolicy::kSkipAndReport;
+  IngestReport dirty_report;
+  size_t dirty_rows = 0;
+  const double dirty_ms =
+      ParseMs(schema, dirty, lenient_opts, &dirty_report, &dirty_rows);
+  if (dirty_report.records_quarantined != injected) {
+    std::fprintf(stderr, "expected %zu quarantined records, got %zu\n",
+                 injected, dirty_report.records_quarantined);
+    return 1;
+  }
+
+  std::printf("# CSV ingest throughput (QUIS surrogate)\n");
+  std::printf("records:        %zu  (%.1f MB of CSV)\n", serial_rows, mb);
+  std::printf("serial parse:   %8.1f ms  (%.1f MB/s)\n", serial_ms,
+              mb / (serial_ms / 1000.0));
+  std::printf("parallel parse: %8.1f ms  (%.1f MB/s, threads=%d)\n",
+              parallel_ms, mb / (parallel_ms / 1000.0),
+              parallel_report.threads_used);
+  std::printf("dirty parse:    %8.1f ms  (%zu of %zu records quarantined)\n",
+              dirty_ms, dirty_report.records_quarantined,
+              dirty_report.records_total);
+  std::printf("quarantine:     %s\n", dirty_report.Summary().c_str());
+
+  dq::bench::BenchJson json("ingest");
+  json.Add("records", serial_rows);
+  json.Add("csv_mb", mb);
+  json.Add("quick", quick ? 1 : 0);
+  json.Add("threads_requested", threads);
+  json.Add("threads_used", parallel_report.threads_used);
+  json.Add("serial_ms", serial_ms);
+  json.Add("parallel_ms", parallel_ms);
+  json.Add("serial_mb_per_s", mb / (serial_ms / 1000.0));
+  json.Add("parallel_mb_per_s", mb / (parallel_ms / 1000.0));
+  json.Add("dirty_ms", dirty_ms);
+  json.Add("dirty_injected", injected);
+  json.Add("dirty_quarantined", dirty_report.records_quarantined);
+  json.Add("dirty_kept", dirty_report.records_kept);
+  json.WriteFile();
+  return 0;
+}

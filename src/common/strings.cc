@@ -52,6 +52,22 @@ std::string FormatDouble(double v, int max_decimals) {
   return s;
 }
 
+std::string FormatDoubleRoundTrip(double v) {
+#if defined(__cpp_lib_to_chars)
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec == std::errc()) return std::string(buf, res.ptr);
+#endif
+  // Fallback: the smallest %g precision whose output parses back exactly.
+  char gbuf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(gbuf, sizeof(gbuf), "%.*g", prec, v);
+    double back = 0.0;
+    if (ParseDouble(gbuf, &back) && back == v) break;
+  }
+  return gbuf;
+}
+
 bool ParseDouble(std::string_view s, double* out) {
   s = TrimWhitespace(s);
   if (s.empty()) return false;

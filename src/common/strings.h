@@ -22,6 +22,10 @@ std::string_view TrimWhitespace(std::string_view s);
 /// \brief Formats a double with trailing-zero trimming ("1.5", "2", "0.25").
 std::string FormatDouble(double v, int max_decimals = 6);
 
+/// \brief Shortest decimal form that parses back to exactly `v` (CSV cells
+/// must survive a write/read round trip bitwise).
+std::string FormatDoubleRoundTrip(double v);
+
 /// \brief True if `s` parses fully as a floating point number.
 bool ParseDouble(std::string_view s, double* out);
 

@@ -1,8 +1,14 @@
 #include "table/csv.h"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
-#include <sstream>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "table/csv_parser.h"
 
 namespace dq {
 
@@ -11,7 +17,8 @@ namespace {
 bool NeedsQuoting(const std::string& field, char sep) {
   return field.find(sep) != std::string::npos ||
          field.find('"') != std::string::npos ||
-         field.find('\n') != std::string::npos;
+         field.find('\n') != std::string::npos ||
+         field.find('\r') != std::string::npos;
 }
 
 }  // namespace
@@ -27,45 +34,8 @@ std::string CsvQuote(const std::string& field, char sep) {
   return out;
 }
 
-namespace {
-
-/// Splits one CSV line honoring double-quote quoting.
-Result<std::vector<std::string>> SplitCsvLine(const std::string& line, char sep) {
-  std::vector<std::string> fields;
-  std::string cur;
-  bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          cur += '"';
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        cur += c;
-      }
-    } else if (c == '"' && cur.empty()) {
-      in_quotes = true;
-    } else if (c == sep) {
-      fields.push_back(std::move(cur));
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (in_quotes) {
-    return Status::IOError("unterminated quote in CSV line: " + line);
-  }
-  fields.push_back(std::move(cur));
-  return fields;
-}
-
-}  // namespace
-
-Status WriteCsv(const Table& table, std::ostream* out, const CsvOptions& options) {
+Status WriteCsv(const Table& table, std::ostream* out,
+                const CsvOptions& options) {
   const Schema& schema = table.schema();
   if (options.write_header) {
     for (size_t a = 0; a < schema.num_attributes(); ++a) {
@@ -77,9 +47,15 @@ Status WriteCsv(const Table& table, std::ostream* out, const CsvOptions& options
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t a = 0; a < schema.num_attributes(); ++a) {
       if (a > 0) *out << options.separator;
+      const Value& cell = table.cell(r, a);
+      // Numeric cells use the shortest exact form, not the display
+      // rendering: ValueToString rounds to 6 decimals, which would break
+      // the bitwise write/read round trip.
       *out << CsvQuote(
-          schema.ValueToString(static_cast<int>(a), table.cell(r, a),
-                               options.null_token),
+          cell.is_numeric()
+              ? FormatDoubleRoundTrip(cell.numeric())
+              : schema.ValueToString(static_cast<int>(a), cell,
+                                     options.null_token),
           options.separator);
     }
     *out << '\n';
@@ -90,63 +66,208 @@ Status WriteCsv(const Table& table, std::ostream* out, const CsvOptions& options
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
-  std::ofstream f(path);
+  // Binary mode: text mode would rewrite '\n' inside quoted fields on CRLF
+  // platforms and corrupt the round trip.
+  std::ofstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open '" + path + "' for writing");
   return WriteCsv(table, &f, options);
 }
 
+namespace {
+
+std::string TruncatedRaw(const std::string& text) {
+  if (text.size() <= IngestReport::kMaxRawBytes) return text;
+  return text.substr(0, IngestReport::kMaxRawBytes) + "...";
+}
+
+/// Outcome of decoding one raw record: a row, or a quarantine entry.
+struct DecodedRecord {
+  bool ok = false;
+  Row row;
+  IngestError error;
+};
+
+/// Raw record -> Row, fully validated against the schema (so the assembly
+/// loop can append unchecked). Runs on worker threads: touches only its own
+/// output slot and const state.
+void DecodeRecord(const Schema& schema, const CsvOptions& options,
+                  const RawCsvRecord& rec, std::vector<std::string>* fields,
+                  DecodedRecord* out) {
+  out->error.line = rec.line;
+  CsvFieldError ferr;
+  if (!SplitCsvRecord(rec.text, options.separator, fields, &ferr)) {
+    out->error.kind = ferr.kind;
+    out->error.column = ferr.column;
+    out->error.message = ferr.kind == CsvErrorKind::kUnterminatedQuote
+                             ? "quoted field never closed"
+                             : "quote inside an unquoted field or after a "
+                               "closing quote";
+    out->error.raw = TruncatedRaw(rec.text);
+    return;
+  }
+  if (fields->size() != schema.num_attributes()) {
+    out->error.kind = CsvErrorKind::kArityMismatch;
+    out->error.message = "expected " +
+                         std::to_string(schema.num_attributes()) +
+                         " fields, got " + std::to_string(fields->size());
+    out->error.raw = TruncatedRaw(rec.text);
+    return;
+  }
+  out->row.resize(fields->size());
+  for (size_t a = 0; a < fields->size(); ++a) {
+    auto value = schema.ParseValue(static_cast<int>(a), (*fields)[a],
+                                   options.null_token);
+    const AttributeDef& def = schema.attribute(a);
+    if (value.ok() && !def.InDomain(*value)) {
+      value = Status::InvalidArgument("value '" + (*fields)[a] +
+                                      "' outside the attribute's domain");
+    }
+    if (!value.ok()) {
+      out->error.kind = CsvErrorKind::kBadValue;
+      out->error.message =
+          "attribute '" + def.name + "': " + value.status().message();
+      out->error.raw = TruncatedRaw(rec.text);
+      return;
+    }
+    out->row[a] = *value;
+  }
+  out->ok = true;
+}
+
+Status CheckHeader(const Schema& schema, const CsvOptions& options,
+                   const RawCsvRecord& rec, IngestReport* report) {
+  auto fail = [&](size_t column, std::string message) {
+    IngestError err;
+    err.line = rec.line;
+    err.column = column;
+    err.kind = CsvErrorKind::kBadHeader;
+    err.message = std::move(message);
+    err.raw = TruncatedRaw(rec.text);
+    Status status = Status::IOError(FormatIngestError(err));
+    report->errors.push_back(std::move(err));
+    return status;
+  };
+  std::vector<std::string> fields;
+  CsvFieldError ferr;
+  if (!SplitCsvRecord(rec.text, options.separator, &fields, &ferr)) {
+    return fail(ferr.column, std::string("malformed header (") +
+                                 CsvErrorKindToString(ferr.kind) + ")");
+  }
+  if (fields.size() != schema.num_attributes()) {
+    return fail(0, "header arity mismatch at line " +
+                       std::to_string(rec.line));
+  }
+  for (size_t a = 0; a < fields.size(); ++a) {
+    if (fields[a] != schema.attribute(a).name) {
+      return fail(0, "header field '" + fields[a] +
+                         "' does not match schema attribute '" +
+                         schema.attribute(a).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<Table> ReadCsv(const Schema& schema, std::istream* in,
-                      const CsvOptions& options) {
+                      const CsvOptions& options, IngestReport* report) {
+  WallTimer timer;
+  IngestReport local;
+  IngestReport* rep = report != nullptr ? report : &local;
+  *rep = IngestReport();
+
   Table table(schema);
-  std::string line;
-  bool first = true;
-  size_t line_no = 0;
-  while (std::getline(*in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    DQ_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                        SplitCsvLine(line, options.separator));
-    if (first && options.write_header) {
-      first = false;
-      if (fields.size() != schema.num_attributes()) {
-        return Status::IOError("header arity mismatch at line " +
-                               std::to_string(line_no));
+  const int threads = ResolveThreadCount(options.num_threads);
+  rep->threads_used = threads;
+  // One pool for the whole read (a pool per batch would respawn workers).
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  CsvRecordReader reader(in, options.separator, options.chunk_bytes);
+  std::vector<RawCsvRecord> batch;
+  std::vector<DecodedRecord> decoded;
+  std::vector<std::vector<std::string>> scratch;  // per-slot field buffers
+
+  auto finish = [&](Status status) {
+    rep->bytes_read = reader.bytes_read();
+    rep->parse_ms = timer.ElapsedMs();
+    return status;
+  };
+
+  auto flush_batch = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    decoded.clear();
+    decoded.resize(batch.size());
+    scratch.resize(batch.size());
+    auto decode_one = [&](size_t i) {
+      DecodeRecord(schema, options, batch[i], &scratch[i], &decoded[i]);
+    };
+    if (pool.has_value()) {
+      pool->ParallelFor(batch.size(), decode_one);
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) decode_one(i);
+    }
+    // Serial assembly in record order: rows and quarantine entries land in
+    // the same sequence for every thread count.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++rep->records_total;
+      if (decoded[i].ok) {
+        ++rep->records_kept;
+        table.AppendRowUnchecked(std::move(decoded[i].row));
+        continue;
       }
-      for (size_t a = 0; a < fields.size(); ++a) {
-        if (fields[a] != schema.attribute(a).name) {
-          return Status::IOError("header field '" + fields[a] +
-                                 "' does not match schema attribute '" +
-                                 schema.attribute(a).name + "'");
-        }
+      ++rep->records_quarantined;
+      rep->errors.push_back(std::move(decoded[i].error));
+      if (options.on_error == CsvErrorPolicy::kFail) {
+        return Status::IOError(FormatIngestError(rep->errors.back()));
       }
+    }
+    batch.clear();
+    return Status::OK();
+  };
+
+  RawCsvRecord rec;
+  bool saw_header = !options.expect_header;
+  // Blank records of a multi-attribute table are held back: trailing blank
+  // lines are silently dropped at end of input, while interior blank lines
+  // are real (arity-violating) records. For a single-attribute schema a
+  // blank line IS a legitimate record (the empty string / an empty null
+  // token), so it is never held back.
+  std::vector<RawCsvRecord> pending_blanks;
+  while (reader.Next(&rec)) {
+    if (!saw_header) {
+      saw_header = true;
+      Status header = CheckHeader(schema, options, rec, rep);
+      if (!header.ok()) return finish(std::move(header));
       continue;
     }
-    first = false;
-    if (fields.size() != schema.num_attributes()) {
-      return Status::IOError("row arity mismatch at line " +
-                             std::to_string(line_no));
+    if (rec.text.empty() && schema.num_attributes() > 1) {
+      pending_blanks.push_back(rec);
+      continue;
     }
-    Row row(fields.size());
-    for (size_t a = 0; a < fields.size(); ++a) {
-      auto value = schema.ParseValue(static_cast<int>(a), fields[a],
-                                     options.null_token);
-      if (!value.ok()) {
-        return Status::IOError("line " + std::to_string(line_no) + ": " +
-                               value.status().message());
-      }
-      row[a] = *value;
+    for (RawCsvRecord& blank : pending_blanks) {
+      batch.push_back(std::move(blank));
     }
-    DQ_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+    pending_blanks.clear();
+    batch.push_back(std::move(rec));
+    if (batch.size() >= options.batch_records) {
+      Status flushed = flush_batch();
+      if (!flushed.ok()) return finish(std::move(flushed));
+    }
   }
+  Status flushed = flush_batch();
+  if (!flushed.ok()) return finish(std::move(flushed));
+  (void)finish(Status::OK());
   return table;
 }
 
 Result<Table> ReadCsvFile(const Schema& schema, const std::string& path,
-                          const CsvOptions& options) {
-  std::ifstream f(path);
+                          const CsvOptions& options, IngestReport* report) {
+  // Binary mode: the parser normalizes CRLF/CR record terminators itself
+  // and quoted embedded newlines must reach it unmodified.
+  std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IOError("cannot open '" + path + "' for reading");
-  return ReadCsv(schema, &f, options);
+  return ReadCsv(schema, &f, options, report);
 }
 
 }  // namespace dq

@@ -1,9 +1,16 @@
-// Minimal CSV import/export for Tables.
+// CSV import/export for Tables.
 //
-// The format is deliberately simple (comma separator, double-quote quoting,
-// "?" for nulls, header row with attribute names); it exists so generated
-// benchmark databases and audit reports can be inspected with standard
-// tooling.
+// The dialect is an RFC-4180 subset (separator-delimited, double-quote
+// quoting with "" escapes, "?" for nulls, header row with attribute names;
+// see docs/FORMATS.md). The reader is a buffered streaming parser: quoted
+// fields may span newlines, CRLF/CR/LF all terminate records, a UTF-8 BOM
+// is skipped, and input is consumed in fixed-size chunks so parsing memory
+// stays bounded independent of file size. Malformed records either fail the
+// read (CsvErrorPolicy::kFail) or are quarantined into an IngestReport
+// while the read continues (kSkipAndReport) — the recovery mode that lets
+// the auditor ingest real, dirty operational extracts. Record decoding is
+// batch-parallel on the shared thread pool and bitwise-deterministic for
+// every thread count.
 
 #ifndef DQ_TABLE_CSV_H_
 #define DQ_TABLE_CSV_H_
@@ -12,32 +19,67 @@
 #include <string>
 
 #include "common/result.h"
+#include "table/ingest_report.h"
 #include "table/table.h"
 
 namespace dq {
 
+/// \brief What ReadCsv does with a malformed record.
+enum class CsvErrorPolicy {
+  kFail,           ///< abort the read with the first error (strict)
+  kSkipAndReport,  ///< quarantine the record into the IngestReport, go on
+};
+
 struct CsvOptions {
   char separator = ',';
   std::string null_token = "?";
+
+  /// Write side: emit a header row of attribute names.
   bool write_header = true;
+
+  /// Read side: expect (and verify) a header row. Distinct from
+  /// write_header so a reader's expectation is never silently driven by a
+  /// writer setting.
+  bool expect_header = true;
+
+  CsvErrorPolicy on_error = CsvErrorPolicy::kFail;
+
+  /// Worker threads for record decoding (0 = hardware concurrency,
+  /// 1 = serial). The resulting table and report are identical for every
+  /// thread count.
+  int num_threads = 1;
+
+  /// Tokenizer read granularity; bounds parsing memory per batch.
+  size_t chunk_bytes = 1 << 16;
+
+  /// Records decoded per parallel batch.
+  size_t batch_records = 4096;
 };
 
 /// \brief Writes `table` to a stream.
 Status WriteCsv(const Table& table, std::ostream* out,
                 const CsvOptions& options = {});
 
-/// \brief Writes `table` to a file path.
+/// \brief Writes `table` to a file path (binary mode, '\n' terminators).
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options = {});
 
 /// \brief Reads rows from a stream into a table with the given schema.
-/// A header row, when present, must match the schema's attribute names.
+///
+/// With options.expect_header the first record must match the schema's
+/// attribute names (header problems are fatal under both error policies).
+/// Under kSkipAndReport, malformed data records are quarantined into
+/// `report` (optional) and the surviving rows are returned; under kFail the
+/// first malformed record aborts with a position-annotated error. `report`,
+/// when given, always receives the ingest counters and timings.
 Result<Table> ReadCsv(const Schema& schema, std::istream* in,
-                      const CsvOptions& options = {});
+                      const CsvOptions& options = {},
+                      IngestReport* report = nullptr);
 
-/// \brief Reads a CSV file into a table with the given schema.
+/// \brief Reads a CSV file (binary mode) into a table with the schema.
 Result<Table> ReadCsvFile(const Schema& schema, const std::string& path,
-                          const CsvOptions& options = {});
+                          const CsvOptions& options = {},
+                          IngestReport* report = nullptr);
 
 /// \brief Double-quote-escapes a field when it contains the separator, a
 /// quote or a newline (shared by every CSV producer in the library).

@@ -1,0 +1,169 @@
+#include "table/csv_parser.h"
+
+#include <algorithm>
+#include <istream>
+
+namespace dq {
+
+const char* CsvErrorKindToString(CsvErrorKind kind) {
+  switch (kind) {
+    case CsvErrorKind::kUnterminatedQuote:
+      return "unterminated-quote";
+    case CsvErrorKind::kStrayQuote:
+      return "stray-quote";
+    case CsvErrorKind::kArityMismatch:
+      return "arity-mismatch";
+    case CsvErrorKind::kBadValue:
+      return "bad-value";
+    case CsvErrorKind::kBadHeader:
+      return "bad-header";
+  }
+  return "unknown";
+}
+
+bool SplitCsvRecord(std::string_view text, char separator,
+                    std::vector<std::string>* fields, CsvFieldError* error) {
+  fields->clear();
+  std::string cur;
+  enum class State { kFieldStart, kUnquoted, kQuoted, kAfterQuoted };
+  State state = State::kFieldStart;
+  size_t quote_open = 0;  // 1-based offset of the field's opening quote
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          state = State::kQuoted;
+          quote_open = i + 1;
+        } else if (c == separator) {
+          fields->emplace_back();
+        } else {
+          cur += c;
+          state = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == separator) {
+          fields->push_back(std::move(cur));
+          cur.clear();
+          state = State::kFieldStart;
+        } else if (c == '"') {
+          error->kind = CsvErrorKind::kStrayQuote;
+          error->column = i + 1;
+          return false;
+        } else {
+          cur += c;
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          if (i + 1 < text.size() && text[i + 1] == '"') {
+            cur += '"';
+            ++i;
+          } else {
+            state = State::kAfterQuoted;
+          }
+        } else {
+          cur += c;
+        }
+        break;
+      case State::kAfterQuoted:
+        if (c == separator) {
+          fields->push_back(std::move(cur));
+          cur.clear();
+          state = State::kFieldStart;
+        } else {
+          error->kind = CsvErrorKind::kStrayQuote;
+          error->column = i + 1;
+          return false;
+        }
+        break;
+    }
+  }
+  if (state == State::kQuoted) {
+    error->kind = CsvErrorKind::kUnterminatedQuote;
+    error->column = quote_open;
+    return false;
+  }
+  fields->push_back(std::move(cur));
+  return true;
+}
+
+CsvRecordReader::CsvRecordReader(std::istream* in, char separator,
+                                 size_t chunk_bytes)
+    : in_(in), sep_(separator), buf_(std::max<size_t>(chunk_bytes, 16)) {}
+
+bool CsvRecordReader::Refill() {
+  if (in_ == nullptr || !in_->good()) return false;
+  in_->read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  len_ = static_cast<size_t>(in_->gcount());
+  pos_ = 0;
+  return len_ > 0;
+}
+
+bool CsvRecordReader::Next(RawCsvRecord* out) {
+  if (at_start_) {
+    at_start_ = false;
+    // Skip a UTF-8 byte-order mark. The buffer holds at least 16 bytes, so
+    // one refill is enough to see all three BOM bytes of a non-empty file.
+    if (pos_ >= len_) Refill();
+    if (len_ - pos_ >= 3 &&
+        static_cast<unsigned char>(buf_[pos_]) == 0xEF &&
+        static_cast<unsigned char>(buf_[pos_ + 1]) == 0xBB &&
+        static_cast<unsigned char>(buf_[pos_ + 2]) == 0xBF) {
+      pos_ += 3;
+      bytes_read_ += 3;
+    }
+  }
+  out->text.clear();
+  out->line = line_;
+  // Tracks just enough quoting state to find the record terminator; the
+  // precise error classification is SplitCsvRecord's job, and the two state
+  // machines agree on when a quote opens a quoted field (only at field
+  // start) so they always delimit the same records.
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+  State state = State::kFieldStart;
+  bool any = false;
+  for (;;) {
+    if (pos_ >= len_ && !Refill()) break;  // end of input
+    const char c = buf_[pos_++];
+    ++bytes_read_;
+    any = true;
+    if (state == State::kQuoted) {
+      if (c == '"') {
+        state = State::kQuoteInQuoted;
+      } else if (c == '\n') {
+        ++line_;
+      }
+      out->text += c;
+      continue;
+    }
+    if (state == State::kQuoteInQuoted) {
+      // The pending quote was either an escape ("" stays quoted) or the
+      // closing quote (anything else drops back to unquoted scanning).
+      state = (c == '"') ? State::kQuoted : State::kUnquoted;
+    }
+    if (state != State::kQuoted && (c == '\n' || c == '\r')) {
+      ++line_;
+      if (c == '\r') {  // swallow the LF of a CRLF pair
+        if (pos_ >= len_ && !Refill()) return true;
+        if (buf_[pos_] == '\n') {
+          ++pos_;
+          ++bytes_read_;
+        }
+      }
+      return true;
+    }
+    if (c == sep_) {
+      state = State::kFieldStart;
+    } else if (c == '"' && state == State::kFieldStart) {
+      state = State::kQuoted;
+    } else if (state == State::kFieldStart) {
+      state = State::kUnquoted;
+    }
+    out->text += c;
+  }
+  return any;
+}
+
+}  // namespace dq

@@ -1,0 +1,88 @@
+// Low-level streaming RFC-4180 tokenizer: bytes -> raw records -> fields.
+//
+// Layering: CsvRecordReader scans the input stream in fixed-size chunks and
+// yields one raw record at a time. The scan is quote-aware, so quoted fields
+// may span record terminators (LF, CRLF or lone CR) and memory use is
+// bounded by the chunk size plus the largest single record, independent of
+// file size. SplitCsvRecord then turns a raw record into its fields or a
+// typed, position-annotated error. The schema-aware layer in table/csv.h
+// builds Tables and IngestReports on top of these two primitives.
+
+#ifndef DQ_TABLE_CSV_PARSER_H_
+#define DQ_TABLE_CSV_PARSER_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dq {
+
+/// \brief What is wrong with one ingested CSV record.
+enum class CsvErrorKind {
+  kUnterminatedQuote,  ///< a quoted field is still open at end of input
+  kStrayQuote,         ///< quote inside an unquoted field or after a close
+  kArityMismatch,      ///< field count differs from the schema
+  kBadValue,           ///< a field does not parse into its attribute domain
+  kBadHeader,          ///< header row malformed or not matching the schema
+};
+
+/// \brief Stable kebab-case spelling ("stray-quote", ...) used in reports.
+const char* CsvErrorKindToString(CsvErrorKind kind);
+
+/// \brief One raw record: the bytes between two unquoted record terminators
+/// (terminator stripped) plus the 1-based line it starts on.
+struct RawCsvRecord {
+  std::string text;
+  size_t line = 1;
+};
+
+/// \brief Field-split failure: error kind plus the 1-based byte offset of
+/// the offending character within the record's text (for quoted fields the
+/// record may span lines, so the offset is relative to the record start).
+struct CsvFieldError {
+  CsvErrorKind kind = CsvErrorKind::kStrayQuote;
+  size_t column = 0;
+};
+
+/// \brief Splits a raw record into fields honoring double-quote quoting
+/// ("" is a literal quote inside a quoted field). Returns false and fills
+/// `error` on a stray quote (mid-field, or trailing a closing quote) or an
+/// unterminated quoted field.
+bool SplitCsvRecord(std::string_view text, char separator,
+                    std::vector<std::string>* fields, CsvFieldError* error);
+
+/// \brief Pulls raw records out of a stream in fixed-size chunks.
+///
+/// A UTF-8 byte-order mark at the start of the stream is skipped. LF, CRLF
+/// and lone CR all terminate a record (normalized away); newlines inside
+/// quoted fields are content and kept verbatim. A terminator at end of
+/// input does not open a final empty record, so `a\n` is one record while
+/// `a\n\n` is two (the second empty).
+class CsvRecordReader {
+ public:
+  CsvRecordReader(std::istream* in, char separator, size_t chunk_bytes);
+
+  /// \brief Reads the next record into `out`; false at end of input.
+  bool Next(RawCsvRecord* out);
+
+  /// \brief Total bytes consumed so far (including any skipped BOM).
+  size_t bytes_read() const { return bytes_read_; }
+
+ private:
+  /// Refills the chunk buffer; false at end of stream.
+  bool Refill();
+
+  std::istream* in_;
+  char sep_;
+  std::vector<char> buf_;
+  size_t pos_ = 0;
+  size_t len_ = 0;
+  size_t line_ = 1;
+  size_t bytes_read_ = 0;
+  bool at_start_ = true;
+};
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_CSV_PARSER_H_

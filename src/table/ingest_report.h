@@ -1,0 +1,74 @@
+// IngestReport: the structured quarantine record of one CSV ingestion.
+//
+// Robust ingestion of imperfect operational extracts is the gate every
+// measurement capability sits behind (the paper's sec. 5-6 workflow points
+// the auditor at real, dirty tables). Instead of dying on the first
+// malformed record, the lenient reader (CsvErrorPolicy::kSkipAndReport)
+// quarantines each bad record here with its position, error kind and raw
+// text — the data quality tool auditing its own input. dqaudit/dqgen print
+// the summary and can dump the full report as JSON (--ingest-report).
+
+#ifndef DQ_TABLE_INGEST_REPORT_H_
+#define DQ_TABLE_INGEST_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/csv_parser.h"
+
+namespace dq {
+
+/// \brief One quarantined record.
+struct IngestError {
+  /// 1-based line the record starts on (quoted fields may span lines).
+  size_t line = 0;
+  /// 1-based byte offset of the offending character within the record's
+  /// raw text; 0 when the whole record is at fault (arity, bad values).
+  size_t column = 0;
+  CsvErrorKind kind = CsvErrorKind::kBadValue;
+  /// Human-readable detail ("expected 4 fields, got 2", parse failure...).
+  std::string message;
+  /// Raw record text, truncated to kMaxRawBytes.
+  std::string raw;
+};
+
+/// \brief Outcome of one ReadCsv pass: throughput counters plus the
+/// quarantine list (empty in strict mode unless the read failed).
+struct IngestReport {
+  /// Raw-text bytes a quarantined record keeps at most.
+  static constexpr size_t kMaxRawBytes = 200;
+
+  size_t records_total = 0;        ///< data records seen (header excluded)
+  size_t records_kept = 0;         ///< records decoded into table rows
+  size_t records_quarantined = 0;  ///< records in `errors`
+  size_t bytes_read = 0;
+  double parse_ms = 0.0;
+  int threads_used = 1;
+  std::vector<IngestError> errors;
+
+  bool HasErrors() const { return !errors.empty(); }
+
+  /// \brief Number of quarantined records of one kind.
+  size_t CountOf(CsvErrorKind kind) const;
+
+  /// \brief One-line summary, e.g.
+  /// "quarantined 4 of 34 records (arity-mismatch 1, bad-value 1, ...)".
+  std::string Summary() const;
+
+  /// \brief Per-error listing ("line 7: stray-quote: ...") for terminals.
+  std::string RenderText() const;
+
+  /// \brief Full report as a JSON object (schema in docs/FORMATS.md).
+  std::string ToJson() const;
+
+  /// \brief Writes ToJson() to `path`.
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+/// \brief "line L, column C: kind: message" — the strict-mode Status text.
+std::string FormatIngestError(const IngestError& error);
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_INGEST_REPORT_H_

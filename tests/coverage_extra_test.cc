@@ -49,6 +49,7 @@ TEST(CsvDialectTest, HeaderlessRoundTrip) {
           .ok());
   CsvOptions opts;
   opts.write_header = false;
+  opts.expect_header = false;
   std::ostringstream os;
   ASSERT_TRUE(WriteCsv(t, &os, opts).ok());
   EXPECT_EQ(os.str().find("A,B,N"), std::string::npos);

@@ -1,0 +1,578 @@
+// Tests for the streaming CSV parser: RFC-4180 round trips (embedded
+// newlines/quotes/separators/CRLF), strict vs lenient error handling with
+// IngestReport quarantine, tokenizer chunking, and parallel-vs-serial
+// determinism.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/csv.h"
+#include "table/csv_parser.h"
+#include "table/date.h"
+#include "table/ingest_report.h"
+
+namespace dq {
+namespace {
+
+Schema NastySchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("name", {"plain", "a,b", "with \"quote\"",
+                                    "line1\nline2", "crlf\r\nval",
+                                    "trailing\"", "\ttabbed"})
+                  .ok());
+  EXPECT_TRUE(s.AddNumeric("weight", -1000.0, 1000.0).ok());
+  EXPECT_TRUE(s.AddDate("built", DaysFromCivil({1995, 1, 1}),
+                        DaysFromCivil({2010, 12, 31}))
+                  .ok());
+  return s;
+}
+
+Table NastyTable(const Schema& s) {
+  Table t(s);
+  for (int32_t code = 0; code < 7; ++code) {
+    EXPECT_TRUE(t.AppendRow({Value::Nominal(code),
+                             Value::Numeric(0.25 * code),
+                             Value::Date(DaysFromCivil({2001, 2, 3}) + code)})
+                    .ok());
+  }
+  EXPECT_TRUE(
+      t.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+  return t;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_attributes(), b.num_attributes());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_attributes(); ++c) {
+      EXPECT_TRUE(a.cell(r, c).StrictEquals(b.cell(r, c)))
+          << "row " << r << " attr " << c;
+    }
+  }
+}
+
+// --- tokenizer --------------------------------------------------------------
+
+std::vector<RawCsvRecord> Tokenize(const std::string& text,
+                                   size_t chunk_bytes) {
+  std::istringstream is(text);
+  CsvRecordReader reader(&is, ',', chunk_bytes);
+  std::vector<RawCsvRecord> records;
+  RawCsvRecord rec;
+  while (reader.Next(&rec)) records.push_back(rec);
+  return records;
+}
+
+TEST(CsvRecordReaderTest, QuotedNewlinesSpanRecords) {
+  // Chunk size 1 forces a refill on every byte: boundaries cannot depend on
+  // where chunks happen to split.
+  for (size_t chunk : {size_t{1}, size_t{4}, size_t{1 << 16}}) {
+    auto records = Tokenize("a,\"x\ny\"\nb,c\n", chunk);
+    ASSERT_EQ(records.size(), 2u) << "chunk " << chunk;
+    EXPECT_EQ(records[0].text, "a,\"x\ny\"");
+    EXPECT_EQ(records[0].line, 1u);
+    EXPECT_EQ(records[1].text, "b,c");
+    EXPECT_EQ(records[1].line, 3u);  // the quoted field spanned line 2
+  }
+}
+
+TEST(CsvRecordReaderTest, TerminatorVariants) {
+  auto records = Tokenize("a\r\nb\rc\n", 3);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].text, "a");
+  EXPECT_EQ(records[1].text, "b");
+  EXPECT_EQ(records[2].text, "c");
+}
+
+TEST(CsvRecordReaderTest, TrailingNewlineOpensNoRecord) {
+  EXPECT_EQ(Tokenize("a\n", 8).size(), 1u);
+  auto records = Tokenize("a\n\n", 8);  // terminated empty record is real
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].text, "");
+  EXPECT_EQ(Tokenize("a", 8).size(), 1u);  // EOF terminates the record
+}
+
+TEST(CsvRecordReaderTest, SkipsUtf8Bom) {
+  auto records = Tokenize("\xEF\xBB\xBFh1,h2\nv1,v2\n", 2);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].text, "h1,h2");
+}
+
+TEST(SplitCsvRecordTest, FieldsAndEscapes) {
+  std::vector<std::string> fields;
+  CsvFieldError err;
+  ASSERT_TRUE(SplitCsvRecord("a,\"b,c\",\"d\"\"e\",,f", ',', &fields, &err));
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+  EXPECT_EQ(fields[3], "");
+  EXPECT_EQ(fields[4], "f");
+}
+
+TEST(SplitCsvRecordTest, StrayQuoteMidField) {
+  std::vector<std::string> fields;
+  CsvFieldError err;
+  EXPECT_FALSE(SplitCsvRecord("ab\"cd", ',', &fields, &err));
+  EXPECT_EQ(err.kind, CsvErrorKind::kStrayQuote);
+  EXPECT_EQ(err.column, 3u);
+}
+
+TEST(SplitCsvRecordTest, StrayQuoteAfterClose) {
+  std::vector<std::string> fields;
+  CsvFieldError err;
+  EXPECT_FALSE(SplitCsvRecord("\"ab\"cd", ',', &fields, &err));
+  EXPECT_EQ(err.kind, CsvErrorKind::kStrayQuote);
+  EXPECT_EQ(err.column, 5u);
+}
+
+TEST(SplitCsvRecordTest, UnterminatedQuote) {
+  std::vector<std::string> fields;
+  CsvFieldError err;
+  EXPECT_FALSE(SplitCsvRecord("a,\"bc", ',', &fields, &err));
+  EXPECT_EQ(err.kind, CsvErrorKind::kUnterminatedQuote);
+  EXPECT_EQ(err.column, 3u);
+}
+
+// --- round trips ------------------------------------------------------------
+
+TEST(CsvRoundTripTest, NastyValuesSurviveStreamRoundTrip) {
+  const Schema s = NastySchema();
+  const Table t = NastyTable(s);
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, &os).ok());
+  std::istringstream is(os.str());
+  auto back = ReadCsv(s, &is);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectTablesIdentical(t, *back);
+}
+
+TEST(CsvRoundTripTest, NastyValuesSurviveFileRoundTrip) {
+  const Schema s = NastySchema();
+  const Table t = NastyTable(s);
+  const std::string path = testing::TempDir() + "/dq_csv_nasty.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(s, path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectTablesIdentical(t, *back);
+}
+
+TEST(CsvRoundTripTest, TinyChunksDoNotChangeTheResult) {
+  const Schema s = NastySchema();
+  const Table t = NastyTable(s);
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, &os).ok());
+  CsvOptions opts;
+  opts.chunk_bytes = 1;
+  std::istringstream is(os.str());
+  auto back = ReadCsv(s, &is, opts);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectTablesIdentical(t, *back);
+}
+
+// Property test: random tables of random schemas survive a write/read round
+// trip bitwise, for several separators and header settings.
+TEST(CsvRoundTripTest, RandomTablePropertyFuzz) {
+  const std::vector<std::string> category_pool = {
+      "plain",   "a,b",       "x;y",     "with \"quote\"", "nl\nin",
+      "cr\rin",  "crlf\r\nx", "sep,\"q", "end\"",          " lead",
+      "trail ",  "\"",        "\n",      "?not-null",      "0",
+  };
+  Rng rng(20260806);
+  for (int iter = 0; iter < 60; ++iter) {
+    Schema s;
+    const int num_attrs = static_cast<int>(rng.UniformInt(1, 4));
+    for (int a = 0; a < num_attrs; ++a) {
+      const std::string name = "attr" + std::to_string(a);
+      const int64_t type = rng.UniformInt(0, 2);
+      if (type == 0) {
+        std::vector<std::string> cats;
+        const size_t n_cats =
+            static_cast<size_t>(rng.UniformInt(1, 6));
+        for (size_t c = 0; c < category_pool.size() && cats.size() < n_cats;
+             ++c) {
+          const size_t pick = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(category_pool.size()) - 1));
+          const std::string& cat = category_pool[pick];
+          bool dup = false;
+          for (const std::string& have : cats) dup = dup || have == cat;
+          if (!dup) cats.push_back(cat);
+        }
+        ASSERT_TRUE(s.AddNominal(name, cats).ok());
+      } else if (type == 1) {
+        ASSERT_TRUE(s.AddNumeric(name, -1e6, 1e6).ok());
+      } else {
+        ASSERT_TRUE(s.AddDate(name, 0, 20000).ok());
+      }
+    }
+    Table t(s);
+    const size_t rows = static_cast<size_t>(rng.UniformInt(0, 25));
+    for (size_t r = 0; r < rows; ++r) {
+      Row row(static_cast<size_t>(num_attrs));
+      for (int a = 0; a < num_attrs; ++a) {
+        const AttributeDef& def = s.attribute(static_cast<size_t>(a));
+        if (rng.Bernoulli(0.15)) {
+          row[static_cast<size_t>(a)] = Value::Null();
+        } else if (def.type == DataType::kNominal) {
+          row[static_cast<size_t>(a)] = Value::Nominal(static_cast<int32_t>(
+              rng.UniformInt(0,
+                             static_cast<int64_t>(def.categories.size()) - 1)));
+        } else if (def.type == DataType::kNumeric) {
+          // Arbitrary doubles — FormatDoubleRoundTrip must preserve them.
+          row[static_cast<size_t>(a)] =
+              Value::Numeric(rng.UniformReal(-1e6, 1e6));
+        } else {
+          row[static_cast<size_t>(a)] =
+              Value::Date(static_cast<int32_t>(rng.UniformInt(0, 20000)));
+        }
+      }
+      ASSERT_TRUE(t.AppendRow(std::move(row)).ok());
+    }
+    CsvOptions opts;
+    opts.separator = rng.Bernoulli(0.5) ? ',' : ';';
+    opts.write_header = rng.Bernoulli(0.7);
+    opts.expect_header = opts.write_header;
+    opts.chunk_bytes = static_cast<size_t>(rng.UniformInt(1, 64));
+    std::ostringstream os;
+    ASSERT_TRUE(WriteCsv(t, &os, opts).ok());
+    std::istringstream is(os.str());
+    auto back = ReadCsv(s, &is, opts);
+    ASSERT_TRUE(back.ok()) << "iter " << iter << ": " << back.status();
+    ExpectTablesIdentical(t, *back);
+  }
+}
+
+// --- header and blank-line semantics ----------------------------------------
+
+TEST(CsvHeaderTest, ExpectHeaderIsIndependentOfWriteHeader) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("name", {"a", "b"}).ok());
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Nominal(1)}).ok());
+  CsvOptions opts;
+  opts.write_header = true;
+  opts.expect_header = false;  // header row is then read as data
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, &os, opts).ok());
+  std::istringstream is(os.str());
+  auto back = ReadCsv(s, &is, opts);
+  EXPECT_FALSE(back.ok());  // "name" is not a category
+  EXPECT_NE(back.status().message().find("bad-value"), std::string::npos);
+}
+
+TEST(CsvHeaderTest, HeaderlessRoundTrip) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("name", {"a", "b"}).ok());
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Nominal(1)}).ok());
+  CsvOptions opts;
+  opts.write_header = false;
+  opts.expect_header = false;
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, &os, opts).ok());
+  std::istringstream is(os.str());
+  auto back = ReadCsv(s, &is, opts);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectTablesIdentical(t, *back);
+}
+
+TEST(CsvHeaderTest, HeaderErrorsAreFatalEvenWhenLenient) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("name", {"a"}).ok());
+  CsvOptions opts;
+  opts.on_error = CsvErrorPolicy::kSkipAndReport;
+  std::istringstream is("WRONG\na\n");
+  IngestReport report;
+  auto r = ReadCsv(s, &is, opts, &report);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].kind, CsvErrorKind::kBadHeader);
+}
+
+TEST(CsvBlankLineTest, SingleAttributeEmptyLineIsARecord) {
+  // With an empty null token, a null cell of a one-attribute table writes
+  // as a blank line; the reader must hand it back as a record instead of
+  // skipping it.
+  Schema s;
+  ASSERT_TRUE(s.AddNumeric("x", 0.0, 10.0).ok());
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Numeric(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Numeric(2.0)}).ok());
+  CsvOptions opts;
+  opts.null_token = "";
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, &os, opts).ok());
+  std::istringstream is(os.str());
+  auto back = ReadCsv(s, &is, opts);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectTablesIdentical(t, *back);
+}
+
+TEST(CsvBlankLineTest, TrailingBlankLinesAreSkipped) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("a", {"x"}).ok());
+  ASSERT_TRUE(s.AddNominal("b", {"y"}).ok());
+  std::istringstream is("a,b\nx,y\n\n\n");
+  auto back = ReadCsv(s, &is);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_rows(), 1u);
+}
+
+TEST(CsvBlankLineTest, InteriorBlankLineIsAnError) {
+  Schema s;
+  ASSERT_TRUE(s.AddNominal("a", {"x"}).ok());
+  ASSERT_TRUE(s.AddNominal("b", {"y"}).ok());
+  {
+    std::istringstream is("a,b\nx,y\n\nx,y\n");
+    auto back = ReadCsv(s, &is);
+    ASSERT_FALSE(back.ok());
+    EXPECT_NE(back.status().message().find("line 3"), std::string::npos);
+  }
+  {
+    std::istringstream is("a,b\nx,y\n\nx,y\n");
+    CsvOptions opts;
+    opts.on_error = CsvErrorPolicy::kSkipAndReport;
+    IngestReport report;
+    auto back = ReadCsv(s, &is, opts, &report);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->num_rows(), 2u);
+    EXPECT_EQ(report.CountOf(CsvErrorKind::kArityMismatch), 1u);
+  }
+}
+
+// --- strict vs lenient error handling ---------------------------------------
+
+Schema ErrorSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("color", {"red", "green"}).ok());
+  EXPECT_TRUE(s.AddNumeric("weight", 0.0, 100.0).ok());
+  return s;
+}
+
+TEST(CsvIngestTest, StrictModeFailsOnFirstError) {
+  const Schema s = ErrorSchema();
+  std::istringstream is("color,weight\nred,1\npurple,2\nred,3\n");
+  auto r = ReadCsv(s, &is);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(r.status().message().find("bad-value"), std::string::npos);
+}
+
+TEST(CsvIngestTest, LenientModeQuarantinesAndContinues) {
+  const Schema s = ErrorSchema();
+  std::istringstream is(
+      "color,weight\n"
+      "red,1\n"
+      "red,1,extra\n"      // arity
+      "gre\"en,2\n"        // stray quote
+      "red,200\n"          // out of domain
+      "green,nan-ish\n"    // unparsable numeric
+      "green,3\n");
+  CsvOptions opts;
+  opts.on_error = CsvErrorPolicy::kSkipAndReport;
+  IngestReport report;
+  auto back = ReadCsv(s, &is, opts, &report);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(report.records_total, 6u);
+  EXPECT_EQ(report.records_kept, 2u);
+  EXPECT_EQ(report.records_quarantined, 4u);
+  EXPECT_EQ(report.CountOf(CsvErrorKind::kArityMismatch), 1u);
+  EXPECT_EQ(report.CountOf(CsvErrorKind::kStrayQuote), 1u);
+  EXPECT_EQ(report.CountOf(CsvErrorKind::kBadValue), 2u);
+  ASSERT_EQ(report.errors.size(), 4u);
+  EXPECT_EQ(report.errors[0].line, 3u);
+  EXPECT_EQ(report.errors[1].line, 4u);
+  EXPECT_EQ(report.errors[2].line, 5u);
+  EXPECT_EQ(report.errors[3].line, 6u);
+  EXPECT_EQ(report.errors[0].raw, "red,1,extra");
+}
+
+TEST(CsvIngestTest, UnterminatedQuoteQuarantinesToEndOfInput) {
+  const Schema s = ErrorSchema();
+  // The opening quote makes every later newline potentially quoted content,
+  // so the parser cannot resynchronize: the rest of the input is one
+  // quarantined record (documented in docs/FORMATS.md).
+  std::istringstream is("color,weight\nred,1\ngreen,\"2\nred,3\n");
+  CsvOptions opts;
+  opts.on_error = CsvErrorPolicy::kSkipAndReport;
+  IngestReport report;
+  auto back = ReadCsv(s, &is, opts, &report);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_rows(), 1u);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].kind, CsvErrorKind::kUnterminatedQuote);
+  EXPECT_EQ(report.errors[0].line, 3u);
+}
+
+TEST(CsvIngestTest, ReportCountersFilledOnCleanRead) {
+  const Schema s = ErrorSchema();
+  std::istringstream is("color,weight\nred,1\ngreen,2\n");
+  IngestReport report;
+  auto back = ReadCsv(s, &is, CsvOptions(), &report);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(report.records_total, 2u);
+  EXPECT_EQ(report.records_kept, 2u);
+  EXPECT_FALSE(report.HasErrors());
+  EXPECT_EQ(report.bytes_read, is.str().size());
+}
+
+TEST(CsvIngestTest, LongRawTextIsTruncated) {
+  const Schema s = ErrorSchema();
+  std::string long_field(3 * IngestReport::kMaxRawBytes, 'z');
+  std::istringstream is("color,weight\n" + long_field + ",1,extra\n");
+  CsvOptions opts;
+  opts.on_error = CsvErrorPolicy::kSkipAndReport;
+  IngestReport report;
+  ASSERT_TRUE(ReadCsv(s, &is, opts, &report).ok());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_LE(report.errors[0].raw.size(), IngestReport::kMaxRawBytes + 3);
+}
+
+// --- IngestReport rendering -------------------------------------------------
+
+TEST(IngestReportTest, SummaryAndJson) {
+  const Schema s = ErrorSchema();
+  std::istringstream is(
+      "color,weight\nred,1\nred,1,extra\nxx\"y,2\ngreen,2\n");
+  CsvOptions opts;
+  opts.on_error = CsvErrorPolicy::kSkipAndReport;
+  IngestReport report;
+  ASSERT_TRUE(ReadCsv(s, &is, opts, &report).ok());
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("quarantined 2 of 4 records"), std::string::npos);
+  EXPECT_NE(summary.find("stray-quote 1"), std::string::npos);
+  EXPECT_NE(summary.find("arity-mismatch 1"), std::string::npos);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"records_quarantined\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"arity-mismatch\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"stray-quote\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"raw\": \"red,1,extra\""), std::string::npos);
+  const std::string text = report.RenderText();
+  EXPECT_NE(text.find("line 3: arity-mismatch"), std::string::npos);
+}
+
+TEST(IngestReportTest, JsonEscapesControlCharacters) {
+  IngestReport report;
+  IngestError err;
+  err.line = 1;
+  err.kind = CsvErrorKind::kStrayQuote;
+  err.message = "quote \"here\"";
+  err.raw = "a\nb\tc\\d";
+  report.errors.push_back(err);
+  report.records_quarantined = 1;
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("quote \\\"here\\\""), std::string::npos);
+  EXPECT_NE(json.find("a\\nb\\tc\\\\d"), std::string::npos);
+}
+
+// --- parallel determinism ---------------------------------------------------
+
+TEST(CsvParallelTest, ParallelParseIsDeterministic) {
+  const Schema s = NastySchema();
+  Table t(s);
+  Rng rng(7);
+  for (int r = 0; r < 3000; ++r) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Nominal(static_cast<int32_t>(rng.UniformInt(0, 6))),
+                     Value::Numeric(rng.UniformReal(-1000.0, 1000.0)),
+                     Value::Date(static_cast<int32_t>(
+                         rng.UniformInt(DaysFromCivil({1995, 1, 1}),
+                                        DaysFromCivil({2010, 12, 31}))))})
+            .ok());
+  }
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(t, &os).ok());
+  const std::string csv = os.str();
+  for (int threads : {1, 2, 4}) {
+    CsvOptions opts;
+    opts.num_threads = threads;
+    opts.batch_records = 256;  // force many batches
+    opts.chunk_bytes = 512;
+    std::istringstream is(csv);
+    IngestReport report;
+    auto back = ReadCsv(s, &is, opts, &report);
+    ASSERT_TRUE(back.ok()) << "threads " << threads << ": " << back.status();
+    ExpectTablesIdentical(t, *back);
+    EXPECT_EQ(report.records_kept, 3000u);
+  }
+}
+
+TEST(CsvParallelTest, ParallelQuarantineIsDeterministic) {
+  const Schema s = ErrorSchema();
+  Rng rng(11);
+  std::string csv = "color,weight\n";
+  std::vector<size_t> bad_lines;
+  for (size_t r = 0; r < 2000; ++r) {
+    const size_t line = r + 2;
+    switch (rng.UniformInt(0, 9)) {
+      case 0:
+        csv += "red,1,extra\n";
+        bad_lines.push_back(line);
+        break;
+      case 1:
+        csv += "re\"d,1\n";
+        bad_lines.push_back(line);
+        break;
+      case 2:
+        csv += "red,9000\n";
+        bad_lines.push_back(line);
+        break;
+      default:
+        csv += rng.Bernoulli(0.5) ? "red,1\n" : "green,2\n";
+    }
+  }
+  std::vector<IngestError> baseline;
+  for (int threads : {1, 3, 4}) {
+    CsvOptions opts;
+    opts.num_threads = threads;
+    opts.batch_records = 128;
+    opts.on_error = CsvErrorPolicy::kSkipAndReport;
+    std::istringstream is(csv);
+    IngestReport report;
+    auto back = ReadCsv(s, &is, opts, &report);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(report.errors.size(), bad_lines.size());
+    for (size_t i = 0; i < report.errors.size(); ++i) {
+      EXPECT_EQ(report.errors[i].line, bad_lines[i]) << "threads " << threads;
+    }
+    if (threads == 1) {
+      baseline = report.errors;
+      continue;
+    }
+    ASSERT_EQ(report.errors.size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(report.errors[i].kind, baseline[i].kind);
+      EXPECT_EQ(report.errors[i].column, baseline[i].column);
+      EXPECT_EQ(report.errors[i].message, baseline[i].message);
+      EXPECT_EQ(report.errors[i].raw, baseline[i].raw);
+    }
+  }
+}
+
+TEST(CsvParallelTest, StrictModeFirstErrorIsDeterministic) {
+  const Schema s = ErrorSchema();
+  std::string csv = "color,weight\n";
+  for (int r = 0; r < 500; ++r) csv += "red,1\n";
+  csv += "purple,1\n";  // line 502
+  for (int r = 0; r < 500; ++r) csv += "green,2\n";
+  csv += "blue,1\n";  // line 1003, never reached in order
+  for (int threads : {1, 4}) {
+    CsvOptions opts;
+    opts.num_threads = threads;
+    opts.batch_records = 64;
+    std::istringstream is(csv);
+    auto r = ReadCsv(s, &is, opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("line 502"), std::string::npos)
+        << "threads " << threads << ": " << r.status().message();
+  }
+}
+
+}  // namespace
+}  // namespace dq

@@ -7,6 +7,7 @@ set -euo pipefail
 DQGEN="$1"
 DQAUDIT="$2"
 SPEC="$3"
+TESTDATA="${4:-$(dirname "$SPEC")}"
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -66,5 +67,45 @@ RULES="$(dirname "$SPEC")/parts.rules"
   --clean "$WORK/expert_clean.csv" --print-rules > "$WORK/expert.out"
 grep -q "rule: GROUP = G1 -> FAMILY = F2" "$WORK/expert.out"
 grep -q "generated 2000 records following 4 rules" "$WORK/expert.out"
+
+# The generator can verify its own output round-trips bitwise through the
+# streaming reader.
+"$DQGEN" --schema "$SPEC" --records 1500 --rules 8 --seed 9 \
+  --clean "$WORK/rt_clean.csv" --dirty "$WORK/rt_dirty.csv" \
+  --verify-roundtrip --ingest-report "$WORK/rt_ingest.json" \
+  > "$WORK/rt.out"
+grep -c "round-trip verified" "$WORK/rt.out" | grep -qx 2
+grep -q '"records_quarantined": 0' "$WORK/rt_ingest.json"
+
+# Dirty ingestion: strict mode refuses the shipped malformed extract ...
+DIRTY_SPEC="$TESTDATA/quis.spec"
+DIRTY_CSV="$TESTDATA/quis_dirty.csv"
+if "$DQAUDIT" --schema "$DIRTY_SPEC" --data "$DIRTY_CSV" --top 3 \
+    > /dev/null 2>&1; then
+  echo "strict mode accepted the malformed extract" >&2
+  exit 1
+fi
+# ... while quarantine-and-continue audits the survivors and reports
+# exactly the injected records.
+"$DQAUDIT" --schema "$DIRTY_SPEC" --data "$DIRTY_CSV" --on-error skip \
+  --ingest-report "$WORK/ingest.json" --top 3 > "$WORK/dirty.out" \
+  2> "$WORK/dirty.err"
+grep -q "loaded 30 records" "$WORK/dirty.out"
+grep -q "quarantined 4 of 34 records" "$WORK/dirty.out"
+grep -q "suspicious at minimal error confidence" "$WORK/dirty.out"
+grep -q "ingest [0-9.]* ms" "$WORK/dirty.out"
+grep -q '"records_quarantined": 4' "$WORK/ingest.json"
+grep -q '"arity-mismatch": 1' "$WORK/ingest.json"
+grep -q '"stray-quote": 1' "$WORK/ingest.json"
+grep -q '"bad-value": 1' "$WORK/ingest.json"
+grep -q '"unterminated-quote": 1' "$WORK/ingest.json"
+
+# The quarantine report is identical for every thread count (timings and
+# thread counts aside).
+"$DQAUDIT" --schema "$DIRTY_SPEC" --data "$DIRTY_CSV" --on-error skip \
+  --ingest-report "$WORK/ingest_t4.json" --threads 4 --top 3 > /dev/null 2>&1
+grep -v -e parse_ms -e threads_used "$WORK/ingest.json" > "$WORK/i1"
+grep -v -e parse_ms -e threads_used "$WORK/ingest_t4.json" > "$WORK/i4"
+diff "$WORK/i1" "$WORK/i4"
 
 echo "cli round trip OK ($AUDIT_N suspicious records)"

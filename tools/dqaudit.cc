@@ -28,6 +28,10 @@
 //                      violation counts plus example rows
 //   --lint             run the dqlint check battery over --rules-file
 //                      before auditing; lint errors abort with exit code 1
+//   --on-error MODE    fail (default): abort on the first malformed CSV
+//                      record; skip: quarantine malformed records into an
+//                      ingest report and audit the survivors
+//   --ingest-report F  write the ingest quarantine report as JSON
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +62,8 @@ struct Options {
   std::string corrected_path;
   std::string report_path;
   std::string rules_path;
+  std::string on_error = "fail";
+  std::string ingest_report_path;
   double min_conf = 0.8;
   double level = 0.95;
   std::string inducer = "c45";
@@ -76,7 +82,8 @@ void Usage() {
                "  [--inducer c45|naive-bayes|knn|oner] [--save-model m]\n"
                "  [--load-model m] [--top 20] [--explain 5] [--rules]\n"
                "  [--corrected out.csv] [--report report.csv]\n"
-               "  [--summary] [--threads 0] [--rules-file r.rules] [--lint]\n");
+               "  [--summary] [--threads 0] [--rules-file r.rules] [--lint]\n"
+               "  [--on-error fail|skip] [--ingest-report report.json]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -97,6 +104,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--report" && need_value(&opts->report_path)) continue;
     if (arg == "--rules-file" && need_value(&opts->rules_path)) continue;
     if (arg == "--inducer" && need_value(&opts->inducer)) continue;
+    if (arg == "--on-error" && need_value(&opts->on_error)) continue;
+    if (arg == "--ingest-report" && need_value(&opts->ingest_report_path)) {
+      continue;
+    }
     if (arg == "--min-conf" && need_value(&value)) {
       opts->min_conf = std::atof(value.c_str());
       continue;
@@ -139,6 +150,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     std::fprintf(stderr, "--lint requires --rules-file\n");
     return false;
   }
+  if (opts->on_error != "fail" && opts->on_error != "skip") {
+    std::fprintf(stderr, "--on-error must be 'fail' or 'skip'\n");
+    return false;
+  }
   return true;
 }
 
@@ -166,11 +181,32 @@ int main(int argc, char** argv) {
 
   auto schema = ParseSchemaSpecFile(opts.schema_path);
   if (!schema.ok()) return Fail(schema.status());
-  auto data = ReadCsvFile(*schema, opts.data_path);
-  if (!data.ok()) return Fail(data.status());
+  CsvOptions csv_options;
+  csv_options.on_error = opts.on_error == "skip"
+                             ? CsvErrorPolicy::kSkipAndReport
+                             : CsvErrorPolicy::kFail;
+  csv_options.num_threads = opts.threads;
+  IngestReport ingest;
+  auto data = ReadCsvFile(*schema, opts.data_path, csv_options, &ingest);
+  if (!data.ok()) {
+    if (!opts.ingest_report_path.empty()) {
+      (void)ingest.WriteJsonFile(opts.ingest_report_path);
+    }
+    return Fail(data.status());
+  }
   std::printf("loaded %zu records x %zu attributes from %s\n",
               data->num_rows(), schema->num_attributes(),
               opts.data_path.c_str());
+  if (ingest.HasErrors()) {
+    std::printf("ingest: %s\n", ingest.Summary().c_str());
+    std::fputs(ingest.RenderText().c_str(), stderr);
+  }
+  if (!opts.ingest_report_path.empty()) {
+    Status written = ingest.WriteJsonFile(opts.ingest_report_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote ingest report to %s\n",
+                opts.ingest_report_path.c_str());
+  }
 
   // Expert-rule deviation check: deterministic violations of the
   // domain-expert dependencies, complementing the induced structure model.
@@ -246,13 +282,20 @@ int main(int argc, char** argv) {
   // Structure induction (on --train if given, else on the audit data).
   const Table* train = &*data;
   std::optional<Table> train_storage;
+  IngestReport train_ingest;
   if (!opts.train_path.empty()) {
-    auto loaded = ReadCsvFile(*schema, opts.train_path);
+    auto loaded =
+        ReadCsvFile(*schema, opts.train_path, csv_options, &train_ingest);
     if (!loaded.ok()) return Fail(loaded.status());
+    if (train_ingest.HasErrors()) {
+      std::printf("ingest (train): %s\n", train_ingest.Summary().c_str());
+      std::fputs(train_ingest.RenderText().c_str(), stderr);
+    }
     train_storage = std::move(*loaded);
     train = &*train_storage;
   }
   AuditTimings timings;
+  timings.ingest_ms = ingest.parse_ms + train_ingest.parse_ms;
   auto model = auditor.Induce(*train, &timings);
   if (!model.ok()) return Fail(model.status());
 
@@ -269,10 +312,10 @@ int main(int argc, char** argv) {
 
   auto report = auditor.Audit(*model, *data, &timings);
   if (!report.ok()) return Fail(report.status());
-  std::printf("timings (threads=%d): induce %.1f ms (c4.5 presort %.1f ms, "
-              "tree build %.1f ms), audit %.1f ms\n",
-              timings.threads_used, timings.induce_ms, timings.presort_ms,
-              timings.tree_build_ms, timings.audit_ms);
+  std::printf("timings (threads=%d): ingest %.1f ms, induce %.1f ms "
+              "(c4.5 presort %.1f ms, tree build %.1f ms), audit %.1f ms\n",
+              timings.threads_used, timings.ingest_ms, timings.induce_ms,
+              timings.presort_ms, timings.tree_build_ms, timings.audit_ms);
   std::printf("%zu of %zu records suspicious at minimal error confidence "
               "%.2f\n",
               report->NumFlagged(), data->num_rows(), opts.min_conf);

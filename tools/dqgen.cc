@@ -19,6 +19,10 @@
 //   --print-rules     print the generated rule set
 //   --lint            run the dqlint check battery over the rule set before
 //                     generating; lint errors abort with exit code 1
+//   --verify-roundtrip  re-read every written CSV with the strict streaming
+//                     parser and assert it is bitwise-identical to the
+//                     in-memory table (guards the writer/reader pair)
+//   --ingest-report F write the verification reader's ingest report as JSON
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +55,8 @@ struct Options {
   double factor = 1.0;
   bool print_rules = false;
   bool lint = false;
+  bool verify_roundtrip = false;
+  std::string ingest_report_path;
 };
 
 void Usage() {
@@ -58,7 +64,8 @@ void Usage() {
                "usage: dqgen --schema spec.txt --records N --clean out.csv\n"
                "  [--rules 25] [--seed 1] [--dirty out.csv] [--factor 1.0]\n"
                "  [--log corruption.log] [--truth truth.csv] [--print-rules]\n"
-               "  [--rules-file rules.txt] [--lint]\n");
+               "  [--rules-file rules.txt] [--lint] [--verify-roundtrip]\n"
+               "  [--ingest-report report.json]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -100,6 +107,13 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->lint = true;
       continue;
     }
+    if (arg == "--verify-roundtrip") {
+      opts->verify_roundtrip = true;
+      continue;
+    }
+    if (arg == "--ingest-report" && need_value(&opts->ingest_report_path)) {
+      continue;
+    }
     std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
     return false;
   }
@@ -110,6 +124,31 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "dqgen: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Re-reads `path` with the strict streaming parser and checks it decodes
+/// bitwise-identically to the table that was just written there.
+Status VerifyRoundTrip(const Schema& schema, const Table& original,
+                       const std::string& path, IngestReport* report) {
+  auto back = ReadCsvFile(schema, path, CsvOptions(), report);
+  if (!back.ok()) return back.status();
+  if (back->num_rows() != original.num_rows()) {
+    return Status::Internal("round-trip of " + path + " read back " +
+                            std::to_string(back->num_rows()) + " of " +
+                            std::to_string(original.num_rows()) + " records");
+  }
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (!back->cell(r, a).StrictEquals(original.cell(r, a))) {
+        return Status::Internal(
+            "round-trip of " + path + " differs at row " + std::to_string(r) +
+            ", attribute '" + schema.attribute(a).name + "'");
+      }
+    }
+  }
+  std::printf("round-trip verified: %s (%zu records bitwise-identical)\n",
+              path.c_str(), original.num_rows());
+  return Status::OK();
 }
 
 }  // namespace
@@ -192,7 +231,22 @@ int main(int argc, char** argv) {
   std::printf("generated %zu records following %zu rules -> %s\n",
               data->table.num_rows(), rules.size(), opts.clean_path.c_str());
 
-  if (opts.dirty_path.empty()) return 0;
+  IngestReport verify_report;
+  if (opts.verify_roundtrip) {
+    Status verified = VerifyRoundTrip(*schema, data->table, opts.clean_path,
+                                      &verify_report);
+    if (!verified.ok()) return Fail(verified);
+  }
+  auto dump_ingest_report = [&]() -> int {
+    if (opts.ingest_report_path.empty()) return 0;
+    Status dumped = verify_report.WriteJsonFile(opts.ingest_report_path);
+    if (!dumped.ok()) return Fail(dumped);
+    std::printf("wrote ingest report to %s\n",
+                opts.ingest_report_path.c_str());
+    return 0;
+  };
+
+  if (opts.dirty_path.empty()) return dump_ingest_report();
 
   PollutionPipeline pipeline(DefaultPolluterMix(), opts.seed ^ 0x51ULL,
                              opts.factor);
@@ -203,6 +257,11 @@ int main(int argc, char** argv) {
   std::printf("polluted %zu of %zu records (factor %.2f) -> %s\n",
               polluted->CorruptedCount(), polluted->dirty.num_rows(),
               opts.factor, opts.dirty_path.c_str());
+  if (opts.verify_roundtrip) {
+    Status verified = VerifyRoundTrip(*schema, polluted->dirty,
+                                      opts.dirty_path, &verify_report);
+    if (!verified.ok()) return Fail(verified);
+  }
 
   if (!opts.log_path.empty()) {
     std::ofstream log(opts.log_path);
@@ -220,5 +279,5 @@ int main(int argc, char** argv) {
             << polluted->origin[r] << '\n';
     }
   }
-  return 0;
+  return dump_ingest_report();
 }
