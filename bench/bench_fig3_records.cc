@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
   std::printf("# Figure 3: influence of number of records on sensitivity\n");
   std::printf("%10s %12s %12s %10s %10s %10s\n", "records", "sensitivity",
               "specificity", "flagged", "corrupted", "ms");
+  BenchJson json("fig3_records", argc, argv);
+  json.Add("seeds_per_point", seeds);
+  int failed_seeds = 0;
   for (size_t records : record_counts) {
     TestEnvironmentConfig cfg;
     cfg.num_records = records;
@@ -30,10 +33,17 @@ int main(int argc, char** argv) {
     cfg.pollution_factor = 1.0;
     cfg.auditor.min_error_confidence = 0.8;
     SweepPoint p = RunAveraged(cfg, seeds);
+    failed_seeds += p.failed_seeds;
     std::printf("%10zu %12.4f %12.4f %10.1f %10.1f %10.0f\n", records,
                 p.sensitivity, p.specificity, p.flagged, p.corrupted,
                 p.total_ms);
+    const std::string prefix = "records_" + std::to_string(records);
+    json.Add(prefix + "_sensitivity", p.sensitivity);
+    json.Add(prefix + "_specificity", p.specificity);
+    json.Add(prefix + "_total_ms", p.total_ms);
   }
+  json.SetFailedSeeds(failed_seeds);
+  json.WriteFile();
   std::printf(
       "# paper shape: rising towards ~0.3; jump once the training set\n"
       "# supports rules above the minimal error confidence limit\n");

@@ -9,7 +9,7 @@
 #include <string>
 
 #include "bench_util.h"
-#include "common/timer.h"
+#include "obs/metrics.h"
 #include "quis/quis_sample.h"
 #include "table/csv.h"
 
@@ -136,7 +136,12 @@ int main(int argc, char** argv) {
               dirty_report.records_total);
   std::printf("quarantine:     %s\n", dirty_report.Summary().c_str());
 
-  dq::bench::BenchJson json("ingest");
+  dq::bench::BenchJson json("ingest", argc, argv);
+  json.manifest()->seed = qcfg.seed;
+  json.manifest()->threads_requested = threads;
+  json.manifest()->threads_used = parallel_report.threads_used;
+  json.IncludeMetrics();
+  obs::SyncPoolMetrics();
   json.Add("records", serial_rows);
   json.Add("csv_mb", mb);
   json.Add("quick", quick ? 1 : 0);

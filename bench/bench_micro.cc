@@ -6,6 +6,7 @@
 
 #include "audit/auditor.h"
 #include "eval/test_environment.h"
+#include "obs/trace.h"
 #include "pollution/pipeline.h"
 #include "tdg/data_generator.h"
 #include "tdg/rule_generator.h"
@@ -177,6 +178,58 @@ void BM_AuditPrediction(benchmark::State& state) {
                           static_cast<int64_t>(model->num_models()));
 }
 BENCHMARK(BM_AuditPrediction);
+
+// Raw cost of one Span with recording off (Arg(0)) vs on (Arg(1)). Off is
+// two clock reads — the ScopedTimer it replaced; on adds the per-thread
+// buffer append.
+void BM_SpanOverhead(benchmark::State& state) {
+  obs::Tracer::Global().SetEnabled(state.range(0) != 0);
+  double sink = 0.0;
+  for (auto _ : state) {
+    obs::Span span("bench.span", -1, &sink);
+    benchmark::DoNotOptimize(sink);
+  }
+  obs::Tracer::Global().SetEnabled(false);
+  obs::Tracer::Global().Reset();
+}
+BENCHMARK(BM_SpanOverhead)->Arg(0)->Arg(1);
+
+// Whole induce+audit pipeline with the tracer off (Arg(0), the default
+// production path) vs on (Arg(1)). CI's overhead guard compares the off
+// timing against the pre-instrumentation baseline: the disabled tracer
+// must stay within noise (<2%).
+void BM_AuditTracer(benchmark::State& state) {
+  const Schema& schema = BaseSchema();
+  std::vector<Rule> rules = BaseRules(25);
+  std::vector<DistributionSpec> specs(schema.num_attributes(),
+                                      DistributionSpec::Uniform());
+  DataGenerator gen(&schema, specs, nullptr, rules);
+  DataGenConfig cfg;
+  cfg.num_records = 5000;
+  auto data = gen.Generate(cfg);
+  if (!data.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  obs::Tracer::Global().SetEnabled(state.range(0) != 0);
+  Auditor auditor;
+  for (auto _ : state) {
+    auto model = auditor.Induce(data->table);
+    if (!model.ok()) {
+      state.SkipWithError("induction failed");
+      break;
+    }
+    auto report = auditor.Audit(*model, data->table);
+    benchmark::DoNotOptimize(report);
+    // Drop recorded spans between iterations so an enabled run's buffers
+    // stay bounded.
+    obs::Tracer::Global().Reset();
+  }
+  obs::Tracer::Global().SetEnabled(false);
+  obs::Tracer::Global().Reset();
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_AuditTracer)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace dq

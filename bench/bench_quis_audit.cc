@@ -18,6 +18,8 @@
 #include "audit/error_confidence.h"
 #include "audit/rule_export.h"
 #include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quis/quis_sample.h"
 
 using namespace dq;
@@ -25,6 +27,8 @@ using namespace dq;
 int main(int argc, char** argv) {
   const bool quick = dq::bench::QuickMode(argc, argv);
   const int threads = dq::bench::ThreadsArg(argc, argv);
+  const std::string trace_out = dq::bench::TraceOutArg(argc, argv);
+  if (!trace_out.empty()) obs::Tracer::Global().SetEnabled(true);
   QuisConfig qcfg;
   qcfg.num_records = quick ? 20000 : 200000;
   qcfg.seed = 2003;
@@ -147,7 +151,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  dq::bench::BenchJson json("quis_audit");
+  dq::bench::BenchJson json("quis_audit", argc, argv);
+  json.manifest()->seed = qcfg.seed;
+  json.manifest()->threads_requested = threads;
+  json.manifest()->threads_used = timings.threads_used;
+  json.IncludeMetrics();
   json.Add("records", sample->table.num_rows());
   json.Add("seed", static_cast<size_t>(qcfg.seed));
   json.Add("quick", quick ? 1 : 0);
@@ -164,6 +172,17 @@ int main(int argc, char** argv) {
   json.Add("planted_rank", rank);
   json.Add("kbm01_gbm901_slice", sample->kbm01_gbm901_count);
   json.Add("kbm01_gbm901_deviation_confidence", best_conf);
+  obs::SyncPoolMetrics();
   json.WriteFile();
+
+  if (!trace_out.empty()) {
+    Status written =
+        obs::Tracer::Global().WriteChromeTraceFile(trace_out, json.manifest());
+    if (!written.ok()) {
+      DQ_LOG_ERROR("bench", "%s", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
   return 0;
 }

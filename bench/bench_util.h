@@ -3,13 +3,12 @@
 #ifndef DQ_BENCH_BENCH_UTIL_H_
 #define DQ_BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "eval/test_environment.h"
+#include "obs/bench_report.h"
+#include "obs/log.h"
 
 namespace dq::bench {
 
@@ -21,9 +20,12 @@ struct SweepPoint {
   double flagged = 0.0;
   double corrupted = 0.0;
   double total_ms = 0.0;
+  int failed_seeds = 0;  ///< runs that errored and were excluded
 };
 
 /// Runs the test environment for `seeds` seeds and averages the measures.
+/// Failed seeds are excluded from the averages and counted in the result
+/// (report them via BenchJson::SetFailedSeeds so they land in the JSON).
 inline SweepPoint RunAveraged(TestEnvironmentConfig cfg, int seeds) {
   SweepPoint p;
   int ok_runs = 0;
@@ -31,8 +33,9 @@ inline SweepPoint RunAveraged(TestEnvironmentConfig cfg, int seeds) {
     cfg.seed = 1000 + static_cast<uint64_t>(s) * 77;
     auto result = TestEnvironment(cfg).Run();
     if (!result.ok()) {
-      std::fprintf(stderr, "run failed (seed %d): %s\n", s,
-                   result.status().ToString().c_str());
+      DQ_LOG_WARN("bench", "run failed (seed %d): %s", s,
+                  result.status().ToString().c_str());
+      ++p.failed_seeds;
       continue;
     }
     ++ok_runs;
@@ -45,7 +48,7 @@ inline SweepPoint RunAveraged(TestEnvironmentConfig cfg, int seeds) {
                   result->induce_ms + result->audit_ms;
   }
   if (ok_runs == 0) {
-    std::fprintf(stderr, "all runs failed\n");
+    DQ_LOG_ERROR("bench", "all runs failed");
     std::exit(1);
   }
   p.sensitivity /= ok_runs;
@@ -75,71 +78,21 @@ inline int ThreadsArg(int argc, char** argv) {
   return 0;
 }
 
-/// Accumulates flat key/value pairs and writes them as
-/// `BENCH_<name>.json` next to the binary, so sweeps can be diffed and
-/// plotted without scraping stdout.
-class BenchJson {
- public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {
-    Add("bench", name_);
+/// "--trace-out FILE" on the command line (empty = no trace export). When
+/// set, the bench enables the tracer and writes the stitched span tree as
+/// Chrome trace-event JSON; left unset, tracing stays disabled so the
+/// timings match the uninstrumented path.
+inline std::string TraceOutArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace-out") return argv[i + 1];
   }
+  return "";
+}
 
-  void Add(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + Escaped(value) + "\"");
-  }
-  void Add(const std::string& key, const char* value) {
-    Add(key, std::string(value));
-  }
-  void Add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", value);
-    fields_.emplace_back(key, buf);
-  }
-  void Add(const std::string& key, int value) {
-    fields_.emplace_back(key, std::to_string(value));
-  }
-  void Add(const std::string& key, size_t value) {
-    fields_.emplace_back(key, std::to_string(value));
-  }
-
-  /// Writes `BENCH_<name>.json` into the working directory.
-  bool WriteFile() const {
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return false;
-    }
-    std::fputs("{\n", f);
-    for (size_t i = 0; i < fields_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
-                   fields_[i].second.c_str(),
-                   i + 1 < fields_.size() ? "," : "");
-    }
-    std::fputs("}\n", f);
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
-    return true;
-  }
-
- private:
-  static std::string Escaped(const std::string& in) {
-    std::string out;
-    out.reserve(in.size());
-    for (char c : in) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  std::string name_;
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
+/// The BENCH_<name>.json emitter every bench binary shares. This is the
+/// schema-versioned obs::BenchReport; construct it with (name, argc, argv)
+/// so the emitted JSON carries the run manifest.
+using BenchJson = ::dq::obs::BenchReport;
 
 }  // namespace dq::bench
 

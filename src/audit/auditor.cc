@@ -6,7 +6,8 @@
 
 #include "audit/error_confidence.h"
 #include "common/parallel.h"
-#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dq {
 
@@ -61,7 +62,7 @@ Result<AuditModel> Auditor::Induce(const Table& train,
     return Status::FailedPrecondition("cannot induce structure on empty table");
   }
   const Schema& schema = train.schema();
-  WallTimer total;
+  obs::Span induce_span("induce");
 
   const std::unordered_set<int> skip(config_.skip_class_attrs.begin(),
                                      config_.skip_class_attrs.end());
@@ -101,8 +102,14 @@ Result<AuditModel> Auditor::Induce(const Table& train,
   std::vector<std::optional<AttributeModel>> slots(jobs.size());
   std::vector<double> job_ms(jobs.size(), 0.0);
   std::vector<Status> fatal(jobs.size());
+  // Worker spans stitch under this Induce call's span: the context is
+  // captured here on the dispatching thread and installed inside each task.
+  // The per-attribute span is keyed by the class attribute index, so the
+  // stitched tree is the same for every thread count.
+  const obs::TaskContext trace_ctx = obs::Tracer::Global().CurrentContext();
   ParallelFor(threads, jobs.size(), [&](size_t j) {
-    ScopedTimer timer(&job_ms[j]);
+    obs::TaskScope task_scope(trace_ctx);
+    obs::Span span("induce.attr", jobs[j].class_attr, &job_ms[j]);
     const Job& job = jobs[j];
     AttributeModel am;
     am.class_attr = job.class_attr;
@@ -150,9 +157,10 @@ Result<AuditModel> Auditor::Induce(const Table& train,
   if (model.num_models() == 0) {
     return Status::FailedPrecondition("no attribute could be modelled");
   }
+  obs::GetCounter("induce.attributes_modelled")->Add(model.num_models());
   if (timings != nullptr) {
     timings->threads_used = threads;
-    timings->induce_ms = total.ElapsedMs();
+    timings->induce_ms = induce_span.ElapsedMs();
     timings->presort_ms = presort_ms;
     timings->tree_build_ms = tree_build_ms;
     timings->induce_attr_ms.clear();
@@ -173,64 +181,74 @@ Result<AuditReport> Auditor::Audit(const AuditModel& model, const Table& data,
   report.record_support.assign(n, 0.0);
   report.flagged.assign(n, false);
 
-  WallTimer total;
+  obs::Span audit_span("audit");
   const int threads = ResolveThreadCount(config_.num_threads);
 
   // Each record is scored independently (Def. 7/8) into its own slot, so
   // rows chunk across the pool. The bit-packed `flagged` vector and the
   // ranked suspicion list are filled serially below from the per-row
-  // results, which keeps them byte-identical to a serial run.
-  ParallelFor(threads, n, [&](size_t r) {
-    const Row& row = data.row(r);
-    double best_conf = 0.0;
-    int best_attr = -1;
-    Value best_suggestion = Value::Null();
-    double best_support = 0.0;
+  // results, which keeps them byte-identical to a serial run. No per-row
+  // spans: rows are chunked by thread count, which would make the span
+  // tree schedule-dependent.
+  {
+    obs::Span score_span("audit.score");
+    ParallelFor(threads, n, [&](size_t r) {
+      const Row& row = data.row(r);
+      double best_conf = 0.0;
+      int best_attr = -1;
+      Value best_suggestion = Value::Null();
+      double best_support = 0.0;
 
-    for (const AttributeModel& am : model.models()) {
-      const Value& observed = row[static_cast<size_t>(am.class_attr)];
-      const int observed_class = am.encoder.Encode(observed);
-      const Prediction pred = am.classifier->Predict(row);
-      const double conf = ErrorConfidence(pred, observed_class,
-                                          config_.confidence_level,
-                                          config_.flag_null_values);
-      if (conf > best_conf) {
-        best_conf = conf;
-        best_attr = am.class_attr;
-        best_suggestion = am.encoder.Representative(pred.PredictedClass());
-        best_support = pred.support;
+      for (const AttributeModel& am : model.models()) {
+        const Value& observed = row[static_cast<size_t>(am.class_attr)];
+        const int observed_class = am.encoder.Encode(observed);
+        const Prediction pred = am.classifier->Predict(row);
+        const double conf = ErrorConfidence(pred, observed_class,
+                                            config_.confidence_level,
+                                            config_.flag_null_values);
+        if (conf > best_conf) {
+          best_conf = conf;
+          best_attr = am.class_attr;
+          best_suggestion = am.encoder.Representative(pred.PredictedClass());
+          best_support = pred.support;
+        }
+      }
+
+      report.record_confidence[r] = best_conf;  // Def. 8 (max combination)
+      report.record_attr[r] = best_attr;
+      report.record_suggestion[r] = best_suggestion;
+      report.record_support[r] = best_support;
+    });
+  }
+
+  {
+    obs::Span rank_span("audit.rank");
+    for (size_t r = 0; r < n; ++r) {
+      const double best_conf = report.record_confidence[r];
+      const int best_attr = report.record_attr[r];
+      if (best_conf >= config_.min_error_confidence && best_attr >= 0) {
+        report.flagged[r] = true;
+        Suspicion s;
+        s.row = r;
+        s.error_confidence = best_conf;
+        s.attr = best_attr;
+        s.observed = data.cell(r, static_cast<size_t>(best_attr));
+        s.suggestion = report.record_suggestion[r];
+        s.support = report.record_support[r];
+        report.suspicious.push_back(std::move(s));
       }
     }
 
-    report.record_confidence[r] = best_conf;  // Def. 8 (max combination)
-    report.record_attr[r] = best_attr;
-    report.record_suggestion[r] = best_suggestion;
-    report.record_support[r] = best_support;
-  });
-
-  for (size_t r = 0; r < n; ++r) {
-    const double best_conf = report.record_confidence[r];
-    const int best_attr = report.record_attr[r];
-    if (best_conf >= config_.min_error_confidence && best_attr >= 0) {
-      report.flagged[r] = true;
-      Suspicion s;
-      s.row = r;
-      s.error_confidence = best_conf;
-      s.attr = best_attr;
-      s.observed = data.cell(r, static_cast<size_t>(best_attr));
-      s.suggestion = report.record_suggestion[r];
-      s.support = report.record_support[r];
-      report.suspicious.push_back(std::move(s));
-    }
+    std::stable_sort(report.suspicious.begin(), report.suspicious.end(),
+                     [](const Suspicion& a, const Suspicion& b) {
+                       return a.error_confidence > b.error_confidence;
+                     });
   }
-
-  std::stable_sort(report.suspicious.begin(), report.suspicious.end(),
-                   [](const Suspicion& a, const Suspicion& b) {
-                     return a.error_confidence > b.error_confidence;
-                   });
+  obs::GetCounter("audit.records_scored")->Add(n);
+  obs::GetCounter("audit.suspicions_flagged")->Add(report.suspicious.size());
   if (timings != nullptr) {
     timings->threads_used = threads;
-    timings->audit_ms = total.ElapsedMs();
+    timings->audit_ms = audit_span.ElapsedMs();
   }
   return report;
 }

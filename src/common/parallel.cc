@@ -1,10 +1,35 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/random.h"
 
 namespace dq {
+
+namespace {
+
+std::atomic<uint64_t> g_pools_created{0};
+std::atomic<uint64_t> g_tasks_executed{0};
+std::atomic<uint64_t> g_peak_queue_depth{0};
+
+void UpdatePeakQueueDepth(uint64_t depth) {
+  uint64_t peak = g_peak_queue_depth.load(std::memory_order_relaxed);
+  while (depth > peak && !g_peak_queue_depth.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+PoolStats GlobalPoolStats() {
+  PoolStats stats;
+  stats.pools_created = g_pools_created.load(std::memory_order_relaxed);
+  stats.tasks_executed = g_tasks_executed.load(std::memory_order_relaxed);
+  stats.peak_queue_depth =
+      g_peak_queue_depth.load(std::memory_order_relaxed);
+  return stats;
+}
 
 int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -26,6 +51,7 @@ uint64_t TaskSeed(uint64_t base_seed, uint64_t task_id) {
 }
 
 ThreadPool::ThreadPool(int num_threads) {
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
   const int n = ResolveThreadCount(num_threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -48,6 +74,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    UpdatePeakQueueDepth(queue_.size());
   }
   cv_.notify_one();
   return future;
@@ -64,6 +91,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();  // exceptions land in the task's future
+    g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

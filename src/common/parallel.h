@@ -35,6 +35,18 @@ int ResolveThreadCount(int requested);
 /// pair yields the same stream on every run and thread schedule.
 uint64_t TaskSeed(uint64_t base_seed, uint64_t task_id);
 
+/// \brief Process-wide thread-pool activity counters, maintained with
+/// relaxed atomics by every pool. The observability layer exports them as
+/// gauges (pool.* in the metrics dump); they are monotone over the process
+/// lifetime.
+struct PoolStats {
+  uint64_t pools_created = 0;
+  uint64_t tasks_executed = 0;
+  uint64_t peak_queue_depth = 0;  ///< deepest backlog any pool ever saw
+};
+
+PoolStats GlobalPoolStats();
+
 /// \brief Small fixed-size thread pool with a shared FIFO task queue.
 ///
 /// A pool of size 1 executes submitted tasks on its single worker; the

@@ -1,7 +1,6 @@
 #include "eval/test_environment.h"
 
-#include <chrono>
-
+#include "obs/trace.h"
 #include "table/date.h"
 
 namespace dq {
@@ -15,12 +14,6 @@ std::vector<std::string> MakeCategories(const std::string& prefix, int n) {
     out.push_back(prefix + std::to_string(i));
   }
   return out;
-}
-
-double ElapsedMs(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
 }
 
 }  // namespace
@@ -99,63 +92,74 @@ Result<std::unique_ptr<BayesianNetwork>> MakeBaseBayesNet(const Schema* schema,
 }
 
 Result<ExperimentResult> TestEnvironment::Run() const {
+  obs::Span pipeline_span("pipeline");
   ExperimentResult result;
   result.schema = MakeBaseSchema();
 
   // 1. Rule generation (fig. 2 "test data generation" inputs).
-  RuleGenConfig rule_cfg = config_.rule_gen;
-  rule_cfg.num_rules = config_.num_rules;
-  rule_cfg.seed = SplitMix64(config_.seed) ^ 0x01;
-  RuleGenerator rule_gen(&result.schema, rule_cfg);
-  DQ_ASSIGN_OR_RETURN(result.rules, rule_gen.Generate());
+  {
+    obs::Span span("tdg.rules");
+    RuleGenConfig rule_cfg = config_.rule_gen;
+    rule_cfg.num_rules = config_.num_rules;
+    rule_cfg.seed = SplitMix64(config_.seed) ^ 0x01;
+    RuleGenerator rule_gen(&result.schema, rule_cfg);
+    DQ_ASSIGN_OR_RETURN(result.rules, rule_gen.Generate());
+  }
 
-  // 2. Data generation.
-  auto t0 = std::chrono::steady_clock::now();
-  DQ_ASSIGN_OR_RETURN(
-      std::unique_ptr<BayesianNetwork> net,
-      MakeBaseBayesNet(&result.schema, SplitMix64(config_.seed) ^ 0x02));
-  DataGenerator data_gen(&result.schema,
-                         MakeBaseDistributions(result.schema,
-                                               SplitMix64(config_.seed) ^ 0x03),
-                         net.get(), result.rules);
-  DataGenConfig data_cfg = config_.data_gen;
-  data_cfg.num_records = config_.num_records;
-  data_cfg.seed = SplitMix64(config_.seed) ^ 0x04;
-  DQ_ASSIGN_OR_RETURN(GeneratedData generated, data_gen.Generate(data_cfg));
-  result.clean = std::move(generated.table);
-  result.generate_ms = ElapsedMs(t0);
+  // 2. Data generation. The phase timing fields (generate_ms, pollute_ms)
+  // are sinks of the phase spans, so printed timings and exported traces
+  // are the same measurement.
+  {
+    obs::Span span("tdg.generate", -1, &result.generate_ms);
+    DQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<BayesianNetwork> net,
+        MakeBaseBayesNet(&result.schema, SplitMix64(config_.seed) ^ 0x02));
+    DataGenerator data_gen(
+        &result.schema,
+        MakeBaseDistributions(result.schema, SplitMix64(config_.seed) ^ 0x03),
+        net.get(), result.rules);
+    DataGenConfig data_cfg = config_.data_gen;
+    data_cfg.num_records = config_.num_records;
+    data_cfg.seed = SplitMix64(config_.seed) ^ 0x04;
+    DQ_ASSIGN_OR_RETURN(GeneratedData generated, data_gen.Generate(data_cfg));
+    result.clean = std::move(generated.table);
+  }
 
   // 3. Controlled corruption.
-  t0 = std::chrono::steady_clock::now();
-  std::vector<PolluterConfig> polluters =
-      config_.polluters.empty() ? DefaultPolluterMix() : config_.polluters;
-  PollutionPipeline pipeline(polluters, SplitMix64(config_.seed) ^ 0x05,
-                             config_.pollution_factor);
-  DQ_ASSIGN_OR_RETURN(result.pollution, pipeline.Apply(result.clean));
-  result.pollute_ms = ElapsedMs(t0);
+  {
+    obs::Span span("pollute", -1, &result.pollute_ms);
+    std::vector<PolluterConfig> polluters =
+        config_.polluters.empty() ? DefaultPolluterMix() : config_.polluters;
+    PollutionPipeline pipeline(polluters, SplitMix64(config_.seed) ^ 0x05,
+                               config_.pollution_factor);
+    DQ_ASSIGN_OR_RETURN(result.pollution, pipeline.Apply(result.clean));
+  }
 
   // 4. Structure induction + deviation detection on the dirty table (the
-  // single-database regime of sec. 8).
+  // single-database regime of sec. 8). The auditor opens the "induce" /
+  // "audit" spans itself; the phase fields here are views of the same
+  // measurements it reports through AuditTimings.
   Auditor auditor(config_.auditor);
-  t0 = std::chrono::steady_clock::now();
   DQ_ASSIGN_OR_RETURN(AuditModel model,
                       auditor.Induce(result.pollution.dirty, &result.timings));
-  result.induce_ms = ElapsedMs(t0);
-  t0 = std::chrono::steady_clock::now();
+  result.induce_ms = result.timings.induce_ms;
   DQ_ASSIGN_OR_RETURN(result.report, auditor.Audit(model, result.pollution.dirty,
                                                    &result.timings));
-  result.audit_ms = ElapsedMs(t0);
+  result.audit_ms = result.timings.audit_ms;
 
   // 5. Evaluation (sec. 4.3). Detection/correction scoring chunks rows
   // across the same worker count the auditor uses.
-  result.detection = EvaluateDetection(result.pollution, result.report,
-                                       config_.auditor.num_threads);
-  DQ_ASSIGN_OR_RETURN(
-      Table corrected,
-      auditor.ApplyCorrections(result.report, result.pollution.dirty));
-  result.correction =
-      EvaluateCorrection(result.clean, result.pollution, result.report,
-                         corrected, config_.auditor.num_threads);
+  {
+    obs::Span span("evaluate");
+    result.detection = EvaluateDetection(result.pollution, result.report,
+                                         config_.auditor.num_threads);
+    DQ_ASSIGN_OR_RETURN(
+        Table corrected,
+        auditor.ApplyCorrections(result.report, result.pollution.dirty));
+    result.correction =
+        EvaluateCorrection(result.clean, result.pollution, result.report,
+                           corrected, config_.auditor.num_threads);
+  }
   result.sensitivity = result.detection.Sensitivity();
   result.specificity = result.detection.Specificity();
   result.correction_improvement = result.correction.Improvement();

@@ -5,7 +5,8 @@
 #include <limits>
 
 #include "common/strings.h"
-#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/confidence.h"
 #include "stats/descriptive.h"
 
@@ -211,7 +212,7 @@ Status C45Tree::Train(const TrainingData& data) {
   ctx.nominal_cols.assign(schema.num_attributes(), {});
   bool has_ordered_base = false;
   {
-    ScopedTimer timer(&presort_ms_);
+    obs::Span span("c45.encode", -1, &presort_ms_);
     for (int a : data.base_attrs) {
       const size_t attr = static_cast<size_t>(a);
       if (schema.attribute(attr).type == DataType::kNominal) {
@@ -241,7 +242,7 @@ Status C45Tree::Train(const TrainingData& data) {
     // The one upfront sort (SLIQ-style): every ordered base attribute gets
     // a value-ordered list of the root instances with known values; ties
     // keep row order (stable), so parallel/serial runs agree bitwise.
-    ScopedTimer timer(&presort_ms_);
+    obs::Span span("c45.presort", -1, &presort_ms_);
     ctx.branch_scratch.assign(num_rows, -2);
     root_data.sorted.assign(schema.num_attributes(), {});
     for (int a : data.base_attrs) {
@@ -264,12 +265,13 @@ Status C45Tree::Train(const TrainingData& data) {
   for (int a : data.base_attrs) avail[static_cast<size_t>(a)] = true;
 
   {
-    ScopedTimer timer(&build_ms_);
+    obs::Span span("c45.build", -1, &build_ms_);
     root_ = Build(&ctx, std::move(root_data), std::move(avail), 0);
     if (config_.pruning == PruningMode::kPessimistic) {
       PrunePessimistic(root_.get());
     }
   }
+  obs::GetCounter("c45.tree_nodes")->Add(NodeCount());
   return Status::OK();
 }
 
@@ -458,6 +460,9 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
       ++valid_count;
     }
   }
+  static obs::Counter* const splits_evaluated =
+      obs::GetCounter("c45.splits_evaluated");
+  splits_evaluated->Add(static_cast<uint64_t>(valid_count));
   if (valid_count == 0) return node;
   const double avg_gain = gain_sum / valid_count;
   int best_attr = -1;

@@ -1,0 +1,312 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace dq::obs {
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonObjectWriter::Render(int indent) const {
+  if (fields_.empty()) return "{}";
+  const std::string pad(indent > 0 ? static_cast<size_t>(indent) : 0, ' ');
+  std::string out = indent > 0 ? "{\n" : "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (indent > 0) out += pad;
+    out += '"';
+    out += JsonEscape(fields_[i].first);
+    out += indent > 0 ? "\": " : "\":";
+    if (indent > 0) {
+      // Re-indent nested pretty-printed values so the result stays readable.
+      const std::string& value = fields_[i].second;
+      for (char c : value) {
+        out.push_back(c);
+        if (c == '\n') out += pad;
+      }
+    } else {
+      out += fields_[i].second;
+    }
+    if (i + 1 < fields_.size()) out += ',';
+    if (indent > 0) out += '\n';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON scanner; validates without building a DOM.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  bool Validate(std::string* error) {
+    SkipWs();
+    if (!Value()) return Fail(error);
+    SkipWs();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters after JSON value";
+      return Fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(std::string* error) {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos_) + ": " +
+               (reason_.empty() ? "malformed JSON" : reason_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      reason_ = "invalid literal";
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      reason_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        reason_ = "unescaped control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<size_t>(i) >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(
+                    text_[pos_ + static_cast<size_t>(i)])) == 0) {
+              reason_ = "invalid \\u escape";
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          reason_ = "invalid escape character";
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    reason_ = "unterminated string";
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      reason_ = "expected digit";
+      return false;
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        reason_ = "expected fraction digits";
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        reason_ = "expected exponent digits";
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    if (++depth_ > kMaxDepth) {
+      reason_ = "nesting too deep";
+      return false;
+    }
+    SkipWs();
+    bool ok = false;
+    if (pos_ >= text_.size()) {
+      reason_ = "unexpected end of input";
+    } else {
+      switch (text_[pos_]) {
+        case '{':
+          ok = Object();
+          break;
+        case '[':
+          ok = Array();
+          break;
+        case '"':
+          ok = String();
+          break;
+        case 't':
+          ok = Literal("true");
+          break;
+        case 'f':
+          ok = Literal("false");
+          break;
+        case 'n':
+          ok = Literal("null");
+          break;
+        default:
+          ok = Number();
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        reason_ = "expected ':' in object";
+        return false;
+      }
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool ValidateJson(std::string_view text, std::string* error) {
+  return JsonScanner(text).Validate(error);
+}
+
+}  // namespace dq::obs

@@ -1,0 +1,82 @@
+// Minimal JSON building blocks shared by every observability emitter
+// (trace files, metrics dumps, run manifests, BENCH_*.json) plus a strict
+// syntax checker so tests and CI can validate what the emitters produce
+// without a third-party JSON dependency.
+
+#ifndef DQ_OBS_JSON_H_
+#define DQ_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dq::obs {
+
+/// \brief Escapes `in` for use inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view in);
+
+/// \brief Renders a double as a JSON number. Finite values use up to six
+/// significant digits (the historical BENCH_*.json precision); NaN and
+/// infinities — which JSON cannot represent — render as 0.
+std::string JsonDouble(double v);
+
+/// \brief Ordered key/value accumulator for one JSON object. Values are
+/// rendered on insertion; AddRaw accepts pre-rendered JSON (nested objects
+/// or arrays). Duplicate keys are the caller's responsibility.
+class JsonObjectWriter {
+ public:
+  void Add(const std::string& key, std::string_view value) {
+    fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string_view(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    Add(key, std::string_view(value));
+  }
+  void Add(const std::string& key, double value) {
+    fields_.emplace_back(key, JsonDouble(value));
+  }
+  void Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void Add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  /// Catches uint64_t and size_t (the same type on LP64).
+  void Add(const std::string& key, unsigned long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, unsigned long value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, unsigned value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  /// \brief Inserts `rendered` verbatim as the value (must be valid JSON).
+  void AddRaw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+  }
+
+  bool empty() const { return fields_.empty(); }
+
+  /// \brief Renders the object. `indent` > 0 pretty-prints with that many
+  /// spaces per level (nested raw values are re-indented line by line);
+  /// 0 renders compactly on one line.
+  std::string Render(int indent = 2) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// \brief Strict JSON well-formedness check (objects, arrays, strings,
+/// numbers, booleans, null; no trailing garbage). On failure returns false
+/// and, when `error` is non-null, a byte offset + reason message.
+bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace dq::obs
+
+#endif  // DQ_OBS_JSON_H_

@@ -1,0 +1,83 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace dq::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+void LogMessage(LogLevel level, const char* component, const char* format,
+                ...) {
+  if (!LogEnabled(level)) return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &secs);
+#else
+  localtime_r(&secs, &tm_buf);
+#endif
+
+  char message[2048];
+  std::va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+
+  // One fprintf so concurrent loggers interleave per line, not per token.
+  std::fprintf(stderr, "[%02d:%02d:%02d.%03d %s %s] %s\n", tm_buf.tm_hour,
+               tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms),
+               LogLevelName(level), component, message);
+}
+
+}  // namespace dq::obs

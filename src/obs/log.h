@@ -1,0 +1,68 @@
+// Leveled diagnostic logging for the tools and benches, replacing scattered
+// bare fprintf(stderr, ...) calls with one format: a timestamp, a severity,
+// a component tag and the message. The level is a process-wide atomic so
+// --log-level on any tool silences or amplifies every subsystem at once.
+
+#ifndef DQ_OBS_LOG_H_
+#define DQ_OBS_LOG_H_
+
+#include <cstdarg>
+#include <optional>
+#include <string_view>
+
+namespace dq::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Process-wide minimum level; messages below it are dropped before
+/// formatting. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// \brief Parses "debug" / "info" / "warn" / "error" / "off".
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+const char* LogLevelName(LogLevel level);
+
+/// \brief True when a message at `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+/// \brief printf-style message to stderr:
+/// `[hh:mm:ss.mmm level component] message`. Appends the newline itself.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void LogMessage(LogLevel level, const char* component, const char* format,
+                ...);
+
+}  // namespace dq::obs
+
+/// Call-site macros: arguments are not evaluated when the level is off.
+#define DQ_LOG_DEBUG(component, ...)                                  \
+  (::dq::obs::LogEnabled(::dq::obs::LogLevel::kDebug)                 \
+       ? ::dq::obs::LogMessage(::dq::obs::LogLevel::kDebug, component, \
+                               __VA_ARGS__)                           \
+       : (void)0)
+#define DQ_LOG_INFO(component, ...)                                  \
+  (::dq::obs::LogEnabled(::dq::obs::LogLevel::kInfo)                 \
+       ? ::dq::obs::LogMessage(::dq::obs::LogLevel::kInfo, component, \
+                               __VA_ARGS__)                          \
+       : (void)0)
+#define DQ_LOG_WARN(component, ...)                                  \
+  (::dq::obs::LogEnabled(::dq::obs::LogLevel::kWarn)                 \
+       ? ::dq::obs::LogMessage(::dq::obs::LogLevel::kWarn, component, \
+                               __VA_ARGS__)                          \
+       : (void)0)
+#define DQ_LOG_ERROR(component, ...)                                  \
+  (::dq::obs::LogEnabled(::dq::obs::LogLevel::kError)                 \
+       ? ::dq::obs::LogMessage(::dq::obs::LogLevel::kError, component, \
+                               __VA_ARGS__)                           \
+       : (void)0)
+
+#endif  // DQ_OBS_LOG_H_

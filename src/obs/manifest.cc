@@ -1,0 +1,83 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dq::obs {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string HashHex(uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string RunManifest::ToJson(int indent) const {
+  JsonObjectWriter out;
+  out.Add("schema_version", kSchemaVersion);
+  out.Add("tool", tool);
+  out.Add("version", version);
+  out.Add("build_type", build_type);
+  out.Add("config_hash", config_hash);
+  out.Add("seed", seed);
+  out.Add("threads_requested", threads_requested);
+  out.Add("threads_used", threads_used);
+  JsonObjectWriter inputs;
+  for (const auto& [label, hash] : input_hashes) {
+    inputs.Add(label, hash);
+  }
+  out.AddRaw("input_hashes", inputs.Render(indent));
+  return out.Render(indent);
+}
+
+void RunManifest::AppendTo(JsonObjectWriter* out, int indent) const {
+  out->AddRaw("manifest", ToJson(indent));
+}
+
+RunManifest MakeRunManifest(std::string tool, int argc,
+                            const char* const* argv) {
+  RunManifest manifest;
+  manifest.tool = std::move(tool);
+  manifest.version = "1.0.0";
+#ifdef DQ_BUILD_TYPE
+  manifest.build_type = DQ_BUILD_TYPE;
+#elif defined(NDEBUG)
+  manifest.build_type = "Release";
+#else
+  manifest.build_type = "Debug";
+#endif
+  // Hash every argv element with a separator that cannot occur inside one,
+  // so ["--a", "bc"] and ["--ab", "c"] hash differently.
+  std::string joined;
+  for (int i = 0; i < argc; ++i) {
+    joined += argv[i];
+    joined += '\0';
+  }
+  manifest.config_hash = HashHex(Fnv1a64(joined));
+  return manifest;
+}
+
+Status AddInputFileHash(RunManifest* manifest, const std::string& label,
+                        const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot read " + path + " for manifest hashing");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  manifest->input_hashes.emplace_back(label,
+                                      HashHex(Fnv1a64(contents.str())));
+  return Status::OK();
+}
+
+}  // namespace dq::obs

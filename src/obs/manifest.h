@@ -1,0 +1,65 @@
+// RunManifest: the reproducibility record attached to every trace file,
+// metrics dump and BENCH_*.json. A reported number is only evidence if the
+// run that produced it can be reconstructed — the manifest pins the tool,
+// seed, thread count, build type, the exact CLI configuration (hashed) and
+// the content hashes of every input file (schema, rule files, data).
+
+#ifndef DQ_OBS_MANIFEST_H_
+#define DQ_OBS_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace dq::obs {
+
+/// \brief 64-bit FNV-1a over `data`; stable across platforms and runs.
+uint64_t Fnv1a64(std::string_view data);
+
+/// \brief Fixed-width lowercase hex rendering of a 64-bit hash.
+std::string HashHex(uint64_t hash);
+
+struct RunManifest {
+  /// Bumped whenever the manifest JSON layout changes.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string tool;               ///< binary name, e.g. "dqaudit"
+  std::string version;            ///< project version (defaults below)
+  std::string build_type;         ///< CMAKE_BUILD_TYPE the binary was built as
+  std::string config_hash;        ///< FNV-1a over the full argv vector
+  uint64_t seed = 0;              ///< RNG seed driving the run (0 = none)
+  int threads_requested = 0;      ///< --threads as given (0 = auto)
+  int threads_used = 1;           ///< resolved worker count
+
+  /// Content hashes of the input files the run depends on, as
+  /// (label, hex-hash) in insertion order — e.g. ("schema", "1f..."),
+  /// ("rules", "ab...").
+  std::vector<std::pair<std::string, std::string>> input_hashes;
+
+  /// \brief Renders the manifest as one JSON object (schema in
+  /// docs/OBSERVABILITY.md).
+  std::string ToJson(int indent = 2) const;
+
+  /// \brief Adds the manifest as a nested "manifest" member of `out`.
+  void AppendTo(JsonObjectWriter* out, int indent = 2) const;
+};
+
+/// \brief Builds a manifest for this process: tool name, project version,
+/// build type and the hash of the full command line. Seed/threads stay at
+/// their defaults for the caller to fill in.
+RunManifest MakeRunManifest(std::string tool, int argc,
+                            const char* const* argv);
+
+/// \brief Hashes the contents of `path` and records it under `label`.
+/// Unreadable files fail with IOError and leave the manifest unchanged.
+Status AddInputFileHash(RunManifest* manifest, const std::string& label,
+                        const std::string& path);
+
+}  // namespace dq::obs
+
+#endif  // DQ_OBS_MANIFEST_H_

@@ -1,0 +1,128 @@
+// Process-wide metrics registry: named counters, gauges and histograms the
+// pipeline increments as it works (rows ingested, records quarantined,
+// splits evaluated, tree nodes, suspicions flagged, pool queue depth, ...).
+// Updates are lock-free atomics so instrumentation is safe from the thread
+// pool; the registry exports one deterministic JSON snapshot (--metrics-out
+// on the tools, merged into BENCH_*.json by the benches).
+//
+// Pure work counters (records, splits, nodes, flags) are identical for
+// every thread count — the metrics dump is diffable evidence that a
+// parallel run did exactly the serial run's work.
+
+#ifndef DQ_OBS_METRICS_H_
+#define DQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/manifest.h"
+
+namespace dq::obs {
+
+/// \brief Monotonic event count. Relaxed atomics: totals are exact, there
+/// is no cross-metric ordering guarantee.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins point-in-time value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram. Bucket upper bounds are set at
+/// registration (an implicit +inf bucket catches the rest); Observe is a
+/// branchless-ish linear scan over typically < 16 bounds plus two atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t NumBuckets() const { return bounds_.size() + 1; }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  ///< bounds + overflow
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Name -> metric registry. Registration takes a mutex once per
+/// call site (cache the returned pointer in a static); updates through the
+/// returned objects are lock-free. Metric objects live until process exit.
+class MetricsRegistry {
+ public:
+  /// Bumped whenever the metrics JSON layout changes.
+  static constexpr int kSchemaVersion = 1;
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Re-registration with different bounds keeps the first registration.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// \brief Zeroes every metric value (registrations survive). For tests
+  /// and for tools that run several pipelines in one process.
+  void Reset();
+
+  /// \brief Deterministic snapshot: metrics sorted by name, schema in
+  /// docs/OBSERVABILITY.md. `manifest` (optional) is embedded.
+  std::string ToJson(const RunManifest* manifest = nullptr) const;
+
+  Status WriteJsonFile(const std::string& path,
+                       const RunManifest* manifest = nullptr) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Convenience accessors against the global registry.
+inline Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram* GetHistogram(const std::string& name,
+                               std::vector<double> bounds) {
+  return MetricsRegistry::Global().GetHistogram(name, std::move(bounds));
+}
+
+/// \brief Copies the process-wide thread-pool activity counters
+/// (dq::GlobalPoolStats) into the pool.* gauges. Call before exporting.
+void SyncPoolMetrics();
+
+}  // namespace dq::obs
+
+#endif  // DQ_OBS_METRICS_H_

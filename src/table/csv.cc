@@ -7,7 +7,8 @@
 
 #include "common/parallel.h"
 #include "common/strings.h"
-#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/csv_parser.h"
 
 namespace dq {
@@ -171,7 +172,7 @@ Status CheckHeader(const Schema& schema, const CsvOptions& options,
 
 Result<Table> ReadCsv(const Schema& schema, std::istream* in,
                       const CsvOptions& options, IngestReport* report) {
-  WallTimer timer;
+  obs::Span span("ingest");
   IngestReport local;
   IngestReport* rep = report != nullptr ? report : &local;
   *rep = IngestReport();
@@ -190,7 +191,18 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
 
   auto finish = [&](Status status) {
     rep->bytes_read = reader.bytes_read();
-    rep->parse_ms = timer.ElapsedMs();
+    // parse_ms is a view of the "ingest" span measurement; the span itself
+    // closes (and records) when ReadCsv returns.
+    rep->parse_ms = span.ElapsedMs();
+    static obs::Counter* const total = obs::GetCounter("ingest.records_total");
+    static obs::Counter* const kept = obs::GetCounter("ingest.records_kept");
+    static obs::Counter* const quarantined =
+        obs::GetCounter("ingest.records_quarantined");
+    static obs::Counter* const bytes = obs::GetCounter("ingest.bytes_read");
+    total->Add(rep->records_total);
+    kept->Add(rep->records_kept);
+    quarantined->Add(rep->records_quarantined);
+    bytes->Add(rep->bytes_read);
     return status;
   };
 

@@ -32,6 +32,12 @@
 //                      record; skip: quarantine malformed records into an
 //                      ingest report and audit the survivors
 //   --ingest-report F  write the ingest quarantine report as JSON
+//   --trace-out FILE   write the span tree of the run as Chrome trace-event
+//                      JSON (load in Perfetto / chrome://tracing); the tree
+//                      is identical for every --threads value
+//   --metrics-out FILE write the metrics registry snapshot (counters,
+//                      gauges, histograms) as JSON, with the run manifest
+//   --log-level LEVEL  debug | info | warn | error | off (default info)
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,9 +49,14 @@
 #include "audit/rule_export.h"
 #include "audit/summary.h"
 #include "audit/structure_model.h"
+#include "common/parallel.h"
 #include "eval/report_io.h"
 #include "lint/lint.h"
 #include "logic/rule_parser.h"
+#include "obs/log.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/csv.h"
 #include "table/schema_spec.h"
 
@@ -64,6 +75,9 @@ struct Options {
   std::string rules_path;
   std::string on_error = "fail";
   std::string ingest_report_path;
+  std::string trace_out_path;
+  std::string metrics_out_path;
+  std::string log_level = "info";
   double min_conf = 0.8;
   double level = 0.95;
   std::string inducer = "c45";
@@ -83,7 +97,9 @@ void Usage() {
                "  [--load-model m] [--top 20] [--explain 5] [--rules]\n"
                "  [--corrected out.csv] [--report report.csv]\n"
                "  [--summary] [--threads 0] [--rules-file r.rules] [--lint]\n"
-               "  [--on-error fail|skip] [--ingest-report report.json]\n");
+               "  [--on-error fail|skip] [--ingest-report report.json]\n"
+               "  [--trace-out trace.json] [--metrics-out metrics.json]\n"
+               "  [--log-level debug|info|warn|error|off]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -108,6 +124,11 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--ingest-report" && need_value(&opts->ingest_report_path)) {
       continue;
     }
+    if (arg == "--trace-out" && need_value(&opts->trace_out_path)) continue;
+    if (arg == "--metrics-out" && need_value(&opts->metrics_out_path)) {
+      continue;
+    }
+    if (arg == "--log-level" && need_value(&opts->log_level)) continue;
     if (arg == "--min-conf" && need_value(&value)) {
       opts->min_conf = std::atof(value.c_str());
       continue;
@@ -154,6 +175,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     std::fprintf(stderr, "--on-error must be 'fail' or 'skip'\n");
     return false;
   }
+  if (!obs::ParseLogLevel(opts->log_level).has_value()) {
+    std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
+    return false;
+  }
   return true;
 }
 
@@ -166,7 +191,7 @@ Result<InducerKind> InducerFromName(const std::string& name) {
 }
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "dqaudit: %s\n", status.ToString().c_str());
+  DQ_LOG_ERROR("dqaudit", "%s", status.ToString().c_str());
   return 1;
 }
 
@@ -178,6 +203,42 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  obs::SetLogLevel(*obs::ParseLogLevel(opts.log_level));
+  // Recording a handful of phase spans costs nothing measurable, and an
+  // always-on tracer lets the timings line below report ingest through the
+  // same span tree the exported trace shows.
+  obs::Tracer::Global().SetEnabled(true);
+
+  obs::RunManifest manifest = obs::MakeRunManifest("dqaudit", argc, argv);
+  manifest.threads_requested = opts.threads;
+  manifest.threads_used = ResolveThreadCount(opts.threads);
+  (void)obs::AddInputFileHash(&manifest, "schema", opts.schema_path);
+  (void)obs::AddInputFileHash(&manifest, "data", opts.data_path);
+  if (!opts.train_path.empty()) {
+    (void)obs::AddInputFileHash(&manifest, "train", opts.train_path);
+  }
+  if (!opts.rules_path.empty()) {
+    (void)obs::AddInputFileHash(&manifest, "rules", opts.rules_path);
+  }
+  if (!opts.load_model_path.empty()) {
+    (void)obs::AddInputFileHash(&manifest, "model", opts.load_model_path);
+  }
+  auto export_observability = [&opts, &manifest]() -> Status {
+    if (!opts.trace_out_path.empty()) {
+      Status written = obs::Tracer::Global().WriteChromeTraceFile(
+          opts.trace_out_path, &manifest);
+      if (!written.ok()) return written;
+      std::printf("wrote trace to %s\n", opts.trace_out_path.c_str());
+    }
+    if (!opts.metrics_out_path.empty()) {
+      obs::SyncPoolMetrics();
+      Status written = obs::MetricsRegistry::Global().WriteJsonFile(
+          opts.metrics_out_path, &manifest);
+      if (!written.ok()) return written;
+      std::printf("wrote metrics to %s\n", opts.metrics_out_path.c_str());
+    }
+    return Status::OK();
+  };
 
   auto schema = ParseSchemaSpecFile(opts.schema_path);
   if (!schema.ok()) return Fail(schema.status());
@@ -218,9 +279,9 @@ int main(int argc, char** argv) {
       std::fputs(RenderLintText(*lint_result, opts.rules_path).c_str(),
                  stderr);
       if (lint_result->HasErrors()) {
-        std::fprintf(stderr,
-                     "dqaudit: rule file rejected by lint; fix the errors "
-                     "above or rerun without --lint\n");
+        DQ_LOG_ERROR("dqaudit",
+                     "rule file rejected by lint; fix the errors above or "
+                     "rerun without --lint");
         return 1;
       }
     }
@@ -276,6 +337,8 @@ int main(int argc, char** argv) {
                   schema->ValueToString(s.attr, s.observed).c_str(),
                   schema->ValueToString(s.attr, s.suggestion).c_str());
     }
+    Status exported = export_observability();
+    if (!exported.ok()) return Fail(exported);
     return 0;
   }
 
@@ -295,7 +358,11 @@ int main(int argc, char** argv) {
     train = &*train_storage;
   }
   AuditTimings timings;
-  timings.ingest_ms = ingest.parse_ms + train_ingest.parse_ms;
+  // Every CSV read recorded an "ingest" span; summing the closed spans
+  // makes the timings line agree with the exported trace (and covers the
+  // --train read, which the old hand-added parse_ms pair got wrong when
+  // either report was reused).
+  timings.ingest_ms = obs::Tracer::Global().AggregateMs("ingest");
   auto model = auditor.Induce(*train, &timings);
   if (!model.ok()) return Fail(model.status());
 
@@ -367,5 +434,9 @@ int main(int argc, char** argv) {
     if (!written.ok()) return Fail(written);
     std::printf("\nwrote corrected table to %s\n", opts.corrected_path.c_str());
   }
+
+  manifest.threads_used = timings.threads_used;
+  Status exported = export_observability();
+  if (!exported.ok()) return Fail(exported);
   return 0;
 }

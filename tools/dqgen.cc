@@ -23,6 +23,10 @@
 //                     parser and assert it is bitwise-identical to the
 //                     in-memory table (guards the writer/reader pair)
 //   --ingest-report F write the verification reader's ingest report as JSON
+//   --trace-out FILE  write the span tree of the run as Chrome trace-event
+//                     JSON (load in Perfetto / chrome://tracing)
+//   --metrics-out FILE write the metrics registry snapshot as JSON
+//   --log-level LEVEL debug | info | warn | error | off (default info)
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +36,10 @@
 #include "lint/lint.h"
 #include "logic/natural.h"
 #include "logic/rule_parser.h"
+#include "obs/log.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pollution/pipeline.h"
 #include "table/csv.h"
 #include "table/schema_spec.h"
@@ -57,6 +65,9 @@ struct Options {
   bool lint = false;
   bool verify_roundtrip = false;
   std::string ingest_report_path;
+  std::string trace_out_path;
+  std::string metrics_out_path;
+  std::string log_level = "info";
 };
 
 void Usage() {
@@ -65,7 +76,9 @@ void Usage() {
                "  [--rules 25] [--seed 1] [--dirty out.csv] [--factor 1.0]\n"
                "  [--log corruption.log] [--truth truth.csv] [--print-rules]\n"
                "  [--rules-file rules.txt] [--lint] [--verify-roundtrip]\n"
-               "  [--ingest-report report.json]\n");
+               "  [--ingest-report report.json] [--trace-out trace.json]\n"
+               "  [--metrics-out metrics.json]\n"
+               "  [--log-level debug|info|warn|error|off]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -114,7 +127,16 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--ingest-report" && need_value(&opts->ingest_report_path)) {
       continue;
     }
+    if (arg == "--trace-out" && need_value(&opts->trace_out_path)) continue;
+    if (arg == "--metrics-out" && need_value(&opts->metrics_out_path)) {
+      continue;
+    }
+    if (arg == "--log-level" && need_value(&opts->log_level)) continue;
     std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
+    return false;
+  }
+  if (!obs::ParseLogLevel(opts->log_level).has_value()) {
+    std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
     return false;
   }
   return !opts->schema_path.empty() && opts->records > 0 &&
@@ -122,7 +144,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 }
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "dqgen: %s\n", status.ToString().c_str());
+  DQ_LOG_ERROR("dqgen", "%s", status.ToString().c_str());
   return 1;
 }
 
@@ -159,6 +181,15 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  obs::SetLogLevel(*obs::ParseLogLevel(opts.log_level));
+  obs::Tracer::Global().SetEnabled(true);
+
+  obs::RunManifest manifest = obs::MakeRunManifest("dqgen", argc, argv);
+  manifest.seed = opts.seed;
+  (void)obs::AddInputFileHash(&manifest, "schema", opts.schema_path);
+  if (!opts.rules_path.empty()) {
+    (void)obs::AddInputFileHash(&manifest, "rules", opts.rules_path);
+  }
 
   auto schema = ParseSchemaSpecFile(opts.schema_path);
   if (!schema.ok()) return Fail(schema.status());
@@ -175,9 +206,9 @@ int main(int argc, char** argv) {
       std::fputs(RenderLintText(*lint_result, opts.rules_path).c_str(),
                  stderr);
       if (lint_result->HasErrors()) {
-        std::fprintf(stderr,
-                     "dqgen: rule file rejected by lint; fix the errors "
-                     "above or rerun without --lint\n");
+        DQ_LOG_ERROR("dqgen",
+                     "rule file rejected by lint; fix the errors above or "
+                     "rerun without --lint");
         return 1;
       }
     }
@@ -189,17 +220,20 @@ int main(int argc, char** argv) {
     NaturalnessChecker checker(&*schema);
     auto natural = checker.IsNaturalRuleSet(rules);
     if (natural.ok() && !*natural) {
-      std::fprintf(stderr,
-                   "dqgen: warning: the rule set violates the naturalness "
-                   "conditions (Definitions 4-6); generation may leave "
-                   "unresolved records\n");
+      DQ_LOG_WARN("dqgen",
+                  "the rule set violates the naturalness conditions "
+                  "(Definitions 4-6); generation may leave unresolved "
+                  "records");
     }
   } else {
     RuleGenConfig rcfg;
     rcfg.num_rules = opts.rules;
     rcfg.seed = opts.seed;
     RuleGenerator rule_gen(&*schema, rcfg);
-    auto generated = rule_gen.Generate();
+    auto generated = [&] {
+      obs::Span span("tdg.rules");
+      return rule_gen.Generate();
+    }();
     if (!generated.ok()) return Fail(generated.status());
     rules = std::move(*generated);
     if (opts.lint) {
@@ -207,7 +241,7 @@ int main(int argc, char** argv) {
       const LintResult lint_result = linter.LintRules(rules);
       std::fputs(RenderLintText(lint_result, "<generated>").c_str(), stderr);
       if (lint_result.HasErrors()) {
-        std::fprintf(stderr, "dqgen: generated rule set failed lint\n");
+        DQ_LOG_ERROR("dqgen", "generated rule set failed lint");
         return 1;
       }
     }
@@ -224,8 +258,12 @@ int main(int argc, char** argv) {
   DataGenConfig dcfg;
   dcfg.num_records = opts.records;
   dcfg.seed = opts.seed ^ 0x9e3779b9ULL;
-  auto data = data_gen.Generate(dcfg);
+  auto data = [&] {
+    obs::Span span("tdg.generate");
+    return data_gen.Generate(dcfg);
+  }();
   if (!data.ok()) return Fail(data.status());
+  obs::GetCounter("tdg.records_generated")->Add(data->table.num_rows());
   Status written = WriteCsvFile(data->table, opts.clean_path);
   if (!written.ok()) return Fail(written);
   std::printf("generated %zu records following %zu rules -> %s\n",
@@ -237,21 +275,39 @@ int main(int argc, char** argv) {
                                       &verify_report);
     if (!verified.ok()) return Fail(verified);
   }
-  auto dump_ingest_report = [&]() -> int {
-    if (opts.ingest_report_path.empty()) return 0;
-    Status dumped = verify_report.WriteJsonFile(opts.ingest_report_path);
-    if (!dumped.ok()) return Fail(dumped);
-    std::printf("wrote ingest report to %s\n",
-                opts.ingest_report_path.c_str());
+  auto finish = [&]() -> int {
+    if (!opts.ingest_report_path.empty()) {
+      Status dumped = verify_report.WriteJsonFile(opts.ingest_report_path);
+      if (!dumped.ok()) return Fail(dumped);
+      std::printf("wrote ingest report to %s\n",
+                  opts.ingest_report_path.c_str());
+    }
+    if (!opts.trace_out_path.empty()) {
+      Status traced = obs::Tracer::Global().WriteChromeTraceFile(
+          opts.trace_out_path, &manifest);
+      if (!traced.ok()) return Fail(traced);
+      std::printf("wrote trace to %s\n", opts.trace_out_path.c_str());
+    }
+    if (!opts.metrics_out_path.empty()) {
+      obs::SyncPoolMetrics();
+      Status dumped = obs::MetricsRegistry::Global().WriteJsonFile(
+          opts.metrics_out_path, &manifest);
+      if (!dumped.ok()) return Fail(dumped);
+      std::printf("wrote metrics to %s\n", opts.metrics_out_path.c_str());
+    }
     return 0;
   };
 
-  if (opts.dirty_path.empty()) return dump_ingest_report();
+  if (opts.dirty_path.empty()) return finish();
 
   PollutionPipeline pipeline(DefaultPolluterMix(), opts.seed ^ 0x51ULL,
                              opts.factor);
-  auto polluted = pipeline.Apply(data->table);
+  auto polluted = [&] {
+    obs::Span span("pollute");
+    return pipeline.Apply(data->table);
+  }();
   if (!polluted.ok()) return Fail(polluted.status());
+  obs::GetCounter("pollute.records_corrupted")->Add(polluted->CorruptedCount());
   written = WriteCsvFile(polluted->dirty, opts.dirty_path);
   if (!written.ok()) return Fail(written);
   std::printf("polluted %zu of %zu records (factor %.2f) -> %s\n",
@@ -279,5 +335,5 @@ int main(int argc, char** argv) {
             << polluted->origin[r] << '\n';
     }
   }
-  return dump_ingest_report();
+  return finish();
 }

@@ -11,6 +11,10 @@
 //   --strict          warnings also fail the run (exit 1)
 //   --quiet           suppress diagnostics; exit code only
 //   --list-checks     print the check registry and exit
+//   --trace-out FILE  write the span tree of the run as Chrome trace-event
+//                     JSON (load in Perfetto / chrome://tracing)
+//   --metrics-out FILE write the metrics registry snapshot as JSON
+//   --log-level LEVEL debug | info | warn | error | off (default info)
 //
 // Exit codes: 0 = clean (or warnings without --strict), 1 = findings at the
 // failing severity, 2 = usage or I/O error. Designed for CI gating: run it
@@ -22,6 +26,10 @@
 
 #include "common/strings.h"
 #include "lint/lint.h"
+#include "obs/log.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/schema_spec.h"
 
 using namespace dq;
@@ -36,13 +44,19 @@ struct Options {
   bool strict = false;
   bool quiet = false;
   bool list_checks = false;
+  std::string trace_out_path;
+  std::string metrics_out_path;
+  std::string log_level = "info";
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: dqlint --schema spec.txt [--format text|json]\n"
                "  [--disable DQ022,tautological-conclusion] [--strict]\n"
-               "  [--quiet] [--list-checks] rules.rules [more.rules ...]\n");
+               "  [--quiet] [--list-checks] [--trace-out trace.json]\n"
+               "  [--metrics-out metrics.json]\n"
+               "  [--log-level debug|info|warn|error|off]\n"
+               "  rules.rules [more.rules ...]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -75,11 +89,20 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->list_checks = true;
       continue;
     }
+    if (arg == "--trace-out" && need_value(&opts->trace_out_path)) continue;
+    if (arg == "--metrics-out" && need_value(&opts->metrics_out_path)) {
+      continue;
+    }
+    if (arg == "--log-level" && need_value(&opts->log_level)) continue;
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
       return false;
     }
     opts->rule_files.push_back(arg);
+  }
+  if (!obs::ParseLogLevel(opts->log_level).has_value()) {
+    std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
+    return false;
   }
   if (opts->list_checks) return true;
   if (opts->format != "text" && opts->format != "json") {
@@ -109,19 +132,31 @@ int main(int argc, char** argv) {
     ListChecks();
     return 0;
   }
+  obs::SetLogLevel(*obs::ParseLogLevel(opts.log_level));
+  obs::Tracer::Global().SetEnabled(true);
+
+  obs::RunManifest manifest = obs::MakeRunManifest("dqlint", argc, argv);
+  (void)obs::AddInputFileHash(&manifest, "schema", opts.schema_path);
+  for (const std::string& path : opts.rule_files) {
+    (void)obs::AddInputFileHash(&manifest, "rules:" + path, path);
+  }
 
   auto schema = ParseSchemaSpecFile(opts.schema_path);
   if (!schema.ok()) {
-    std::fprintf(stderr, "dqlint: %s\n", schema.status().ToString().c_str());
+    DQ_LOG_ERROR("dqlint", "%s", schema.status().ToString().c_str());
     return 2;
   }
 
   Linter linter(&*schema, opts.lint);
   bool failed = false;
-  for (const std::string& path : opts.rule_files) {
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (size_t f = 0; f < opts.rule_files.size(); ++f) {
+    const std::string& path = opts.rule_files[f];
+    obs::Span span("lint.file", static_cast<int64_t>(f));
     auto result = linter.LintFileAt(path);
     if (!result.ok()) {
-      std::fprintf(stderr, "dqlint: %s\n", result.status().ToString().c_str());
+      DQ_LOG_ERROR("dqlint", "%s", result.status().ToString().c_str());
       return 2;
     }
     if (!opts.quiet) {
@@ -130,8 +165,31 @@ int main(int argc, char** argv) {
                                        : RenderLintText(*result, path);
       std::fputs(rendered.c_str(), stdout);
     }
+    errors += result->NumErrors();
+    warnings += result->NumWarnings();
     if (result->HasErrors() || (opts.strict && result->NumWarnings() > 0)) {
       failed = true;
+    }
+  }
+  obs::GetCounter("lint.files_checked")->Add(opts.rule_files.size());
+  obs::GetCounter("lint.errors")->Add(errors);
+  obs::GetCounter("lint.warnings")->Add(warnings);
+
+  if (!opts.trace_out_path.empty()) {
+    Status written = obs::Tracer::Global().WriteChromeTraceFile(
+        opts.trace_out_path, &manifest);
+    if (!written.ok()) {
+      DQ_LOG_ERROR("dqlint", "%s", written.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!opts.metrics_out_path.empty()) {
+    obs::SyncPoolMetrics();
+    Status written = obs::MetricsRegistry::Global().WriteJsonFile(
+        opts.metrics_out_path, &manifest);
+    if (!written.ok()) {
+      DQ_LOG_ERROR("dqlint", "%s", written.ToString().c_str());
+      return 2;
     }
   }
   return failed ? 1 : 0;

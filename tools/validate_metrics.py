@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates a --metrics-out dump against the schema in docs/OBSERVABILITY.md.
+
+Usage: validate_metrics.py METRICS_JSON [TRACE_JSON ...]
+
+Extra arguments are checked as trace files (traceEvents array + manifest).
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_metrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_manifest(manifest, context):
+    if not isinstance(manifest, dict):
+        fail(f"{context}: manifest is not an object")
+    required = {
+        "schema_version": int,
+        "tool": str,
+        "version": str,
+        "build_type": str,
+        "config_hash": str,
+        "seed": int,
+        "threads_requested": int,
+        "threads_used": int,
+        "input_hashes": dict,
+    }
+    for key, kind in required.items():
+        if key not in manifest:
+            fail(f"{context}: manifest missing '{key}'")
+        if not isinstance(manifest[key], kind):
+            fail(f"{context}: manifest '{key}' is not {kind.__name__}")
+    if manifest["schema_version"] != 1:
+        fail(f"{context}: unknown manifest schema_version "
+             f"{manifest['schema_version']}")
+    if len(manifest["config_hash"]) != 16:
+        fail(f"{context}: config_hash is not a 64-bit hex hash")
+    for label, digest in manifest["input_hashes"].items():
+        if not isinstance(digest, str) or len(digest) != 16:
+            fail(f"{context}: input hash '{label}' is not a 64-bit hex hash")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unknown schema_version {doc.get('schema_version')}")
+    if "manifest" in doc:
+        check_manifest(doc["manifest"], path)
+    for section, kind in (("counters", int), ("gauges", (int, float))):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail(f"{path}: missing '{section}' object")
+        for name, value in doc[section].items():
+            if not isinstance(value, kind):
+                fail(f"{path}: {section}['{name}'] has wrong type")
+    if "histograms" not in doc or not isinstance(doc["histograms"], dict):
+        fail(f"{path}: missing 'histograms' object")
+    for name, h in doc["histograms"].items():
+        for key in ("count", "sum", "buckets"):
+            if key not in h:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        total = 0
+        for bucket in h["buckets"]:
+            if "le" not in bucket or "count" not in bucket:
+                fail(f"{path}: histogram '{name}' bucket malformed")
+            total += bucket["count"]
+        if total != h["count"]:
+            fail(f"{path}: histogram '{name}' bucket counts do not sum "
+                 f"to count ({total} != {h['count']})")
+    print(f"{path}: ok ({len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms)")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty traceEvents")
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail(f"{path}: no complete ('X') span events")
+    ids = set()
+    for e in spans:
+        args = e.get("args", {})
+        if "span_id" not in args or "parent_id" not in args:
+            fail(f"{path}: span '{e.get('name')}' missing span_id/parent_id")
+        ids.add(args["span_id"])
+    for e in spans:
+        parent = e["args"]["parent_id"]
+        if parent != 0 and parent not in ids:
+            fail(f"{path}: span '{e.get('name')}' has dangling parent_id "
+                 f"{parent}")
+    if "manifest" in doc:
+        check_manifest(doc["manifest"], path)
+    print(f"{path}: ok ({len(spans)} spans)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: validate_metrics.py METRICS_JSON [TRACE_JSON ...]")
+    check_metrics(sys.argv[1])
+    for trace in sys.argv[2:]:
+        check_trace(trace)
+
+
+if __name__ == "__main__":
+    main()
