@@ -144,6 +144,8 @@ int main(int argc, char** argv) {
   obs::SyncPoolMetrics();
   json.Add("records", serial_rows);
   json.Add("csv_mb", mb);
+  json.Add("table_bytes",
+           static_cast<size_t>(obs::GetGauge("table.bytes")->Value()));
   json.Add("quick", quick ? 1 : 0);
   json.Add("threads_requested", threads);
   json.Add("threads_used", parallel_report.threads_used);

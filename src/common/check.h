@@ -1,0 +1,21 @@
+// Debug-only assertion macro for hot-path index contracts.
+//
+// Hot accessors (Table::cell, Table::SetCell, Table::row) are called per
+// cell inside induction and scoring loops; paying a bounds check (and the
+// exception machinery of vector::at) on every call there is measurable.
+// DQ_DCHECK keeps the contract explicit and enforced in Debug/sanitizer
+// builds while compiling to nothing in Release. Checked entry points for
+// ingest and tests (Table::cell_at) stay unconditionally guarded.
+
+#ifndef DQ_COMMON_CHECK_H_
+#define DQ_COMMON_CHECK_H_
+
+#include <cassert>
+
+#ifndef NDEBUG
+#define DQ_DCHECK(cond) assert(cond)
+#else
+#define DQ_DCHECK(cond) ((void)0)
+#endif
+
+#endif  // DQ_COMMON_CHECK_H_

@@ -83,10 +83,12 @@ DetectionMatrix EvaluateDetection(const PollutionResult& pollution,
 bool RowMatchesClean(const Table& clean, const PollutionResult& pollution,
                      const Table& dirty_or_corrected, size_t dirty_row) {
   const size_t origin = pollution.origin[dirty_row];
-  const Row& reference = clean.row(origin);
-  const Row& actual = dirty_or_corrected.row(dirty_row);
-  for (size_t a = 0; a < reference.size(); ++a) {
-    if (!reference[a].StrictEquals(actual[a])) return false;
+  // Cell-by-cell through the compat accessor: no full-row materialization.
+  for (size_t a = 0; a < clean.num_attributes(); ++a) {
+    if (!clean.cell(origin, a).StrictEquals(
+            dirty_or_corrected.cell(dirty_row, a))) {
+      return false;
+    }
   }
   return true;
 }

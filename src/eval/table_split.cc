@@ -23,10 +23,10 @@ Result<TableSplit> SplitTable(const Table& table, double train_fraction,
   split.test.Reserve(table.num_rows() - train_count);
   for (size_t i = 0; i < order.size(); ++i) {
     if (i < train_count) {
-      split.train.AppendRowUnchecked(table.row(order[i]));
+      split.train.AppendRowFrom(table, order[i]);
       split.train_rows.push_back(order[i]);
     } else {
-      split.test.AppendRowUnchecked(table.row(order[i]));
+      split.test.AppendRowFrom(table, order[i]);
       split.test_rows.push_back(order[i]);
     }
   }

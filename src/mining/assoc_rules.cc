@@ -19,6 +19,15 @@ bool RowHasItems(const Row& row, const Itemset& items) {
   return true;
 }
 
+/// Typed-column variant of RowHasItems: a null cell's -1 sentinel never
+/// equals a valid category code, so the null check is implicit.
+bool TableRowHasItems(const Table& table, size_t r, const Itemset& items) {
+  for (const auto& [attr, code] : items) {
+    if (table.code_at(r, static_cast<size_t>(attr)) != code) return false;
+  }
+  return true;
+}
+
 uint64_t ItemKey(int attr, int32_t code) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
          static_cast<uint32_t>(code);
@@ -65,12 +74,11 @@ Status AssociationRuleAuditor::Mine(const Table& table) {
   std::map<Itemset, double> frequent;
   {
     std::unordered_map<uint64_t, double> counts;
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      for (size_t a = 0; a < schema.num_attributes(); ++a) {
-        if (schema.attribute(a).type != DataType::kNominal) continue;
-        const Value& v = table.cell(r, a);
-        if (!v.is_nominal()) continue;
-        counts[ItemKey(static_cast<int>(a), v.nominal_code())] += 1.0;
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.attribute(a).type != DataType::kNominal) continue;
+      for (int32_t code : table.code_col(a)) {
+        if (code < 0) continue;  // null sentinel
+        counts[ItemKey(static_cast<int>(a), code)] += 1.0;
       }
     }
     for (const auto& [key, count] : counts) {
@@ -105,11 +113,10 @@ Status AssociationRuleAuditor::Mine(const Table& table) {
         candidates.emplace(std::move(merged), 0.0);
       }
     }
-    // Count candidate supports in one table scan.
+    // Count candidate supports in one table scan over the typed columns.
     for (size_t r = 0; r < table.num_rows(); ++r) {
-      const Row& row = table.row(r);
       for (auto& [items, count] : candidates) {
-        if (RowHasItems(row, items)) count += 1.0;
+        if (TableRowHasItems(table, r, items)) count += 1.0;
       }
     }
     std::map<Itemset, double> next;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "mining/encoded_dataset.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/confidence.h"
@@ -76,17 +77,18 @@ struct C45Tree::Node {
 
 struct C45Tree::BuildContext {
   const Table* table;
-  const std::vector<int>* class_codes;  // per row, -1 for null
+  const int32_t* class_codes;  // per row, -1 for null
   std::vector<int> base_attrs;
   int num_classes;
   double min_inst;
 
-  // Columnar view of the base attributes, built once per Train call:
-  // ordered_cols[a][row] is the OrderedValue (NaN = null) of ordered base
-  // attributes, nominal_cols[a][row] the category code (-1 = null) of
-  // nominal ones. Non-base attributes keep empty columns.
-  std::vector<std::vector<double>> ordered_cols;
-  std::vector<std::vector<int32_t>> nominal_cols;
+  // Columnar views of the base attributes: ordered_cols[a][row] is the
+  // OrderedValue (NaN = null) of ordered base attributes, nominal_cols[a]
+  // [row] the category code (-1 = null) of nominal ones. Non-base
+  // attributes stay nullptr. The views alias the shared EncodedDataset
+  // when one is supplied, else per-Train storage owned by Train's frame.
+  std::vector<const double*> ordered_cols;
+  std::vector<const int32_t*> nominal_cols;
 
   // Presort active: the table has at least one ordered base attribute and
   // the config enables the SLIQ-style sorted index lists.
@@ -178,13 +180,88 @@ Status C45Tree::Train(const TrainingData& data) {
     return Status::FailedPrecondition("encoder reports no classes");
   }
 
-  std::vector<int> class_codes(table_->num_rows());
+  const Schema& schema = table_->schema();
+  const size_t num_rows = table_->num_rows();
+  presort_ms_ = 0.0;
+  build_ms_ = 0.0;
+
+  const EncodedDataset* cache = data.encoded;
+
+  BuildContext ctx;
+  ctx.table = table_;
+  ctx.base_attrs = data.base_attrs;
+  ctx.num_classes = num_classes_;
+  ctx.min_inst =
+      MinInstForConfidence(config_.min_error_confidence, config_.confidence_level);
+  ctx.ordered_cols.assign(schema.num_attributes(), nullptr);
+  ctx.nominal_cols.assign(schema.num_attributes(), nullptr);
+
+  // Per-Train storage backing the context views on the legacy (uncached)
+  // path; with an EncodedDataset the views alias the shared cache and
+  // these stay empty.
+  std::vector<int32_t> class_code_storage;
+  std::vector<std::vector<double>> ordered_storage;
+  std::vector<std::vector<int32_t>> nominal_storage;
+
+  bool has_ordered_base = false;
+  if (cache != nullptr) {
+    // Audit-wide cache: column views and class codes were built once for
+    // the whole audit, so this Train call encodes nothing.
+    DQ_DCHECK(cache->table() == table_);
+    ctx.class_codes = cache->class_codes(static_cast<size_t>(class_attr_));
+    if (ctx.class_codes == nullptr) {
+      return Status::FailedPrecondition(
+          "encoded dataset has no class encoding for the class attribute");
+    }
+    for (int a : data.base_attrs) {
+      const size_t attr = static_cast<size_t>(a);
+      if (schema.attribute(attr).type == DataType::kNominal) {
+        ctx.nominal_cols[attr] = cache->nominal_col(attr);
+      } else {
+        ctx.ordered_cols[attr] = cache->ordered_col(attr);
+        has_ordered_base = true;
+      }
+    }
+  } else {
+    // Columnar encoding: one dense value column per base attribute, so the
+    // split search and partitioning never chase Row/Value indirections.
+    obs::Span span("c45.encode", -1, &presort_ms_);
+    class_code_storage.resize(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      class_code_storage[r] =
+          encoder_->Encode(table_->cell(r, static_cast<size_t>(class_attr_)));
+    }
+    ctx.class_codes = class_code_storage.data();
+    ordered_storage.assign(schema.num_attributes(), {});
+    nominal_storage.assign(schema.num_attributes(), {});
+    for (int a : data.base_attrs) {
+      const size_t attr = static_cast<size_t>(a);
+      if (schema.attribute(attr).type == DataType::kNominal) {
+        std::vector<int32_t>& col = nominal_storage[attr];
+        col.resize(num_rows);
+        for (size_t r = 0; r < num_rows; ++r) {
+          const Value v = table_->cell(r, attr);
+          col[r] = v.is_null() ? -1 : v.nominal_code();
+        }
+        ctx.nominal_cols[attr] = col.data();
+      } else {
+        has_ordered_base = true;
+        std::vector<double>& col = ordered_storage[attr];
+        col.resize(num_rows);
+        for (size_t r = 0; r < num_rows; ++r) {
+          const Value v = table_->cell(r, attr);
+          col[r] = v.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                               : v.OrderedValue();
+        }
+        ctx.ordered_cols[attr] = col.data();
+      }
+    }
+  }
+
   std::vector<Inst> insts;
-  insts.reserve(table_->num_rows());
-  for (size_t r = 0; r < table_->num_rows(); ++r) {
-    class_codes[r] =
-        encoder_->Encode(table_->cell(r, static_cast<size_t>(class_attr_)));
-    if (class_codes[r] >= 0) {
+  insts.reserve(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (ctx.class_codes[r] >= 0) {
       insts.emplace_back(static_cast<uint32_t>(r), 1.0);
     }
   }
@@ -193,47 +270,6 @@ Status C45Tree::Train(const TrainingData& data) {
         "no training instances with non-null class value");
   }
 
-  BuildContext ctx;
-  ctx.table = table_;
-  ctx.class_codes = &class_codes;
-  ctx.base_attrs = data.base_attrs;
-  ctx.num_classes = num_classes_;
-  ctx.min_inst =
-      MinInstForConfidence(config_.min_error_confidence, config_.confidence_level);
-
-  const Schema& schema = table_->schema();
-  const size_t num_rows = table_->num_rows();
-  presort_ms_ = 0.0;
-  build_ms_ = 0.0;
-
-  // Columnar encoding: one dense value column per base attribute, so the
-  // split search and partitioning never chase Row/Value indirections.
-  ctx.ordered_cols.assign(schema.num_attributes(), {});
-  ctx.nominal_cols.assign(schema.num_attributes(), {});
-  bool has_ordered_base = false;
-  {
-    obs::Span span("c45.encode", -1, &presort_ms_);
-    for (int a : data.base_attrs) {
-      const size_t attr = static_cast<size_t>(a);
-      if (schema.attribute(attr).type == DataType::kNominal) {
-        std::vector<int32_t>& col = ctx.nominal_cols[attr];
-        col.resize(num_rows);
-        for (size_t r = 0; r < num_rows; ++r) {
-          const Value& v = table_->cell(r, attr);
-          col[r] = v.is_null() ? -1 : v.nominal_code();
-        }
-      } else {
-        has_ordered_base = true;
-        std::vector<double>& col = ctx.ordered_cols[attr];
-        col.resize(num_rows);
-        for (size_t r = 0; r < num_rows; ++r) {
-          const Value& v = table_->cell(r, attr);
-          col[r] = v.is_null() ? std::numeric_limits<double>::quiet_NaN()
-                               : v.OrderedValue();
-        }
-      }
-    }
-  }
   ctx.presort = config_.presort && has_ordered_base;
 
   NodeData root_data;
@@ -242,22 +278,35 @@ Status C45Tree::Train(const TrainingData& data) {
     // The one upfront sort (SLIQ-style): every ordered base attribute gets
     // a value-ordered list of the root instances with known values; ties
     // keep row order (stable), so parallel/serial runs agree bitwise.
+    //
+    // Cached path: the shared sort order already holds ALL value-known
+    // rows stable-sorted by (value, row); filtering it down to the rows
+    // with a known class value preserves that order exactly, so the result
+    // is bitwise-identical to the per-Train stable sort — in O(n) per
+    // attribute instead of O(n log n).
     obs::Span span("c45.presort", -1, &presort_ms_);
     ctx.branch_scratch.assign(num_rows, -2);
     root_data.sorted.assign(schema.num_attributes(), {});
     for (int a : data.base_attrs) {
       const size_t attr = static_cast<size_t>(a);
-      const std::vector<double>& col = ctx.ordered_cols[attr];
-      if (col.empty()) continue;
+      const double* col = ctx.ordered_cols[attr];
+      if (col == nullptr) continue;
       std::vector<std::pair<uint32_t, double>>& list = root_data.sorted[attr];
       list.reserve(root_data.insts.size());
-      for (const auto& inst : root_data.insts) {
-        if (!std::isnan(col[inst.first])) list.push_back(inst);
+      if (cache != nullptr) {
+        const int32_t* class_codes = ctx.class_codes;
+        for (uint32_t r : cache->sort_order(attr)) {
+          if (class_codes[r] >= 0) list.emplace_back(r, 1.0);
+        }
+      } else {
+        for (const auto& inst : root_data.insts) {
+          if (!std::isnan(col[inst.first])) list.push_back(inst);
+        }
+        std::stable_sort(list.begin(), list.end(),
+                         [col](const auto& x, const auto& y) {
+                           return col[x.first] < col[y.first];
+                         });
       }
-      std::stable_sort(list.begin(), list.end(),
-                       [&col](const auto& x, const auto& y) {
-                         return col[x.first] < col[y.first];
-                       });
     }
   }
 
@@ -283,7 +332,7 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
   node->class_counts.assign(static_cast<size_t>(ctx->num_classes), 0.0);
   for (const Inst& inst : insts) {
     node->class_counts[static_cast<size_t>(
-        (*ctx->class_codes)[inst.first])] += inst.second;
+        ctx->class_codes[inst.first])] += inst.second;
     node->weight += inst.second;
   }
   node->majority = MajorityOf(node->class_counts);
@@ -308,7 +357,7 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
   const Schema& schema = ctx->table->schema();
   std::vector<SplitEval> evals(schema.num_attributes());
   const double node_entropy = EntropyFromCounts(node->class_counts);
-  const std::vector<int>& class_codes = *ctx->class_codes;
+  const int32_t* class_codes = ctx->class_codes;
 
   // Threshold sweep shared by the presorted and the legacy path; `entries`
   // must be in ascending value order.
@@ -373,8 +422,7 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
     SplitEval& eval = evals[static_cast<size_t>(attr)];
 
     if (def.type == DataType::kNominal) {
-      const std::vector<int32_t>& col =
-          ctx->nominal_cols[static_cast<size_t>(attr)];
+      const int32_t* col = ctx->nominal_cols[static_cast<size_t>(attr)];
       const size_t k = def.categories.size();
       std::vector<std::vector<double>> branch_counts(
           k, std::vector<double>(static_cast<size_t>(ctx->num_classes), 0.0));
@@ -413,8 +461,7 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
       eval.gain_ratio = split_info > kEps ? gain / split_info : 0.0;
     } else {
       // Ordered attribute: sweep thresholds between distinct values.
-      const std::vector<double>& col =
-          ctx->ordered_cols[static_cast<size_t>(attr)];
+      const double* col = ctx->ordered_cols[static_cast<size_t>(attr)];
       std::vector<SweepEntry> entries;
       std::vector<double> known_counts(static_cast<size_t>(ctx->num_classes),
                                        0.0);
@@ -488,10 +535,8 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
   std::vector<Inst> missing;
   std::vector<double> part_weights(num_children, 0.0);
   double known = 0.0;
-  const std::vector<double>& ordered_col =
-      ctx->ordered_cols[static_cast<size_t>(best_attr)];
-  const std::vector<int32_t>& nominal_col =
-      ctx->nominal_cols[static_cast<size_t>(best_attr)];
+  const double* ordered_col = ctx->ordered_cols[static_cast<size_t>(best_attr)];
+  const int32_t* nominal_col = ctx->nominal_cols[static_cast<size_t>(best_attr)];
   for (const Inst& inst : insts) {
     size_t b;
     if (best.ordered) {

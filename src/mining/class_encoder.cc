@@ -24,11 +24,13 @@ Result<ClassEncoder> ClassEncoder::Fit(const Table& table, int class_attr,
     return enc;
   }
 
+  // Typed column read: no per-cell Value materialization.
   std::vector<double> sample;
   sample.reserve(table.num_rows());
+  const size_t attr = static_cast<size_t>(class_attr);
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const Value& v = table.cell(r, static_cast<size_t>(class_attr));
-    if (!v.is_null()) sample.push_back(v.OrderedValue());
+    const double x = table.ordered_at(r, attr);
+    if (!std::isnan(x)) sample.push_back(x);
   }
   if (sample.empty()) {
     return Status::FailedPrecondition("ordered class attribute '" + def.name +

@@ -51,6 +51,11 @@ class ClassEncoder {
   /// \brief Class index of a value; -1 for null.
   int Encode(const Value& v) const;
 
+  /// \brief Class index of a non-null ordered value given as its double
+  /// axis (Value::OrderedValue); discretized encoders only. The typed
+  /// column fast path of EncodedDataset::Build.
+  int EncodeOrdered(double x) const { return discretizer_->BinOf(x); }
+
   /// \brief Decoded stand-in for a class: the category itself for nominal
   /// attributes, the bin median for discretized ones.
   Value Representative(int cls) const;

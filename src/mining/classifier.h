@@ -24,6 +24,8 @@
 
 namespace dq {
 
+class EncodedDataset;
+
 /// \brief A classifier's answer for one record.
 struct Prediction {
   /// Probability per class index; sums to 1 when support > 0.
@@ -48,6 +50,13 @@ struct TrainingData {
   int class_attr = -1;
   std::vector<int> base_attrs;
   const ClassEncoder* encoder = nullptr;
+
+  /// Optional audit-wide encode cache built over `table` (column views,
+  /// presort orders, class codes). When set, `encoder` must be the cache's
+  /// own encoder for `class_attr` so cached class codes stay consistent.
+  /// Classifiers that understand the cache skip their per-Train encode and
+  /// sort work; others ignore it. Results are identical either way.
+  const EncodedDataset* encoded = nullptr;
 
   Status Check() const;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mining/encoded_dataset.h"
+
 namespace dq {
 
 Status KnnClassifier::Train(const TrainingData& data) {
@@ -26,11 +28,20 @@ Status KnnClassifier::Train(const TrainingData& data) {
     }
   }
 
+  // Class codes from the audit-wide cache when present, else per-cell.
+  const int32_t* cached =
+      data.encoded != nullptr
+          ? data.encoded->class_codes(static_cast<size_t>(data.class_attr))
+          : nullptr;
+  auto class_code = [&](size_t r) {
+    return cached != nullptr
+               ? static_cast<int>(cached[r])
+               : encoder_->Encode(
+                     table_->cell(r, static_cast<size_t>(data.class_attr)));
+  };
   std::vector<uint32_t> candidates;
   for (size_t r = 0; r < table_->num_rows(); ++r) {
-    const int cls =
-        encoder_->Encode(table_->cell(r, static_cast<size_t>(data.class_attr)));
-    if (cls >= 0) candidates.push_back(static_cast<uint32_t>(r));
+    if (class_code(r) >= 0) candidates.push_back(static_cast<uint32_t>(r));
   }
   if (candidates.empty()) {
     return Status::FailedPrecondition("no instances with non-null class");
@@ -50,26 +61,28 @@ Status KnnClassifier::Train(const TrainingData& data) {
   }
   train_classes_.reserve(train_rows_.size());
   for (uint32_t r : train_rows_) {
-    train_classes_.push_back(
-        encoder_->Encode(table_->cell(r, static_cast<size_t>(data.class_attr))));
+    train_classes_.push_back(class_code(r));
   }
   return Status::OK();
 }
 
-double KnnClassifier::Distance(const Row& a, const Row& b) const {
+double KnnClassifier::Distance(const Row& probe, uint32_t train_row) const {
+  // Training-side cells read straight from the typed columns; only the
+  // probe goes through Value (it arrives as a materialized row).
   double d = 0.0;
   for (int attr : base_attrs_) {
-    const Value& va = a[static_cast<size_t>(attr)];
-    const Value& vb = b[static_cast<size_t>(attr)];
-    if (va.is_null() || vb.is_null()) {
+    const size_t a = static_cast<size_t>(attr);
+    const Value& va = probe[a];
+    if (va.is_null() || table_->is_null(train_row, a)) {
       d += 1.0;
       continue;
     }
     if (va.is_nominal()) {
-      d += va.StrictEquals(vb) ? 0.0 : 1.0;
+      d += va.nominal_code() == table_->code_at(train_row, a) ? 0.0 : 1.0;
     } else {
-      const double diff = std::fabs(va.OrderedValue() - vb.OrderedValue()) *
-                          inv_width_[static_cast<size_t>(attr)];
+      const double diff =
+          std::fabs(va.OrderedValue() - table_->ordered_at(train_row, a)) *
+          inv_width_[a];
       d += std::min(diff, 1.0);
     }
   }
@@ -86,7 +99,7 @@ Prediction KnnClassifier::Predict(const Row& row) const {
   std::vector<std::pair<double, size_t>> dist;
   dist.reserve(train_rows_.size());
   for (size_t i = 0; i < train_rows_.size(); ++i) {
-    dist.emplace_back(Distance(row, table_->row(train_rows_[i])), i);
+    dist.emplace_back(Distance(row, train_rows_[i]), i);
   }
   std::nth_element(dist.begin(), dist.begin() + static_cast<long>(k - 1),
                    dist.end());

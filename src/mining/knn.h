@@ -33,7 +33,7 @@ class KnnClassifier : public Classifier {
   std::string name() const override { return "knn"; }
 
  private:
-  double Distance(const Row& a, const Row& b) const;
+  double Distance(const Row& probe, uint32_t train_row) const;
 
   KnnConfig config_;
   const Table* table_ = nullptr;

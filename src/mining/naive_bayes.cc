@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "mining/encoded_dataset.h"
+
 namespace dq {
 
 Status NaiveBayesClassifier::Train(const TrainingData& data) {
@@ -42,23 +44,30 @@ Status NaiveBayesClassifier::Train(const TrainingData& data) {
     }
   }
 
+  const int32_t* cached =
+      data.encoded != nullptr
+          ? data.encoded->class_codes(static_cast<size_t>(data.class_attr))
+          : nullptr;
   for (size_t r = 0; r < table_->num_rows(); ++r) {
     const int cls =
-        encoder_->Encode(table_->cell(r, static_cast<size_t>(data.class_attr)));
+        cached != nullptr
+            ? static_cast<int>(cached[r])
+            : encoder_->Encode(
+                  table_->cell(r, static_cast<size_t>(data.class_attr)));
     if (cls < 0) continue;
     priors_[static_cast<size_t>(cls)] += 1.0;
     total_weight_ += 1.0;
     for (int attr : base_attrs_) {
-      const Value& v = table_->cell(r, static_cast<size_t>(attr));
-      if (v.is_null()) continue;
-      if (attr_is_nominal_[static_cast<size_t>(attr)]) {
-        NominalModel& m = nominal_[static_cast<size_t>(attr)];
+      const size_t a = static_cast<size_t>(attr);
+      if (table_->is_null(r, a)) continue;
+      if (attr_is_nominal_[a]) {
+        NominalModel& m = nominal_[a];
         m.counts[static_cast<size_t>(cls)]
-                [static_cast<size_t>(v.nominal_code())] += 1.0;
+                [static_cast<size_t>(table_->code_at(r, a))] += 1.0;
         m.class_totals[static_cast<size_t>(cls)] += 1.0;
       } else {
-        Sums& s = sums[static_cast<size_t>(attr)];
-        const double x = v.OrderedValue();
+        Sums& s = sums[a];
+        const double x = table_->ordered_at(r, a);
         s.sum[static_cast<size_t>(cls)] += x;
         s.sum_sq[static_cast<size_t>(cls)] += x * x;
         s.count[static_cast<size_t>(cls)] += 1.0;

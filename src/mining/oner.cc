@@ -1,6 +1,9 @@
 #include "mining/oner.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "mining/encoded_dataset.h"
 
 namespace dq {
 
@@ -30,10 +33,17 @@ Status OneRClassifier::Train(const TrainingData& data) {
 
   overall_counts_.assign(static_cast<size_t>(num_classes_), 0.0);
   overall_weight_ = 0.0;
+  const int32_t* cached =
+      data.encoded != nullptr
+          ? data.encoded->class_codes(static_cast<size_t>(data.class_attr))
+          : nullptr;
   std::vector<int> class_codes(table.num_rows(), -1);
   for (size_t r = 0; r < table.num_rows(); ++r) {
     class_codes[r] =
-        encoder_->Encode(table.cell(r, static_cast<size_t>(data.class_attr)));
+        cached != nullptr
+            ? static_cast<int>(cached[r])
+            : encoder_->Encode(
+                  table.cell(r, static_cast<size_t>(data.class_attr)));
     if (class_codes[r] >= 0) {
       overall_counts_[static_cast<size_t>(class_codes[r])] += 1.0;
       overall_weight_ += 1.0;
@@ -54,8 +64,8 @@ Status OneRClassifier::Train(const TrainingData& data) {
       std::vector<double> sample;
       for (size_t r = 0; r < table.num_rows(); ++r) {
         if (class_codes[r] < 0) continue;
-        const Value& v = table.cell(r, static_cast<size_t>(attr));
-        if (!v.is_null()) sample.push_back(v.OrderedValue());
+        const double x = table.ordered_at(r, static_cast<size_t>(attr));
+        if (!std::isnan(x)) sample.push_back(x);
       }
       if (sample.empty()) continue;
       auto fitted =
@@ -70,14 +80,14 @@ Status OneRClassifier::Train(const TrainingData& data) {
         buckets + 1, std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
     for (size_t r = 0; r < table.num_rows(); ++r) {
       if (class_codes[r] < 0) continue;
-      const Value& v = table.cell(r, static_cast<size_t>(attr));
+      const size_t a = static_cast<size_t>(attr);
       size_t b;
-      if (v.is_null()) {
+      if (table.is_null(r, a)) {
         b = buckets;
       } else if (def.type == DataType::kNominal) {
-        b = static_cast<size_t>(v.nominal_code());
+        b = static_cast<size_t>(table.code_at(r, a));
       } else {
-        b = static_cast<size_t>(disc->BinOf(v.OrderedValue()));
+        b = static_cast<size_t>(disc->BinOf(table.ordered_at(r, a)));
       }
       counts[b][static_cast<size_t>(class_codes[r])] += 1.0;
     }

@@ -75,14 +75,14 @@ Result<PollutionResult> PollutionPipeline::Apply(const Table& clean) const {
   out.dirty.Reserve(clean.num_rows() + duplicated_rows.size());
   for (size_t r = 0; r < clean.num_rows(); ++r) {
     if (deleted[r]) continue;
-    out.dirty.AppendRowUnchecked(clean.row(r));
+    out.dirty.AppendRowFrom(clean, r);
     out.origin.push_back(r);
     out.is_corrupted.push_back(false);
   }
   for (size_t r : duplicated_rows) {
     if (deleted[r]) continue;
     const size_t dirty_idx = out.dirty.num_rows();
-    out.dirty.AppendRowUnchecked(clean.row(r));
+    out.dirty.AppendRowFrom(clean, r);
     out.origin.push_back(r);
     out.is_corrupted.push_back(true);  // the surplus copy is the error
     CorruptionEvent ev;

@@ -81,19 +81,20 @@ std::string TruncatedRaw(const std::string& text) {
   return text.substr(0, IngestReport::kMaxRawBytes) + "...";
 }
 
-/// Outcome of decoding one raw record: a row, or a quarantine entry.
+/// Outcome of decoding one raw record: kept, or a quarantine entry.
 struct DecodedRecord {
   bool ok = false;
-  Row row;
   IngestError error;
 };
 
-/// Raw record -> Row, fully validated against the schema (so the assembly
-/// loop can append unchecked). Runs on worker threads: touches only its own
-/// output slot and const state.
+/// Raw record -> typed cells of chunk slot `slot`, fully validated against
+/// the schema (so assembly can bulk-append unchecked). Runs on worker
+/// threads: touches only its own chunk slot / output slot and const state.
+/// A slot whose record fails decoding may hold a partial prefix of cells;
+/// the keep mask drops it at AppendChunk time.
 void DecodeRecord(const Schema& schema, const CsvOptions& options,
                   const RawCsvRecord& rec, std::vector<std::string>* fields,
-                  DecodedRecord* out) {
+                  TableChunk* chunk, size_t slot, DecodedRecord* out) {
   out->error.line = rec.line;
   CsvFieldError ferr;
   if (!SplitCsvRecord(rec.text, options.separator, fields, &ferr)) {
@@ -114,7 +115,6 @@ void DecodeRecord(const Schema& schema, const CsvOptions& options,
     out->error.raw = TruncatedRaw(rec.text);
     return;
   }
-  out->row.resize(fields->size());
   for (size_t a = 0; a < fields->size(); ++a) {
     auto value = schema.ParseValue(static_cast<int>(a), (*fields)[a],
                                    options.null_token);
@@ -130,7 +130,7 @@ void DecodeRecord(const Schema& schema, const CsvOptions& options,
       out->error.raw = TruncatedRaw(rec.text);
       return;
     }
-    out->row[a] = *value;
+    chunk->Set(slot, a, *value);
   }
   out->ok = true;
 }
@@ -188,12 +188,15 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
   std::vector<RawCsvRecord> batch;
   std::vector<DecodedRecord> decoded;
   std::vector<std::vector<std::string>> scratch;  // per-slot field buffers
+  TableChunk chunk(schema);  // columnar batch staging, reused across flushes
+  std::vector<uint8_t> keep;
 
   auto finish = [&](Status status) {
     rep->bytes_read = reader.bytes_read();
     // parse_ms is a view of the "ingest" span measurement; the span itself
     // closes (and records) when ReadCsv returns.
     rep->parse_ms = span.ElapsedMs();
+    obs::GetGauge("table.bytes")->Set(static_cast<double>(table.byte_size()));
     static obs::Counter* const total = obs::GetCounter("ingest.records_total");
     static obs::Counter* const kept = obs::GetCounter("ingest.records_kept");
     static obs::Counter* const quarantined =
@@ -211,31 +214,41 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
     decoded.clear();
     decoded.resize(batch.size());
     scratch.resize(batch.size());
+    chunk.Reset(batch.size());
+    // Workers decode straight into disjoint chunk slots — no Row
+    // materialization between the parser and the table's columns.
     auto decode_one = [&](size_t i) {
-      DecodeRecord(schema, options, batch[i], &scratch[i], &decoded[i]);
+      DecodeRecord(schema, options, batch[i], &scratch[i], &chunk, i,
+                   &decoded[i]);
     };
     if (pool.has_value()) {
       pool->ParallelFor(batch.size(), decode_one);
     } else {
       for (size_t i = 0; i < batch.size(); ++i) decode_one(i);
     }
-    // Serial assembly in record order: rows and quarantine entries land in
-    // the same sequence for every thread count.
+    // Serial bookkeeping in record order (quarantine entries land in the
+    // same sequence for every thread count), then one bulk columnar append
+    // of the kept slots. Under kFail, slots after the failing record stay
+    // unkept — the table holds exactly the records before the error.
+    keep.assign(batch.size(), 0);
+    Status failed = Status::OK();
     for (size_t i = 0; i < batch.size(); ++i) {
       ++rep->records_total;
       if (decoded[i].ok) {
         ++rep->records_kept;
-        table.AppendRowUnchecked(std::move(decoded[i].row));
+        keep[i] = 1;
         continue;
       }
       ++rep->records_quarantined;
       rep->errors.push_back(std::move(decoded[i].error));
       if (options.on_error == CsvErrorPolicy::kFail) {
-        return Status::IOError(FormatIngestError(rep->errors.back()));
+        failed = Status::IOError(FormatIngestError(rep->errors.back()));
+        break;
       }
     }
+    table.AppendChunk(chunk, &keep);
     batch.clear();
-    return Status::OK();
+    return failed;
   };
 
   RawCsvRecord rec;

@@ -1,10 +1,13 @@
 #include "table/table.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace dq {
 
 namespace {
 
-Status CheckRow(const Schema& schema, const Row& row) {
+Status CheckRowAgainstSchema(const Schema& schema, const Row& row) {
   if (row.size() != schema.num_attributes()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
@@ -22,17 +25,258 @@ Status CheckRow(const Schema& schema, const Row& row) {
 
 }  // namespace
 
-Status Table::AppendRow(Row row) {
-  DQ_RETURN_NOT_OK(CheckRow(schema_, row));
-  rows_.push_back(std::move(row));
+// --- TableChunk --------------------------------------------------------------
+
+void TableChunk::Attach(const Schema& schema) {
+  cols_.clear();
+  cols_.resize(schema.num_attributes());
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    cols_[a].type = schema.attribute(a).type;
+  }
+  num_rows_ = 0;
+}
+
+void TableChunk::Reset(size_t rows) {
+  num_rows_ = rows;
+  for (Column& c : cols_) {
+    c.null_.assign(rows, 1);
+    if (c.type == DataType::kNumeric) {
+      c.num.assign(rows, std::numeric_limits<double>::quiet_NaN());
+    } else {
+      c.code.assign(rows, c.type == DataType::kNominal ? -1 : 0);
+    }
+  }
+}
+
+void TableChunk::Set(size_t row, size_t attr, const Value& v) {
+  DQ_DCHECK(attr < cols_.size() && row < num_rows_);
+  Column& c = cols_[attr];
+  if (v.is_null()) {
+    c.null_[row] = 1;
+    if (c.type == DataType::kNumeric) {
+      c.num[row] = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      c.code[row] = c.type == DataType::kNominal ? -1 : 0;
+    }
+    return;
+  }
+  c.null_[row] = 0;
+  switch (c.type) {
+    case DataType::kNumeric:
+      DQ_DCHECK(v.is_numeric());
+      c.num[row] = v.numeric();
+      break;
+    case DataType::kNominal:
+      DQ_DCHECK(v.is_nominal());
+      c.code[row] = v.nominal_code();
+      break;
+    case DataType::kDate:
+      DQ_DCHECK(v.is_date());
+      c.code[row] = v.date_days();
+      break;
+  }
+}
+
+// --- Table -------------------------------------------------------------------
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  cols_.resize(schema_.num_attributes());
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    cols_[a].type = schema_.attribute(a).type;
+  }
+}
+
+void Table::PushCell(Column* c, const Value& v) {
+  if (v.is_null()) {
+    switch (c->type) {
+      case DataType::kNumeric:
+        c->num.push_back(std::numeric_limits<double>::quiet_NaN());
+        break;
+      case DataType::kNominal:
+        c->code.push_back(-1);
+        break;
+      case DataType::kDate:
+        c->code.push_back(0);
+        break;
+    }
+    GrowBits(&c->nulls, num_rows_ + 1);
+    SetBit(&c->nulls, num_rows_);
+    return;
+  }
+  switch (c->type) {
+    case DataType::kNumeric:
+      DQ_DCHECK(v.is_numeric());
+      c->num.push_back(v.numeric());
+      break;
+    case DataType::kNominal:
+      DQ_DCHECK(v.is_nominal());
+      c->code.push_back(v.nominal_code());
+      break;
+    case DataType::kDate:
+      DQ_DCHECK(v.is_date());
+      c->code.push_back(v.date_days());
+      break;
+  }
+  GrowBits(&c->nulls, num_rows_ + 1);
+}
+
+Status Table::AppendRow(const Row& row) {
+  DQ_RETURN_NOT_OK(CheckRowAgainstSchema(schema_, row));
+  AppendRowUnchecked(row);
   return Status::OK();
 }
 
+void Table::AppendRowUnchecked(const Row& row) {
+  DQ_DCHECK(row.size() == cols_.size());
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    PushCell(&cols_[a], row[a]);
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& src, size_t src_row) {
+  DQ_DCHECK(src.cols_.size() == cols_.size() && src_row < src.num_rows_);
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    Column& dst = cols_[a];
+    const Column& from = src.cols_[a];
+    DQ_DCHECK(dst.type == from.type);
+    if (dst.type == DataType::kNumeric) {
+      dst.num.push_back(from.num[src_row]);
+    } else {
+      dst.code.push_back(from.code[src_row]);
+    }
+    GrowBits(&dst.nulls, num_rows_ + 1);
+    if (BitIsSet(from.nulls, src_row)) SetBit(&dst.nulls, num_rows_);
+  }
+  ++num_rows_;
+}
+
+void Table::AppendChunk(const TableChunk& chunk,
+                        const std::vector<uint8_t>* keep) {
+  DQ_DCHECK(chunk.cols_.size() == cols_.size());
+  DQ_DCHECK(keep == nullptr || keep->size() == chunk.num_rows());
+  size_t kept = 0;
+  if (keep == nullptr) {
+    kept = chunk.num_rows();
+  } else {
+    for (uint8_t k : *keep) kept += k != 0 ? 1 : 0;
+  }
+  if (kept == 0) return;
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    Column& dst = cols_[a];
+    const TableChunk::Column& src = chunk.cols_[a];
+    DQ_DCHECK(dst.type == src.type);
+    GrowBits(&dst.nulls, num_rows_ + kept);
+    size_t out = num_rows_;
+    for (size_t i = 0; i < chunk.num_rows(); ++i) {
+      if (keep != nullptr && (*keep)[i] == 0) continue;
+      if (dst.type == DataType::kNumeric) {
+        dst.num.push_back(src.num[i]);
+      } else {
+        dst.code.push_back(src.code[i]);
+      }
+      if (src.null_[i] != 0) SetBit(&dst.nulls, out);
+      ++out;
+    }
+  }
+  num_rows_ += kept;
+}
+
+Row Table::row(size_t i) const {
+  DQ_DCHECK(i < num_rows_);
+  Row out(cols_.size());
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    out[a] = cell(i, a);
+  }
+  return out;
+}
+
+Value Table::cell_at(size_t row, size_t attr) const {
+  if (row >= num_rows_ || attr >= cols_.size()) {
+    throw std::out_of_range("Table::cell_at(" + std::to_string(row) + ", " +
+                            std::to_string(attr) + ") outside " +
+                            std::to_string(num_rows_) + "x" +
+                            std::to_string(cols_.size()));
+  }
+  return cell(row, attr);
+}
+
+void Table::RemoveRows(const std::vector<size_t>& sorted_rows) {
+  if (sorted_rows.empty() || num_rows_ == 0) return;
+  // Byte-wide removal mask once, then one stable compaction pass per column.
+  std::vector<uint8_t> remove(num_rows_, 0);
+  for (size_t i = 0; i < sorted_rows.size(); ++i) {
+    DQ_DCHECK(sorted_rows[i] < num_rows_);
+    DQ_DCHECK(i == 0 || sorted_rows[i - 1] <= sorted_rows[i]);
+    remove[sorted_rows[i]] = 1;
+  }
+  size_t kept = 0;
+  for (uint8_t r : remove) kept += r == 0 ? 1 : 0;
+  if (kept == num_rows_) return;
+  for (Column& c : cols_) {
+    std::vector<uint64_t> new_nulls;
+    GrowBits(&new_nulls, kept);
+    size_t out = 0;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (remove[r] != 0) continue;
+      if (c.type == DataType::kNumeric) {
+        c.num[out] = c.num[r];
+      } else {
+        c.code[out] = c.code[r];
+      }
+      if (BitIsSet(c.nulls, r)) SetBit(&new_nulls, out);
+      ++out;
+    }
+    if (c.type == DataType::kNumeric) {
+      c.num.resize(kept);
+    } else {
+      c.code.resize(kept);
+    }
+    c.nulls = std::move(new_nulls);
+  }
+  num_rows_ = kept;
+}
+
+void Table::Reserve(size_t n) {
+  for (Column& c : cols_) {
+    if (c.type == DataType::kNumeric) {
+      c.num.reserve(n);
+    } else {
+      c.code.reserve(n);
+    }
+    c.nulls.reserve((n + 63) >> 6);
+  }
+}
+
+void Table::Clear() {
+  for (Column& c : cols_) {
+    c.num.clear();
+    c.code.clear();
+    c.nulls.clear();
+  }
+  num_rows_ = 0;
+}
+
+size_t Table::byte_size() const {
+  size_t bytes = 0;
+  for (const Column& c : cols_) {
+    bytes += c.num.size() * sizeof(double);
+    bytes += c.code.size() * sizeof(int32_t);
+    bytes += c.nulls.size() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
 Status Table::Validate() const {
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    Status s = CheckRow(schema_, rows_[i]);
-    if (!s.ok()) {
-      return Status(s.code(), "row " + std::to_string(i) + ": " + s.message());
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t a = 0; a < cols_.size(); ++a) {
+      const Value v = cell(r, a);
+      if (!schema_.attribute(a).InDomain(v)) {
+        return Status::OutOfRange(
+            "row " + std::to_string(r) + ": cell for attribute '" +
+            schema_.attribute(a).name +
+            "' outside domain: " + v.ToDebugString());
+      }
     }
   }
   return Status::OK();

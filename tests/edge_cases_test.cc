@@ -50,7 +50,8 @@ TEST(GeneratorEdgeTest, ConflictingOverlapProducesUnresolvedRecordsOnly) {
   EXPECT_EQ(data->table.num_rows(), 600u);
   // Every record that still violates a rule is accounted as unresolved.
   size_t violating = 0;
-  for (const Row& row : data->table.rows()) {
+  for (size_t r = 0; r < data->table.num_rows(); ++r) {
+    const Row row = data->table.row(r);
     if (r1.Violates(row) || r2.Violates(row)) ++violating;
   }
   EXPECT_EQ(violating, data->unresolved_records);

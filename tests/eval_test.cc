@@ -179,7 +179,8 @@ TEST(TestEnvironmentTest, CleanDataFollowsGeneratedRules) {
   auto result = TestEnvironment(cfg).Run();
   ASSERT_TRUE(result.ok());
   size_t violations = 0;
-  for (const Row& row : result->clean.rows()) {
+  for (size_t r = 0; r < result->clean.num_rows(); ++r) {
+    const Row row = result->clean.row(r);
     for (const Rule& rule : result->rules) {
       if (rule.Violates(row)) ++violations;
     }

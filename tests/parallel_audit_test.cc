@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "eval/test_environment.h"
 #include "mining/c45.h"
+#include "obs/metrics.h"
 #include "quis/quis_sample.h"
 
 namespace dq {
@@ -97,6 +98,50 @@ TEST(ParallelAuditTest, ThreadCountDoesNotChangeModelOrReport) {
   EXPECT_EQ(Serialized(*serial_model, t.schema()),
             Serialized(*parallel_model, t.schema()));
   ExpectIdenticalReports(*serial_report, *parallel_report);
+}
+
+TEST(ParallelAuditTest, WideThreadCountsAgreeWithSerial) {
+  Table t = PlantedTable(3000, 5, 40);
+
+  AuditorConfig serial_cfg;
+  serial_cfg.num_threads = 1;
+  Auditor serial(serial_cfg);
+  auto serial_model = serial.Induce(t);
+  ASSERT_TRUE(serial_model.ok()) << serial_model.status();
+  auto serial_report = serial.Audit(*serial_model, t);
+  ASSERT_TRUE(serial_report.ok());
+
+  for (int threads : {2, 8}) {
+    AuditorConfig cfg;
+    cfg.num_threads = threads;
+    Auditor auditor(cfg);
+    auto model = auditor.Induce(t);
+    ASSERT_TRUE(model.ok()) << "threads=" << threads;
+    auto report = auditor.Audit(*model, t);
+    ASSERT_TRUE(report.ok()) << "threads=" << threads;
+    EXPECT_EQ(Serialized(*serial_model, t.schema()),
+              Serialized(*model, t.schema()))
+        << "threads=" << threads;
+    ExpectIdenticalReports(*serial_report, *report);
+  }
+}
+
+TEST(ParallelAuditTest, EncodeCacheIsBuiltOncePerAudit) {
+  Table t = PlantedTable(2000, 3, 42);
+  obs::Counter* const builds = obs::GetCounter("audit.encode_builds");
+  for (int threads : {1, 2, 8}) {
+    AuditorConfig cfg;
+    cfg.num_threads = threads;
+    Auditor auditor(cfg);
+    const uint64_t before = builds->Value();
+    auto model = auditor.Induce(t);
+    ASSERT_TRUE(model.ok());
+    auto report = auditor.Audit(*model, t);
+    ASSERT_TRUE(report.ok());
+    // The whole audit — k parallel inductions plus scoring — shares ONE
+    // EncodedDataset build.
+    EXPECT_EQ(builds->Value() - before, 1u) << "threads=" << threads;
+  }
 }
 
 TEST(ParallelAuditTest, StructureModelCheckMatchesAcrossThreadCounts) {

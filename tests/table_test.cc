@@ -227,6 +227,49 @@ TEST(TableTest, ValidateDetectsCorruptUncheckedRows) {
   EXPECT_FALSE(t.Validate().ok());
 }
 
+TEST(TableTest, RemoveRowsBatchedStableCompaction) {
+  Table t(TestSchema());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(t.AppendRow(MakeRow(i % 3, static_cast<double>(i), 11000)).ok());
+  }
+  // Duplicates tolerated; survivors keep their order.
+  t.RemoveRows({1, 3, 3, 4});
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.cell(0, 1).numeric(), 0.0);
+  EXPECT_DOUBLE_EQ(t.cell(1, 1).numeric(), 2.0);
+  EXPECT_DOUBLE_EQ(t.cell(2, 1).numeric(), 5.0);
+  t.RemoveRows({});  // no-op
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(TableTest, CellAtThrowsOutOfRange) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow(MakeRow(0, 1.0, 11000)).ok());
+  EXPECT_NO_THROW(t.cell_at(0, 2));
+  EXPECT_THROW(t.cell_at(1, 0), std::out_of_range);
+  EXPECT_THROW(t.cell_at(0, 3), std::out_of_range);
+}
+
+TEST(TableTest, ByteSizeTracksColumnPayloads) {
+  Table t(TestSchema());
+  EXPECT_EQ(t.byte_size(), 0u);
+  ASSERT_TRUE(t.AppendRow(MakeRow(0, 1.0, 11000)).ok());
+  // nominal int32 + numeric double + date int32 + three 1-word bitmaps.
+  EXPECT_EQ(t.byte_size(), sizeof(int32_t) * 2 + sizeof(double) +
+                               3 * sizeof(uint64_t));
+  const size_t one_row = t.byte_size();
+  for (int i = 0; i < 63; ++i) {
+    ASSERT_TRUE(t.AppendRow(MakeRow(1, 2.0, 11000)).ok());
+  }
+  // 64 rows still fit one bitmap word per column.
+  EXPECT_EQ(t.byte_size(), 64 * (sizeof(int32_t) * 2 + sizeof(double)) +
+                               3 * sizeof(uint64_t));
+  ASSERT_TRUE(t.AppendRow(MakeRow(1, 2.0, 11000)).ok());
+  EXPECT_GT(t.byte_size(), 65 * (one_row - 3 * sizeof(uint64_t)));
+  t.Clear();
+  EXPECT_EQ(t.byte_size(), 0u);
+}
+
 // --- CSV --------------------------------------------------------------------
 
 TEST(CsvTest, RoundTrip) {

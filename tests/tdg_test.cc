@@ -144,7 +144,8 @@ TEST(DataGeneratorTest, GeneratedDataFollowsHandWrittenRules) {
   EXPECT_EQ(data->table.num_rows(), 2000u);
   EXPECT_EQ(data->unresolved_records, 0u);
   size_t premise_hits = 0;
-  for (const Row& row : data->table.rows()) {
+  for (size_t r = 0; r < data->table.num_rows(); ++r) {
+    const Row row = data->table.row(r);
     EXPECT_FALSE(r1.Violates(row));
     EXPECT_FALSE(r2.Violates(row));
     if (row[0].is_nominal() && row[0].nominal_code() == 0) ++premise_hits;
@@ -179,7 +180,8 @@ TEST(DataGeneratorTest, GeneratedRuleSetIsFollowed) {
   auto data = gen.Generate(cfg);
   ASSERT_TRUE(data.ok()) << data.status();
   size_t violations = 0;
-  for (const Row& row : data->table.rows()) {
+  for (size_t i = 0; i < data->table.num_rows(); ++i) {
+    const Row row = data->table.row(i);
     for (const Rule& r : *rules) {
       if (r.Violates(row)) ++violations;
     }
@@ -205,7 +207,8 @@ TEST(DataGeneratorTest, MultivariateStartDistributionUsed) {
   cfg.num_records = 800;
   auto data = gen.Generate(cfg);
   ASSERT_TRUE(data.ok());
-  for (const Row& row : data->table.rows()) {
+  for (size_t r = 0; r < data->table.num_rows(); ++r) {
+    const Row row = data->table.row(r);
     ASSERT_TRUE(row[0].is_nominal());
     EXPECT_EQ(row[0].nominal_code(), row[1].nominal_code());
   }

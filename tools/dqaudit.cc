@@ -380,9 +380,11 @@ int main(int argc, char** argv) {
   auto report = auditor.Audit(*model, *data, &timings);
   if (!report.ok()) return Fail(report.status());
   std::printf("timings (threads=%d): ingest %.1f ms, induce %.1f ms "
-              "(c4.5 presort %.1f ms, tree build %.1f ms), audit %.1f ms\n",
+              "(encode %.1f ms, c4.5 presort %.1f ms, tree build %.1f ms), "
+              "audit %.1f ms\n",
               timings.threads_used, timings.ingest_ms, timings.induce_ms,
-              timings.presort_ms, timings.tree_build_ms, timings.audit_ms);
+              timings.encode_ms, timings.presort_ms, timings.tree_build_ms,
+              timings.audit_ms);
   std::printf("%zu of %zu records suspicious at minimal error confidence "
               "%.2f\n",
               report->NumFlagged(), data->num_rows(), opts.min_conf);
