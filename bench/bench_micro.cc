@@ -6,6 +6,8 @@
 
 #include "audit/auditor.h"
 #include "eval/test_environment.h"
+#include "mining/split_kernels.h"
+#include "stats/descriptive.h"
 #include "obs/trace.h"
 #include "pollution/pipeline.h"
 #include "tdg/data_generator.h"
@@ -136,16 +138,74 @@ void BM_C45Induction(benchmark::State& state) {
   td.class_attr = 0;
   td.base_attrs = {1, 2, 3, 4, 5, 6, 7};
   td.encoder = &*encoder;
+  // range(1): 0 = histogram evaluator (default), 1 = exact row sweep.
   for (auto _ : state) {
     C45Config tree_cfg;
     tree_cfg.min_error_confidence = 0.8;
+    tree_cfg.split_mode =
+        state.range(1) == 0 ? SplitMode::kHistogram : SplitMode::kExact;
     C45Tree tree(tree_cfg);
     auto status = tree.Train(td);
     benchmark::DoNotOptimize(status);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(records));
 }
-BENCHMARK(BM_C45Induction)->Arg(2000)->Arg(10000);
+BENCHMARK(BM_C45Induction)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+// Entropy over small-integer class counts: the log2 cache in XLog2X turns
+// every std::log2 call on the C4.5 hot path into a table load. range(0) is
+// the number of count vectors per iteration.
+void BM_EntropyFromCounts(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> counts(n);
+  uint64_t x = 42;
+  for (size_t i = 0; i < n; ++i) {
+    counts[i].resize(4);
+    for (double& c : counts[i]) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      c = static_cast<double>((x >> 33) % 1000);
+    }
+  }
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const std::vector<double>& c : counts) sum += EntropyFromCounts(c);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EntropyFromCounts)->Arg(1024);
+
+// Bin/class count accumulation kernel feeding the histogram evaluator:
+// scalar reference vs the dispatched SIMD variant.
+void BM_CountBinClass(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  const size_t nc = 8;
+  std::vector<uint8_t> bins(n);
+  std::vector<int32_t> cls(n);
+  uint64_t x = 7;
+  for (size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    bins[i] = static_cast<uint8_t>((x >> 33) % 255);
+    cls[i] = static_cast<int32_t>((x >> 17) % nc);
+  }
+  std::vector<uint32_t> out(255 * nc);
+  const bool scalar = state.range(0) == 1;
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0u);
+    if (scalar) {
+      kernels::CountBinClassScalar(bins.data(), cls.data(), n, nc, out.data());
+    } else {
+      kernels::CountBinClass(bins.data(), cls.data(), n, nc, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CountBinClass)->Arg(0)->Arg(1);
 
 void BM_AuditPrediction(benchmark::State& state) {
   const Schema& schema = BaseSchema();

@@ -39,9 +39,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string split_mode = dq::bench::SplitModeArg(argc, argv);
+
   AuditorConfig acfg;
   acfg.min_error_confidence = 0.8;
   acfg.num_threads = threads;
+  acfg.c45.split_mode = split_mode == "exact" ? SplitMode::kExact
+                                              : SplitMode::kHistogram;
   Auditor auditor(acfg);
   AuditTimings timings;
   const auto t0 = std::chrono::steady_clock::now();
@@ -162,6 +166,7 @@ int main(int argc, char** argv) {
   json.Add("quick", quick ? 1 : 0);
   json.Add("threads_requested", threads);
   json.Add("threads_used", timings.threads_used);
+  json.Add("split_mode", split_mode == "exact" ? 1 : 0);
   json.Add("runtime_s", seconds);
   json.Add("induce_ms", timings.induce_ms);
   json.Add("encode_ms", timings.encode_ms);

@@ -78,6 +78,16 @@ inline int ThreadsArg(int argc, char** argv) {
   return 0;
 }
 
+/// "--split-mode histogram|exact" on the command line (default
+/// "histogram", matching C45Config::split_mode). Anything else is treated
+/// as "histogram".
+inline std::string SplitModeArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--split-mode") return argv[i + 1];
+  }
+  return "histogram";
+}
+
 /// "--trace-out FILE" on the command line (empty = no trace export). When
 /// set, the bench enables the tracer and writes the stitched span tree as
 /// Chrome trace-event JSON; left unset, tracing stays disabled so the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 
 #include "audit/error_confidence.h"
@@ -109,20 +110,30 @@ Result<AuditModel> Auditor::Induce(const Table& train,
   std::optional<EncodedDataset> encoded;
   {
     obs::Span encode_span("induce.encode", -1, &encode_ms);
-    encoded.emplace(
-        EncodedDataset::Build(train, config_.numeric_class_bins, threads));
+    encoded.emplace(EncodedDataset::Build(train, config_.numeric_class_bins,
+                                          threads,
+                                          config_.c45.histogram_bins));
   }
 
   std::vector<std::optional<AttributeModel>> slots(jobs.size());
   std::vector<double> job_ms(jobs.size(), 0.0);
   std::vector<Status> fatal(jobs.size());
-  // Worker spans stitch under this Induce call's span: the context is
-  // captured here on the dispatching thread and installed inside each task.
-  // The per-attribute span is keyed by the class attribute index, so the
-  // stitched tree is the same for every thread count.
-  const obs::TaskContext trace_ctx = obs::Tracer::Global().CurrentContext();
-  ParallelFor(threads, jobs.size(), [&](size_t j) {
-    obs::TaskScope task_scope(trace_ctx);
+
+  // Parallelism is applied on one of two axes, never both:
+  //
+  //  * histogram-mode C4.5 parallelizes INSIDE each Train (the breadth-wise
+  //    node frontier), so the k inductions run sequentially here sharing
+  //    one pool — per-tree spans never overlap, and the summed
+  //    tree_build_ms stays a faithful non-overlapping wall-clock total;
+  //  * every other inducer has serial Train calls, so the k independent
+  //    jobs fan out ACROSS the pool as before.
+  //
+  // Both axes produce bitwise-identical models for every thread count
+  // (pre-assigned slots here, deterministic frontier reduction there).
+  const bool intra_tree = config_.inducer == InducerKind::kC45 &&
+                          config_.c45.split_mode == SplitMode::kHistogram;
+
+  auto run_job = [&](size_t j, ThreadPool* pool) {
     obs::Span span("induce.attr", jobs[j].class_attr, &job_ms[j]);
     const Job& job = jobs[j];
     AttributeModel am;
@@ -145,6 +156,7 @@ Result<AuditModel> Auditor::Induce(const Table& train,
     td.base_attrs = am.base_attrs;
     td.encoder = &am.encoder;
     td.encoded = &*encoded;
+    td.pool = pool;
     Status trained = am.classifier->Train(td);
     if (!trained.ok()) {
       // An attribute that cannot be modelled (e.g. all class values null)
@@ -152,7 +164,35 @@ Result<AuditModel> Auditor::Induce(const Table& train,
       return;
     }
     slots[j] = std::move(am);
-  });
+  };
+
+  int induction_threads = threads;
+  if (intra_tree) {
+    // Worker threads beyond the physical cores cannot speed node-parallel
+    // induction -- they only add scheduling contention on the shared
+    // frontier batches -- so the intra-tree pool is clamped to the
+    // hardware concurrency. The tree is pool-size invariant (pre-assigned
+    // result slots), so the clamp never changes output.
+    const int hw =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    const int workers = std::min(threads, hw);
+    induction_threads = workers;
+    std::optional<ThreadPool> pool;
+    if (workers > 1) pool.emplace(workers);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      run_job(j, pool.has_value() ? &*pool : nullptr);
+    }
+  } else {
+    // Worker spans stitch under this Induce call's span: the context is
+    // captured here on the dispatching thread and installed inside each
+    // task. The per-attribute span is keyed by the class attribute index,
+    // so the stitched tree is the same for every thread count.
+    const obs::TaskContext trace_ctx = obs::Tracer::Global().CurrentContext();
+    ParallelFor(threads, jobs.size(), [&](size_t j) {
+      obs::TaskScope task_scope(trace_ctx);
+      run_job(j, nullptr);
+    });
+  }
   for (const Status& status : fatal) {
     if (!status.ok()) return status;
   }
@@ -174,7 +214,7 @@ Result<AuditModel> Auditor::Induce(const Table& train,
   }
   obs::GetCounter("induce.attributes_modelled")->Add(model.num_models());
   if (timings != nullptr) {
-    timings->threads_used = threads;
+    timings->threads_used = induction_threads;
     timings->induce_ms = induce_span.ElapsedMs();
     timings->encode_ms = encode_ms;
     timings->presort_ms = presort_ms;

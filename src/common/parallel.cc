@@ -123,6 +123,59 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared-state batch: helpers and the caller race on `next`; whoever
+  // claims an index runs it. The state is a shared_ptr so a helper task
+  // that only gets scheduled after the batch finished (all indices
+  // claimed) still has a valid counter to bounce off -- it must not touch
+  // `fn`, which dies when this frame returns.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = &fn;
+  auto drain = [state] {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) break;
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      // acq_rel: item results written above become visible to the caller,
+      // which acquires `done` below before reading any slot.
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(num_threads()), n - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
 void ParallelFor(int num_threads, size_t n,
                  const std::function<void(size_t)>& fn) {
   const int threads = ResolveThreadCount(num_threads);

@@ -72,6 +72,17 @@ class ThreadPool {
   /// thrown by any chunk is rethrown in the caller.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// \brief Runs fn(i) for every i in [0, n) with item-granular work
+  /// stealing, blocking until done. Unlike ParallelFor this is safe to call
+  /// from code that itself runs on pool workers: the caller participates in
+  /// draining the shared index counter, so progress is guaranteed even when
+  /// every worker is busy (no nested-wait deadlock). Used for the per-node
+  /// and per-attribute-per-node task batches of intra-tree C4.5
+  /// parallelism; callers keep determinism by writing results to
+  /// pre-assigned slots. The first exception thrown by any item is
+  /// rethrown in the caller after the batch completes.
+  void RunBatch(size_t n, const std::function<void(size_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "mining/encoded_dataset.h"
+#include "mining/histogram.h"
+#include "mining/split_kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/confidence.h"
@@ -21,6 +24,16 @@ const char* PruningModeToString(PruningMode mode) {
       return "pessimistic";
     case PruningMode::kExpectedErrorConfidence:
       return "expected-error-confidence";
+  }
+  return "unknown";
+}
+
+const char* SplitModeToString(SplitMode mode) {
+  switch (mode) {
+    case SplitMode::kHistogram:
+      return "histogram";
+    case SplitMode::kExact:
+      return "exact";
   }
   return "unknown";
 }
@@ -225,7 +238,7 @@ Status C45Tree::Train(const TrainingData& data) {
   } else {
     // Columnar encoding: one dense value column per base attribute, so the
     // split search and partitioning never chase Row/Value indirections.
-    obs::Span span("c45.encode", -1, &presort_ms_);
+    obs::Span span("c45.encode", class_attr_, &presort_ms_);
     class_code_storage.resize(num_rows);
     for (size_t r = 0; r < num_rows; ++r) {
       class_code_storage[r] =
@@ -270,6 +283,10 @@ Status C45Tree::Train(const TrainingData& data) {
         "no training instances with non-null class value");
   }
 
+  if (config_.split_mode == SplitMode::kHistogram) {
+    return TrainHistogram(data, &ctx, std::move(insts), has_ordered_base);
+  }
+
   ctx.presort = config_.presort && has_ordered_base;
 
   NodeData root_data;
@@ -284,7 +301,7 @@ Status C45Tree::Train(const TrainingData& data) {
     // with a known class value preserves that order exactly, so the result
     // is bitwise-identical to the per-Train stable sort — in O(n) per
     // attribute instead of O(n log n).
-    obs::Span span("c45.presort", -1, &presort_ms_);
+    obs::Span span("c45.presort", class_attr_, &presort_ms_);
     ctx.branch_scratch.assign(num_rows, -2);
     root_data.sorted.assign(schema.num_attributes(), {});
     for (int a : data.base_attrs) {
@@ -314,7 +331,7 @@ Status C45Tree::Train(const TrainingData& data) {
   for (int a : data.base_attrs) avail[static_cast<size_t>(a)] = true;
 
   {
-    obs::Span span("c45.build", -1, &build_ms_);
+    obs::Span span("c45.build", class_attr_, &build_ms_);
     root_ = Build(&ctx, std::move(root_data), std::move(avail), 0);
     if (config_.pruning == PruningMode::kPessimistic) {
       PrunePessimistic(root_.get());
@@ -328,6 +345,8 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
                                               std::vector<bool> avail,
                                               int depth) {
   std::vector<Inst>& insts = data.insts;
+  static obs::Counter* const nodes_built = obs::GetCounter("c45.nodes_built");
+  nodes_built->Add(1);
   auto node = std::make_unique<Node>();
   node->class_counts.assign(static_cast<size_t>(ctx->num_classes), 0.0);
   for (const Inst& inst : insts) {
@@ -652,6 +671,7 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
       auto child = std::make_unique<Node>();
       child->class_counts.assign(static_cast<size_t>(ctx->num_classes), 0.0);
       child->majority = node->majority;
+      nodes_built->Add(1);
       node->children.push_back(std::move(child));
       continue;
     }
@@ -678,6 +698,790 @@ std::unique_ptr<C45Tree::Node> C45Tree::Build(BuildContext* ctx, NodeData data,
   }
   node->expected_error_conf = subtree_exp;
   return node;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram-mode induction (SplitMode::kHistogram)
+//
+// The split evaluator scans per-node (bin x class) histograms instead of
+// the exact per-row sweep: every ordered attribute is bucketed once per
+// table into <= 255 equal-frequency bins (AttributeBins, derived from the
+// shared EncodedDataset presort), nominal attributes use their dictionary
+// codes as bins directly, and a node's histograms over all base attributes
+// are filled in one pass over its instances. Three cost levers stack:
+//
+//   * evaluation is O(bins x classes) per attribute instead of
+//     O(rows x classes) with a log2 per distinct boundary;
+//   * the largest child of a split never gets scanned -- its histograms
+//     are reconstructed as parent minus the scanned siblings;
+//   * the tree grows breadth-wise (level-synchronous frontier), and each
+//     level fans out per-(family, attribute) histogram/eval tasks and
+//     per-node partition tasks onto the Train pool (TrainingData::pool)
+//     via ThreadPool::RunBatch.
+//
+// Determinism: every task writes pre-assigned slots (a child's histogram
+// slice, a node's eval slot), reductions walk fixed attribute/branch
+// order, and the inline and pooled dispatch run the same code -- the tree
+// is bitwise-identical for every thread count. The integrated Def. 9
+// pruning of the recursive path is deferred to one post-order pass after
+// the frontier finishes, which provably yields the same tree: construction
+// is pure top-down, so pruning decisions only ever consume finished
+// subtrees in both orders.
+
+struct C45HistogramBuilder {
+  using Node = C45Tree::Node;
+
+  /// Nominal histograms are only worth materializing for bounded
+  /// dictionaries; wider ones fall back to the direct instance scan.
+  static constexpr size_t kMaxNominalHistBins = 1024;
+  /// Smallest child worth reconstructing by subtraction instead of
+  /// scanning.
+  static constexpr size_t kSubtractMinInsts = 1024;
+  /// Subtraction residue clamp: real histogram cells hold at least one
+  /// instance fraction > 1e-6 (the partition drop threshold), so anything
+  /// at or below this is floating-point cancellation noise.
+  static constexpr double kResidueEps = 1e-9;
+
+  struct AttrPlan {
+    enum class Kind { kNone, kBinned, kNominalHist, kNominalScan };
+    Kind kind = Kind::kNone;
+    size_t width = 0;   ///< histogram rows; 0 for kNone/kNominalScan
+    size_t offset = 0;  ///< start of this attribute's slice (doubles)
+    const AttributeBins* bins = nullptr;  // kBinned
+    const uint8_t* bin_codes = nullptr;   // kBinned
+    const int32_t* codes = nullptr;       // nominal kinds
+    const double* ordered_col = nullptr;  // kBinned (partitioning)
+  };
+
+  /// One non-terminal frontier node awaiting split evaluation.
+  struct HTask {
+    Node* node = nullptr;
+    std::vector<Inst> insts;
+    std::vector<bool> avail;
+    int depth = 0;
+    double node_entropy = 0.0;
+    /// True only for the root: its instances are exactly every class-known
+    /// row with unit weight, so whole-column SIMD count kernels apply.
+    bool dense = false;
+    std::vector<double> hist;      ///< per-attribute slices, phase A output
+    std::vector<SplitEval> evals;  ///< per-attribute slot, phase A output
+  };
+
+  /// Children of one split, grouped so one phase-A unit can reconstruct
+  /// the subtraction child from the parent histogram and its siblings.
+  struct Family {
+    std::vector<std::unique_ptr<HTask>> tasks;  ///< non-terminal children
+    /// Parent histogram block; non-empty iff subtraction is enabled.
+    std::vector<double> parent_hist;
+    int sub_task = -1;  ///< tasks[] index reconstructed by subtraction
+    /// Terminal siblings that still get scanned to support subtraction.
+    std::vector<std::vector<Inst>> support_insts;
+    std::vector<std::vector<double>> support_hist;
+  };
+
+  C45HistogramBuilder(const C45Config& cfg, const Schema& sch,
+                      const C45Tree::BuildContext& context,
+                      const std::vector<const AttributeBins*>& bins,
+                      ThreadPool* worker_pool, size_t rows)
+      : config(cfg),
+        schema(sch),
+        ctx(context),
+        pool(worker_pool),
+        num_rows(rows),
+        nc(static_cast<size_t>(context.num_classes)) {
+    plans.assign(schema.num_attributes(), AttrPlan{});
+    for (int a : ctx.base_attrs) {
+      const size_t attr = static_cast<size_t>(a);
+      AttrPlan& plan = plans[attr];
+      if (schema.attribute(attr).type == DataType::kNominal) {
+        plan.codes = ctx.nominal_cols[attr];
+        const size_t cats = schema.attribute(attr).categories.size();
+        if (cats == 0) continue;
+        if (cats <= kMaxNominalHistBins) {
+          plan.kind = AttrPlan::Kind::kNominalHist;
+          plan.width = cats;
+        } else {
+          plan.kind = AttrPlan::Kind::kNominalScan;
+        }
+      } else {
+        const AttributeBins* b = bins[attr];
+        if (b == nullptr || b->num_bins <= 0) continue;  // no known values
+        plan.kind = AttrPlan::Kind::kBinned;
+        plan.width = static_cast<size_t>(b->num_bins);
+        plan.bins = b;
+        plan.bin_codes = b->codes.data();
+        plan.ordered_col = ctx.ordered_cols[attr];
+      }
+    }
+    for (int a : ctx.base_attrs) {
+      AttrPlan& plan = plans[static_cast<size_t>(a)];
+      plan.offset = hist_width;
+      hist_width += plan.width * nc;
+    }
+  }
+
+  std::unique_ptr<Node> Run(std::vector<Inst> insts,
+                            std::vector<bool> avail) {
+    // Root statistics over the dense class-code column (SIMD kernel); the
+    // counts are integers, so they match the instance-order accumulation
+    // of the exact path bit-for-bit.
+    std::vector<uint32_t> root_counts(nc, 0);
+    kernels::CountClasses(ctx.class_codes, num_rows, root_counts.data());
+    std::vector<double> counts(nc, 0.0);
+    double weight = 0.0;
+    for (size_t c = 0; c < nc; ++c) {
+      counts[c] = static_cast<double>(root_counts[c]);
+      weight += counts[c];
+    }
+    std::unique_ptr<Node> root = MakeNode(std::move(counts), weight);
+    if (IsTerminal(*root, 0)) return root;
+
+    auto task = std::make_unique<HTask>();
+    task->node = root.get();
+    task->insts = std::move(insts);
+    task->avail = std::move(avail);
+    task->depth = 0;
+    task->dense = true;
+    task->node_entropy = EntropyBits(root->class_counts.data(), nc);
+
+    std::vector<Family> families;
+    families.emplace_back();
+    families.back().tasks.push_back(std::move(task));
+    while (!families.empty()) {
+      PhaseA(families);
+      families = PhaseB(families);
+    }
+    return root;
+  }
+
+ private:
+  // --- dispatch ------------------------------------------------------------
+
+  /// Runs fn(i) for i in [0, n): on the pool when the level carries enough
+  /// instances to amortize task overhead, inline otherwise. Both paths run
+  /// the same per-item code against pre-assigned slots, so results are
+  /// identical.
+  void RunUnits(size_t n, size_t total_insts,
+                const std::function<void(size_t)>& fn) {
+    if (pool != nullptr && total_insts >= config.parallel_min_insts) {
+      pool->RunBatch(n, fn);
+    } else {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    }
+  }
+
+  // --- phase A: histogram build + per-attribute split evaluation ----------
+
+  void PhaseA(std::vector<Family>& families) {
+    size_t total_insts = 0;
+    for (Family& f : families) {
+      for (std::unique_ptr<HTask>& t : f.tasks) {
+        t->hist.assign(hist_width, 0.0);
+        t->evals.assign(schema.num_attributes(), SplitEval{});
+        total_insts += t->insts.size();
+      }
+      f.support_hist.resize(f.support_insts.size());
+      for (size_t s = 0; s < f.support_insts.size(); ++s) {
+        f.support_hist[s].assign(hist_width, 0.0);
+        total_insts += f.support_insts[s].size();
+      }
+    }
+    struct Unit {
+      Family* family;
+      int attr;
+    };
+    std::vector<Unit> units;
+    for (Family& f : families) {
+      const std::vector<bool>& avail = f.tasks.front()->avail;
+      for (int a : ctx.base_attrs) {
+        if (!avail[static_cast<size_t>(a)]) continue;
+        if (plans[static_cast<size_t>(a)].kind == AttrPlan::Kind::kNone) {
+          continue;
+        }
+        units.push_back(Unit{&f, a});
+      }
+    }
+    RunUnits(units.size(), total_insts, [&](size_t i) {
+      RunUnit(*units[i].family, units[i].attr);
+    });
+  }
+
+  void RunUnit(Family& f, int attr) {
+    const AttrPlan& plan = plans[static_cast<size_t>(attr)];
+    if (plan.width > 0) {
+      const int sub = f.parent_hist.empty() ? -1 : f.sub_task;
+      for (size_t ti = 0; ti < f.tasks.size(); ++ti) {
+        if (static_cast<int>(ti) == sub) continue;
+        ScanTask(*f.tasks[ti], plan,
+                 f.tasks[ti]->hist.data() + plan.offset);
+      }
+      for (size_t s = 0; s < f.support_insts.size(); ++s) {
+        histogram_builds->Add(1);
+        ScanInsts(f.support_insts[s], plan,
+                  f.support_hist[s].data() + plan.offset);
+      }
+      if (sub >= 0) {
+        // Largest child = parent - scanned siblings; cells at or below the
+        // residue threshold are cancellation noise (exact zeros on
+        // unit-weight data, where all sums are integers).
+        const size_t len = plan.width * nc;
+        double* dst = f.tasks[static_cast<size_t>(sub)]->hist.data() +
+                      plan.offset;
+        const double* parent = f.parent_hist.data() + plan.offset;
+        for (size_t i = 0; i < len; ++i) dst[i] = parent[i];
+        for (size_t ti = 0; ti < f.tasks.size(); ++ti) {
+          if (static_cast<int>(ti) == sub) continue;
+          const double* src = f.tasks[ti]->hist.data() + plan.offset;
+          for (size_t i = 0; i < len; ++i) dst[i] -= src[i];
+        }
+        for (const std::vector<double>& support : f.support_hist) {
+          const double* src = support.data() + plan.offset;
+          for (size_t i = 0; i < len; ++i) dst[i] -= src[i];
+        }
+        for (size_t i = 0; i < len; ++i) {
+          if (dst[i] <= kResidueEps) dst[i] = 0.0;
+        }
+        histogram_subtractions->Add(1);
+      }
+    }
+    for (std::unique_ptr<HTask>& t : f.tasks) {
+      SplitEval* eval = &t->evals[static_cast<size_t>(attr)];
+      switch (plan.kind) {
+        case AttrPlan::Kind::kBinned:
+          EvalBinned(*t, plan, eval);
+          break;
+        case AttrPlan::Kind::kNominalHist:
+          EvalNominalHist(*t, plan, eval);
+          break;
+        case AttrPlan::Kind::kNominalScan:
+          EvalNominalScan(*t, attr, eval);
+          break;
+        case AttrPlan::Kind::kNone:
+          break;
+      }
+    }
+  }
+
+  void ScanTask(const HTask& t, const AttrPlan& plan, double* dst) {
+    histogram_builds->Add(1);
+    if (t.dense) {
+      // Whole-column kernels: integer counts, then one exact widen to
+      // double (the root covers every class-known row at unit weight).
+      std::vector<uint32_t> u(plan.width * nc, 0);
+      if (plan.kind == AttrPlan::Kind::kBinned) {
+        kernels::CountBinClass(plan.bin_codes, ctx.class_codes, num_rows, nc,
+                               u.data());
+      } else {
+        kernels::CountCodeClass(plan.codes, ctx.class_codes, num_rows, nc,
+                                u.data());
+      }
+      for (size_t i = 0; i < u.size(); ++i) {
+        dst[i] = static_cast<double>(u[i]);
+      }
+      return;
+    }
+    ScanInsts(t.insts, plan, dst);
+  }
+
+  void ScanInsts(const std::vector<Inst>& insts, const AttrPlan& plan,
+                 double* dst) {
+    if (plan.kind == AttrPlan::Kind::kBinned) {
+      const uint8_t* bin_codes = plan.bin_codes;
+      for (const Inst& inst : insts) {
+        const uint8_t b = bin_codes[inst.first];
+        if (b == kNullBinCode) continue;
+        dst[static_cast<size_t>(b) * nc +
+            static_cast<size_t>(ctx.class_codes[inst.first])] += inst.second;
+      }
+    } else {
+      const int32_t* codes = plan.codes;
+      for (const Inst& inst : insts) {
+        const int32_t code = codes[inst.first];
+        if (code < 0) continue;
+        dst[static_cast<size_t>(code) * nc +
+            static_cast<size_t>(ctx.class_codes[inst.first])] += inst.second;
+      }
+    }
+  }
+
+  void EvalBinned(const HTask& t, const AttrPlan& plan,
+                  SplitEval* eval) const {
+    const double* h = t.hist.data() + plan.offset;
+    const size_t width = plan.width;
+    std::vector<double> bin_w(width, 0.0);
+    std::vector<double> known_counts(nc, 0.0);
+    double known = 0.0;
+    for (size_t b = 0; b < width; ++b) {
+      const double* row = h + b * nc;
+      double bw = 0.0;
+      for (size_t c = 0; c < nc; ++c) {
+        bw += row[c];
+        known_counts[c] += row[c];
+      }
+      bin_w[b] = bw;
+      known += bw;
+    }
+    if (known <= kEps) return;
+    const double known_entropy = EntropyBits(known_counts.data(), nc);
+    std::vector<double> left(nc, 0.0);
+    std::vector<double> right = known_counts;
+    double left_w = 0.0;
+    double best_gain = -1.0;
+    double best_thr = 0.0;
+    double best_left_w = 0.0;
+    uint64_t distinct = 0;
+    bool lossy_bins = false;
+    bool have_left = false;
+    double last_upper = 0.0;
+    for (size_t b = 0; b < width; ++b) {
+      if (bin_w[b] <= 0.0) continue;
+      // Per-bin distinct-value totals from the global binning; in the
+      // per-distinct regime every count is 1 and this is exactly the
+      // number of non-empty bins (= the node's distinct values).
+      distinct += plan.bins->distinct[b];
+      lossy_bins |= plan.bins->distinct[b] > 1;
+      if (have_left) {
+        // Candidate threshold between the previous non-empty bin and this
+        // one -- the midpoint the exact sweep tests between the adjacent
+        // values on either side of the boundary.
+        const double right_w = known - left_w;
+        if (left_w >= config.min_split_weight &&
+            right_w >= config.min_split_weight) {
+          const double sub = left_w / known * EntropyBits(left.data(), nc) +
+                             right_w / known * EntropyBits(right.data(), nc);
+          const double gain = known_entropy - sub;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_thr = (last_upper + plan.bins->lower[b]) / 2.0;
+            best_left_w = left_w;
+          }
+        }
+      }
+      const double* row = h + b * nc;
+      for (size_t c = 0; c < nc; ++c) {
+        left[c] += row[c];
+        right[c] -= row[c];
+      }
+      left_w += bin_w[b];
+      have_left = true;
+      last_upper = plan.bins->upper[b];
+    }
+    if (best_gain <= kEps) return;
+    const double node_weight = t.node->weight;
+    const double known_frac = known / node_weight;
+    double gain = known_frac * best_gain;
+    if (config.mdl_numeric_correction && distinct > 1) {
+      // Summing global per-bin counts over-reports distinct values once
+      // bins are lossy (a deep node holds a subset of each bin), but the
+      // node cannot have more distinct values than known instances --
+      // capping by the known weight restores the exact sweep's
+      // log2(N - 1) penalty for continuous attributes, where every
+      // instance carries a distinct value.
+      if (lossy_bins) {
+        const auto cap = static_cast<uint64_t>(known + 0.5);
+        distinct = std::max(uint64_t{2}, std::min(distinct, cap));
+      }
+      gain -= std::log2(static_cast<double>(distinct - 1)) / known;
+    }
+    if (gain <= kEps) return;
+    std::vector<double> si_weights{best_left_w, known - best_left_w};
+    if (node_weight - known > kEps) si_weights.push_back(node_weight - known);
+    const double split_info =
+        EntropyBits(si_weights.data(), si_weights.size());
+    eval->valid = true;
+    eval->gain = gain;
+    eval->gain_ratio = split_info > kEps ? gain / split_info : 0.0;
+    eval->ordered = true;
+    eval->threshold = best_thr;
+  }
+
+  void EvalNominalHist(const HTask& t, const AttrPlan& plan,
+                       SplitEval* eval) const {
+    const double* h = t.hist.data() + plan.offset;
+    const size_t k = plan.width;
+    std::vector<double> branch_weights(k, 0.0);
+    double known = 0.0;
+    for (size_t b = 0; b < k; ++b) {
+      const double* row = h + b * nc;
+      double bw = 0.0;
+      for (size_t c = 0; c < nc; ++c) bw += row[c];
+      branch_weights[b] = bw;
+      known += bw;
+    }
+    if (known <= kEps) return;
+    int non_empty = 0;
+    int big_enough = 0;
+    double sub_entropy = 0.0;
+    for (size_t b = 0; b < k; ++b) {
+      if (branch_weights[b] <= kEps) continue;
+      ++non_empty;
+      if (branch_weights[b] >= config.min_split_weight) ++big_enough;
+      sub_entropy +=
+          branch_weights[b] / known * EntropyBits(h + b * nc, nc);
+    }
+    if (non_empty < 2 || big_enough < 2) return;
+    const double node_weight = t.node->weight;
+    const double known_frac = known / node_weight;
+    const double gain = known_frac * (t.node_entropy - sub_entropy);
+    if (gain <= kEps) return;
+    std::vector<double> si_weights = branch_weights;
+    if (node_weight - known > kEps) si_weights.push_back(node_weight - known);
+    const double split_info =
+        EntropyBits(si_weights.data(), si_weights.size());
+    eval->valid = true;
+    eval->gain = gain;
+    eval->gain_ratio = split_info > kEps ? gain / split_info : 0.0;
+  }
+
+  /// Fallback for nominal dictionaries too wide to histogram: the exact
+  /// path's one-pass branch-count accumulation over the node's instances.
+  void EvalNominalScan(const HTask& t, int attr, SplitEval* eval) const {
+    const int32_t* col = ctx.nominal_cols[static_cast<size_t>(attr)];
+    const size_t k = schema.attribute(static_cast<size_t>(attr))
+                         .categories.size();
+    std::vector<std::vector<double>> branch_counts(
+        k, std::vector<double>(nc, 0.0));
+    std::vector<double> branch_weights(k, 0.0);
+    double known = 0.0;
+    for (const Inst& inst : t.insts) {
+      const int32_t code = col[inst.first];
+      if (code < 0) continue;
+      const size_t b = static_cast<size_t>(code);
+      branch_counts[b][static_cast<size_t>(ctx.class_codes[inst.first])] +=
+          inst.second;
+      branch_weights[b] += inst.second;
+      known += inst.second;
+    }
+    if (known <= kEps) return;
+    int non_empty = 0;
+    int big_enough = 0;
+    double sub_entropy = 0.0;
+    for (size_t b = 0; b < k; ++b) {
+      if (branch_weights[b] <= kEps) continue;
+      ++non_empty;
+      if (branch_weights[b] >= config.min_split_weight) ++big_enough;
+      sub_entropy += branch_weights[b] / known *
+                     EntropyFromCounts(branch_counts[b]);
+    }
+    if (non_empty < 2 || big_enough < 2) return;
+    const double node_weight = t.node->weight;
+    const double known_frac = known / node_weight;
+    const double gain = known_frac * (t.node_entropy - sub_entropy);
+    if (gain <= kEps) return;
+    std::vector<double> si_weights = branch_weights;
+    if (node_weight - known > kEps) si_weights.push_back(node_weight - known);
+    const double split_info =
+        EntropyBits(si_weights.data(), si_weights.size());
+    eval->valid = true;
+    eval->gain = gain;
+    eval->gain_ratio = split_info > kEps ? gain / split_info : 0.0;
+  }
+
+  // --- phase B: split selection, partition, child creation ----------------
+
+  std::vector<Family> PhaseB(std::vector<Family>& families) {
+    std::vector<HTask*> tasks;
+    size_t total_insts = 0;
+    for (Family& f : families) {
+      for (std::unique_ptr<HTask>& t : f.tasks) {
+        tasks.push_back(t.get());
+        total_insts += t->insts.size();
+      }
+    }
+    std::vector<Family> slots(tasks.size());
+    std::vector<char> has_children(tasks.size(), 0);
+    RunUnits(tasks.size(), total_insts, [&](size_t i) {
+      has_children[i] = Expand(*tasks[i], &slots[i]) ? 1 : 0;
+    });
+    std::vector<Family> next;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (has_children[i] != 0) next.push_back(std::move(slots[i]));
+    }
+    return next;
+  }
+
+  /// Selects and applies the best split of one frontier node. Returns
+  /// false when the node stays a leaf; otherwise fills `out` with the
+  /// non-terminal children (and the subtraction setup for the next level).
+  bool Expand(HTask& t, Family* out) {
+    Node* node = t.node;
+    double gain_sum = 0.0;
+    int valid_count = 0;
+    for (const SplitEval& e : t.evals) {
+      if (e.valid) {
+        gain_sum += e.gain;
+        ++valid_count;
+      }
+    }
+    splits_evaluated->Add(static_cast<uint64_t>(valid_count));
+    if (valid_count == 0) return false;
+    const double avg_gain = gain_sum / valid_count;
+    int best_attr = -1;
+    double best_score = -1.0;
+    for (size_t a = 0; a < t.evals.size(); ++a) {
+      const SplitEval& e = t.evals[a];
+      if (!e.valid) continue;
+      if (config.use_gain_ratio && e.gain + kEps < avg_gain) continue;
+      const double score = config.use_gain_ratio ? e.gain_ratio : e.gain;
+      if (score > best_score) {
+        best_score = score;
+        best_attr = static_cast<int>(a);
+      }
+    }
+    if (best_attr < 0) return false;
+    const SplitEval& best = t.evals[static_cast<size_t>(best_attr)];
+
+    const AttributeDef& def =
+        schema.attribute(static_cast<size_t>(best_attr));
+    const size_t num_children = best.ordered ? 2 : def.categories.size();
+    std::vector<std::vector<Inst>> parts(num_children);
+    std::vector<std::vector<double>> child_counts(
+        num_children, std::vector<double>(nc, 0.0));
+    std::vector<double> child_weight(num_children, 0.0);
+    std::vector<double> part_weights(num_children, 0.0);
+    std::vector<Inst> missing;
+    double known = 0.0;
+    const double* ordered_col =
+        ctx.ordered_cols[static_cast<size_t>(best_attr)];
+    const int32_t* nominal_col =
+        ctx.nominal_cols[static_cast<size_t>(best_attr)];
+    for (const Inst& inst : t.insts) {
+      size_t b;
+      if (best.ordered) {
+        const double v = ordered_col[inst.first];
+        if (std::isnan(v)) {
+          missing.push_back(inst);
+          continue;
+        }
+        b = v <= best.threshold ? 0 : 1;
+      } else {
+        const int32_t code = nominal_col[inst.first];
+        if (code < 0) {
+          missing.push_back(inst);
+          continue;
+        }
+        b = static_cast<size_t>(code);
+      }
+      parts[b].push_back(inst);
+      part_weights[b] += inst.second;
+      child_counts[b][static_cast<size_t>(ctx.class_codes[inst.first])] +=
+          inst.second;
+      child_weight[b] += inst.second;
+      known += inst.second;
+    }
+
+    // minInst pre-pruning (sec. 5.4) on the known-value partitions, before
+    // missing-value distribution -- as in the exact path.
+    if (ctx.min_inst > 1.0) {
+      bool any_strong = false;
+      for (size_t b = 0; b < num_children && !any_strong; ++b) {
+        if (child_counts[b][static_cast<size_t>(MajorityOf(
+                child_counts[b]))] >= ctx.min_inst) {
+          any_strong = true;
+        }
+      }
+      if (!any_strong) return false;
+    }
+
+    if (!missing.empty() && known > kEps) {
+      for (const Inst& inst : missing) {
+        const size_t cls =
+            static_cast<size_t>(ctx.class_codes[inst.first]);
+        for (size_t b = 0; b < num_children; ++b) {
+          if (part_weights[b] <= kEps) continue;
+          const double w = inst.second * part_weights[b] / known;
+          if (w > 1e-6) {
+            parts[b].emplace_back(inst.first, w);
+            child_counts[b][cls] += w;
+            child_weight[b] += w;
+          }
+        }
+      }
+    }
+
+    node->split_attr = best_attr;
+    node->ordered_split = best.ordered;
+    node->threshold = best.threshold;
+    node->known_weight = known;
+    node->child_weights = part_weights;
+
+    std::vector<bool> child_avail = t.avail;
+    if (!best.ordered) {
+      child_avail[static_cast<size_t>(best_attr)] = false;  // consumed
+    }
+
+    std::vector<std::vector<Inst>> terminal_insts;
+    for (size_t b = 0; b < num_children; ++b) {
+      if (parts[b].empty()) {
+        // Empty branch: leaf predicting the parent majority, weight 0.
+        auto child = std::make_unique<Node>();
+        child->class_counts.assign(nc, 0.0);
+        child->majority = node->majority;
+        nodes_built->Add(1);
+        node->children.push_back(std::move(child));
+        continue;
+      }
+      std::unique_ptr<Node> child =
+          MakeNode(std::move(child_counts[b]), child_weight[b]);
+      if (IsTerminal(*child, t.depth + 1)) {
+        terminal_insts.push_back(std::move(parts[b]));
+        node->children.push_back(std::move(child));
+        continue;
+      }
+      auto ct = std::make_unique<HTask>();
+      ct->node = child.get();
+      ct->insts = std::move(parts[b]);
+      ct->avail = child_avail;
+      ct->depth = t.depth + 1;
+      ct->node_entropy = EntropyBits(child->class_counts.data(), nc);
+      out->tasks.push_back(std::move(ct));
+      node->children.push_back(std::move(child));
+    }
+    if (out->tasks.empty()) return false;
+
+    // Subtraction setup: reconstruct the largest non-terminal child from
+    // the parent block iff scanning it costs more than scanning everything
+    // else (terminal siblings included, since they must be scanned to
+    // complete the subtraction). Size-based and therefore deterministic.
+    int sub = -1;
+    size_t sub_size = 0;
+    for (size_t i = 0; i < out->tasks.size(); ++i) {
+      if (out->tasks[i]->insts.size() > sub_size) {
+        sub = static_cast<int>(i);
+        sub_size = out->tasks[i]->insts.size();
+      }
+    }
+    size_t terminal_total = 0;
+    for (const std::vector<Inst>& insts : terminal_insts) {
+      terminal_total += insts.size();
+    }
+    if (config.histogram_subtraction && hist_width > 0 && sub >= 0 &&
+        sub_size >= kSubtractMinInsts && sub_size > terminal_total) {
+      out->sub_task = sub;
+      out->parent_hist = std::move(t.hist);
+      out->support_insts = std::move(terminal_insts);
+    }
+    return true;
+  }
+
+  // --- node helpers --------------------------------------------------------
+
+  std::unique_ptr<Node> MakeNode(std::vector<double> counts, double weight) {
+    auto node = std::make_unique<Node>();
+    node->class_counts = std::move(counts);
+    node->weight = weight;
+    node->majority = MajorityOf(node->class_counts);
+    node->expected_error_conf = LeafExpectedErrorConf(
+        node->class_counts, node->weight, node->majority,
+        config.confidence_level, config.min_error_confidence);
+    nodes_built->Add(1);
+    return node;
+  }
+
+  bool IsTerminal(const Node& node, int depth) const {
+    const double majority_count =
+        node.class_counts[static_cast<size_t>(node.majority)];
+    const bool pure = majority_count >= node.weight - kEps;
+    return pure || depth >= config.max_depth ||
+           node.weight < 2.0 * config.min_split_weight ||
+           majority_count < ctx.min_inst;
+  }
+
+  const C45Config& config;
+  const Schema& schema;
+  const C45Tree::BuildContext& ctx;
+  ThreadPool* pool;
+  size_t num_rows;
+  size_t nc;
+  std::vector<AttrPlan> plans;
+  size_t hist_width = 0;
+
+  obs::Counter* const nodes_built = obs::GetCounter("c45.nodes_built");
+  obs::Counter* const histogram_builds =
+      obs::GetCounter("c45.histogram_builds");
+  obs::Counter* const histogram_subtractions =
+      obs::GetCounter("c45.histogram_subtractions");
+  obs::Counter* const splits_evaluated =
+      obs::GetCounter("c45.splits_evaluated");
+};
+
+Status C45Tree::TrainHistogram(const TrainingData& data, BuildContext* ctx,
+                               std::vector<std::pair<uint32_t, double>> insts,
+                               bool has_ordered_base) {
+  const Schema& schema = table_->schema();
+  const size_t num_rows = table_->num_rows();
+  const EncodedDataset* cache = data.encoded;
+
+  // Value bins for every ordered base attribute: shared audit-wide bins
+  // from the cache when present, else derived here from a per-Train stable
+  // sort (the uncached analogue of the c45.presort phase).
+  std::vector<AttributeBins> local_bins(schema.num_attributes());
+  std::vector<const AttributeBins*> bins(schema.num_attributes(), nullptr);
+  if (has_ordered_base) {
+    obs::Span span("c45.bin", class_attr_, &presort_ms_);
+    for (int a : data.base_attrs) {
+      const size_t attr = static_cast<size_t>(a);
+      const double* col = ctx->ordered_cols[attr];
+      if (col == nullptr) continue;
+      if (cache != nullptr) {
+        bins[attr] = cache->bins(attr);
+        continue;
+      }
+      std::vector<uint32_t> order;
+      order.reserve(num_rows);
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!std::isnan(col[r])) order.push_back(static_cast<uint32_t>(r));
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [col](uint32_t x, uint32_t y) {
+                         return col[x] < col[y];
+                       });
+      local_bins[attr] =
+          BuildAttributeBins(col, order, num_rows, config_.histogram_bins);
+      bins[attr] = &local_bins[attr];
+    }
+  }
+
+  {
+    obs::Span span("c45.build", class_attr_, &build_ms_);
+    std::vector<bool> avail(schema.num_attributes(), false);
+    for (int a : data.base_attrs) avail[static_cast<size_t>(a)] = true;
+    C45HistogramBuilder builder(config_, schema, *ctx, bins, data.pool,
+                                num_rows);
+    root_ = builder.Run(std::move(insts), std::move(avail));
+    // The recursive path aggregates Def. 9 values (and prunes, in
+    // kExpectedErrorConfidence mode) bottom-up during construction; the
+    // frontier build defers that to one post-order pass, which yields the
+    // identical tree because construction is pure top-down.
+    PruneExpectedErrorConf(root_.get());
+    if (config_.pruning == PruningMode::kPessimistic) {
+      PrunePessimistic(root_.get());
+    }
+  }
+  obs::GetCounter("c45.tree_nodes")->Add(NodeCount());
+  return Status::OK();
+}
+
+void C45Tree::PruneExpectedErrorConf(Node* node) {
+  if (node == nullptr || node->IsLeaf()) return;
+  double subtree_exp = 0.0;
+  double subtree_weight = 0.0;
+  for (std::unique_ptr<Node>& child : node->children) {
+    PruneExpectedErrorConf(child.get());
+    subtree_exp += child->weight * child->expected_error_conf;
+    subtree_weight += child->weight;
+  }
+  if (subtree_weight > kEps) subtree_exp /= subtree_weight;
+  // node->expected_error_conf still holds the leaf value of Def. 9 here
+  // (the frontier build never overwrites it).
+  if (config_.pruning == PruningMode::kExpectedErrorConfidence &&
+      node->expected_error_conf > subtree_exp + kEps) {
+    node->split_attr = -1;
+    node->children.clear();
+    node->child_weights.clear();
+    return;
+  }
+  node->expected_error_conf = subtree_exp;
 }
 
 // ---------------------------------------------------------------------------

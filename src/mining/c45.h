@@ -41,6 +41,23 @@ enum class PruningMode {
 
 const char* PruningModeToString(PruningMode mode);
 
+enum class SplitMode {
+  /// Histogram split evaluation (LightGBM-style): ordered attributes are
+  /// bucketed once per table into <= 255 equal-frequency bins and every
+  /// node evaluates thresholds by scanning (bin x class) histograms, with
+  /// sibling histograms reconstructed by subtraction (parent - scanned
+  /// children = largest child) and the node frontier built breadth-wise in
+  /// parallel on the Train pool. Identical trees to kExact whenever every
+  /// ordered attribute has at most histogram_bins distinct values;
+  /// statistically equivalent audits otherwise.
+  kHistogram,
+  /// The exact SLIQ row-sweep evaluator (the original path, kept as the
+  /// reference): every distinct value boundary is a candidate threshold.
+  kExact,
+};
+
+const char* SplitModeToString(SplitMode mode);
+
 struct C45Config {
   /// Minimum weight of at least two branches of any split (C4.5 MINOBJS).
   double min_split_weight = 2.0;
@@ -81,8 +98,28 @@ struct C45Config {
   /// turning numeric split search from O(nodes * rows log rows) into one
   /// upfront sort plus linear scans. Off = the original per-node
   /// std::sort path (kept for memory-constrained use and as the
-  /// equivalence-test reference).
+  /// equivalence-test reference). Only meaningful in kExact split mode;
+  /// the histogram evaluator never materializes sorted lists.
   bool presort = true;
+
+  /// Split evaluator: histogram scans (default) or the exact row sweep.
+  SplitMode split_mode = SplitMode::kHistogram;
+
+  /// Bin budget per ordered attribute in histogram mode (clamped to
+  /// [1, 255]; 255 keeps one value per bin on attributes with few distinct
+  /// values, making histogram splits exact there).
+  int histogram_bins = 255;
+
+  /// Reconstruct the largest child's histogram as parent minus scanned
+  /// siblings instead of scanning it (histogram mode only). Exposed so the
+  /// equivalence tests can pin the scan-everything path.
+  bool histogram_subtraction = true;
+
+  /// Smallest per-level instance total for which the histogram build
+  /// dispatches node/attribute tasks onto the Train pool; smaller levels
+  /// run inline (task overhead would dominate). Identical results either
+  /// way.
+  size_t parallel_min_insts = 4096;
 };
 
 /// \brief Smallest number of single-class instances a leaf needs before a
@@ -147,9 +184,14 @@ class C45Tree : public Classifier {
   struct Node;
   struct BuildContext;
   struct NodeData;
+  friend struct C45HistogramBuilder;  // histogram-mode frontier build
 
   std::unique_ptr<Node> Build(BuildContext* ctx, NodeData data,
                               std::vector<bool> avail, int depth);
+  Status TrainHistogram(const TrainingData& data, BuildContext* ctx,
+                        std::vector<std::pair<uint32_t, double>> insts,
+                        bool has_ordered_base);
+  void PruneExpectedErrorConf(Node* node);
   double PessimisticErrors(const Node& node) const;
   void PrunePessimistic(Node* node);
   void PredictInto(const Node& node, const Row& row, double weight,

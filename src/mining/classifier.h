@@ -25,6 +25,7 @@
 namespace dq {
 
 class EncodedDataset;
+class ThreadPool;
 
 /// \brief A classifier's answer for one record.
 struct Prediction {
@@ -57,6 +58,13 @@ struct TrainingData {
   /// Classifiers that understand the cache skip their per-Train encode and
   /// sort work; others ignore it. Results are identical either way.
   const EncodedDataset* encoded = nullptr;
+
+  /// Optional worker pool for intra-Train parallelism (the breadth-wise
+  /// node frontier of histogram-mode C4.5). Classifiers that cannot use it
+  /// ignore it; results are bitwise-identical with and without a pool and
+  /// for every pool size (pre-assigned result slots, deterministic
+  /// reduction order). The pool must outlive the Train call.
+  ThreadPool* pool = nullptr;
 
   Status Check() const;
 };

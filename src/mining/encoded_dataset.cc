@@ -11,7 +11,8 @@
 namespace dq {
 
 EncodedDataset EncodedDataset::Build(const Table& table,
-                                     int numeric_class_bins, int num_threads) {
+                                     int numeric_class_bins, int num_threads,
+                                     int histogram_bins) {
   obs::Span span("audit.encode");
   obs::GetCounter("audit.encode_builds")->Add(1);
   obs::GetGauge("table.bytes")->Set(static_cast<double>(table.byte_size()));
@@ -27,6 +28,7 @@ EncodedDataset EncodedDataset::Build(const Table& table,
   out.nominal_.assign(k, nullptr);
   out.date_storage_.resize(k);
   out.sort_orders_.resize(k);
+  out.bins_.resize(k);
   out.encoders_.resize(k);
   out.class_code_storage_.resize(k);
   out.class_code_views_.assign(k, nullptr);
@@ -63,6 +65,9 @@ EncodedDataset EncodedDataset::Build(const Table& table,
                        [col](uint32_t x, uint32_t y) {
                          return col[x] < col[y];
                        });
+      // Histogram-evaluator value bins, derived from the fresh sort order
+      // (one pass; the order already carries the (value, row) ranking).
+      out.bins_[a] = BuildAttributeBins(col, order, n, histogram_bins);
     }
 
     // Class encoding. Nominal attributes encode as the identity over the

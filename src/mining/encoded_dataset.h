@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "mining/class_encoder.h"
+#include "mining/histogram.h"
 #include "table/table.h"
 
 namespace dq {
@@ -44,8 +45,11 @@ class EncodedDataset {
   /// the corresponding attribute simply cannot serve as a class attribute.
   /// Per-attribute work is dispatched over `num_threads` workers; the
   /// result is identical for every thread count.
+  /// `histogram_bins` caps the per-attribute value bins backing the
+  /// histogram split evaluator (C45Config::histogram_bins); it is clamped
+  /// to [1, kMaxHistogramBins].
   static EncodedDataset Build(const Table& table, int numeric_class_bins,
-                              int num_threads = 1);
+                              int num_threads = 1, int histogram_bins = 255);
 
   const Table* table() const { return table_; }
   size_t num_rows() const { return num_rows_; }
@@ -62,6 +66,14 @@ class EncodedDataset {
   /// nominal attributes.
   const std::vector<uint32_t>& sort_order(size_t a) const {
     return sort_orders_[a];
+  }
+
+  /// \brief Equal-frequency value bins of ordered attribute `a`, derived
+  /// once from sort_order(a) for the histogram split evaluator. nullptr
+  /// for nominal attributes; num_bins == 0 when the column has no known
+  /// values.
+  const AttributeBins* bins(size_t a) const {
+    return ordered_[a] != nullptr ? &bins_[a] : nullptr;
   }
 
   /// \brief Fitted class encoder for attribute `a`; empty when the
@@ -85,6 +97,7 @@ class EncodedDataset {
   /// so the view pointers stay valid.
   std::vector<std::vector<double>> date_storage_;
   std::vector<std::vector<uint32_t>> sort_orders_;
+  std::vector<AttributeBins> bins_;
   std::vector<std::optional<ClassEncoder>> encoders_;
   std::vector<std::vector<int32_t>> class_code_storage_;
   std::vector<const int32_t*> class_code_views_;

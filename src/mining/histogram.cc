@@ -1,0 +1,79 @@
+#include "mining/histogram.h"
+
+#include <algorithm>
+
+namespace dq {
+
+namespace {
+
+// Distinctness tolerance of the exact threshold sweep (c45.cc kEps): two
+// adjacent sorted values belong to the same run when the step up is within
+// kEps. Bins reuse the rule so per-distinct bins reproduce the exact
+// evaluator's candidate set.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+AttributeBins BuildAttributeBins(const double* col,
+                                 const std::vector<uint32_t>& order,
+                                 size_t num_rows, int max_bins) {
+  AttributeBins out;
+  out.codes.assign(num_rows, kNullBinCode);
+  const size_t n = order.size();
+  if (n == 0) return out;
+  max_bins = std::clamp(max_bins, 1, kMaxHistogramBins);
+
+  size_t distinct = 1;
+  for (size_t i = 1; i < n; ++i) {
+    if (col[order[i]] > col[order[i - 1]] + kEps) ++distinct;
+  }
+
+  auto close_bin = [&out](double first_val, double last_val,
+                          uint32_t distinct_vals) {
+    out.lower.push_back(first_val);
+    out.upper.push_back(last_val);
+    out.distinct.push_back(distinct_vals);
+    ++out.num_bins;
+  };
+
+  if (distinct <= static_cast<size_t>(max_bins)) {
+    // One bin per distinct value: the histogram evaluator then tests the
+    // exact sweep's thresholds verbatim.
+    double first_val = col[order[0]];
+    for (size_t i = 0; i < n; ++i) {
+      const double v = col[order[i]];
+      if (i > 0 && v > col[order[i - 1]] + kEps) {
+        close_bin(first_val, col[order[i - 1]], 1);
+        first_val = v;
+      }
+      out.codes[order[i]] = static_cast<uint8_t>(out.num_bins);
+    }
+    close_bin(first_val, col[order[n - 1]], 1);
+    return out;
+  }
+
+  // Equal-frequency bins, recomputing the per-bin row target from what is
+  // left so runs of equal values (which a bin must swallow whole) cannot
+  // overflow the bin budget: with b bins remaining the target is
+  // ceil(remaining_rows / b), so the final bin always absorbs the rest.
+  size_t i = 0;
+  int remaining_bins = max_bins;
+  while (i < n) {
+    const size_t target =
+        (n - i + static_cast<size_t>(remaining_bins) - 1) /
+        static_cast<size_t>(remaining_bins);
+    size_t j = std::min(i + target, n);
+    while (j < n && col[order[j]] <= col[order[j - 1]] + kEps) ++j;
+    uint32_t distinct_vals = 1;
+    for (size_t r = i; r < j; ++r) {
+      out.codes[order[r]] = static_cast<uint8_t>(out.num_bins);
+      if (r > i && col[order[r]] > col[order[r - 1]] + kEps) ++distinct_vals;
+    }
+    close_bin(col[order[i]], col[order[j - 1]], distinct_vals);
+    i = j;
+    --remaining_bins;
+  }
+  return out;
+}
+
+}  // namespace dq

@@ -5,20 +5,56 @@
 
 namespace dq {
 
-double EntropyFromCounts(const std::vector<double>& counts) {
+namespace {
+
+// x * log2(x) for the integers [0, kXLog2TableSize). Entry i is computed
+// with the exact expression the slow path uses, so table hits and misses
+// are bitwise-identical.
+constexpr size_t kXLog2TableSize = 1 << 16;
+
+const double* XLog2Table() {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(kXLog2TableSize, 0.0);
+    for (size_t i = 2; i < kXLog2TableSize; ++i) {
+      const double x = static_cast<double>(i);
+      t[i] = x * std::log2(x);
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+double XLog2X(double x) {
+  if (x <= 1.0) {
+    // 0 and 1 both map to 0; fractions fall through to the slow path.
+    if (x <= 0.0 || x == 1.0) return 0.0;
+    return x * std::log2(x);
+  }
+  if (x < static_cast<double>(kXLog2TableSize)) {
+    const size_t i = static_cast<size_t>(x);
+    if (static_cast<double>(i) == x) return XLog2Table()[i];
+  }
+  return x * std::log2(x);
+}
+
+double EntropyBits(const double* counts, size_t n) {
   double total = 0.0;
-  for (double c : counts) {
-    if (c > 0.0) total += c;
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] > 0.0) total += counts[i];
   }
   if (total <= 0.0) return 0.0;
-  double h = 0.0;
-  for (double c : counts) {
-    if (c > 0.0) {
-      const double p = c / total;
-      h -= p * std::log2(p);
-    }
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (counts[i] > 0.0) sum += XLog2X(counts[i]);
   }
-  return h;
+  const double h = (XLog2X(total) - sum) / total;
+  return h > 0.0 ? h : 0.0;
+}
+
+double EntropyFromCounts(const std::vector<double>& counts) {
+  return EntropyBits(counts.data(), counts.size());
 }
 
 double Mean(const std::vector<double>& xs) {

@@ -3,12 +3,27 @@
 #ifndef DQ_STATS_DESCRIPTIVE_H_
 #define DQ_STATS_DESCRIPTIVE_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace dq {
 
+/// \brief x * log2(x) with XLog2X(x) = 0 for x <= 0. Small integral x
+/// (the overwhelmingly common case: class counts of unit-weight training
+/// instances) resolve through a precomputed table instead of calling
+/// std::log2; the table entries are computed with std::log2 itself, so the
+/// fast path is bitwise-identical to the slow one.
+double XLog2X(double x);
+
 /// \brief Shannon entropy (bits) of an unnormalized non-negative count
-/// vector; zero-total input yields 0.
+/// array via the identity H = (XLog2X(total) - sum_c XLog2X(c)) / total;
+/// zero-total input yields 0. One log2 per *distinct count value* is served
+/// from the XLog2X cache, which is what makes the C4.5 threshold sweep and
+/// histogram scans cheap.
+double EntropyBits(const double* counts, size_t n);
+
+/// \brief Shannon entropy (bits) of an unnormalized non-negative count
+/// vector; zero-total input yields 0. Convenience wrapper over EntropyBits.
 double EntropyFromCounts(const std::vector<double>& counts);
 
 /// \brief Arithmetic mean; 0 for empty input.

@@ -222,12 +222,16 @@ void ExpectSameTree(const Table& t) {
   td.base_attrs = {0, 1, 2};
   td.encoder = &*enc;
 
+  // The presort flag only exists on the exact evaluator; pin it so the
+  // histogram default cannot make both sides take the same path.
   C45Config presorted_cfg;
+  presorted_cfg.split_mode = SplitMode::kExact;
   presorted_cfg.presort = true;
   C45Tree presorted(presorted_cfg);
   ASSERT_TRUE(presorted.Train(td).ok());
 
   C45Config legacy_cfg;
+  legacy_cfg.split_mode = SplitMode::kExact;
   legacy_cfg.presort = false;
   C45Tree legacy(legacy_cfg);
   ASSERT_TRUE(legacy.Train(td).ok());
@@ -275,6 +279,7 @@ TEST(C45PresortTest, QuisAuditIsIdenticalUnderPresortAndThreads) {
 
   AuditorConfig legacy_cfg;
   legacy_cfg.num_threads = 1;
+  legacy_cfg.c45.split_mode = SplitMode::kExact;
   legacy_cfg.c45.presort = false;
   Auditor legacy(legacy_cfg);
   auto legacy_model = legacy.Induce(sample->table);
@@ -284,6 +289,7 @@ TEST(C45PresortTest, QuisAuditIsIdenticalUnderPresortAndThreads) {
 
   AuditorConfig fast_cfg;
   fast_cfg.num_threads = 4;  // presort on by default
+  fast_cfg.c45.split_mode = SplitMode::kExact;
   Auditor fast(fast_cfg);
   auto fast_model = fast.Induce(sample->table);
   ASSERT_TRUE(fast_model.ok());

@@ -11,6 +11,9 @@
 //   --min-conf X       minimal error confidence (default 0.8)
 //   --level X          confidence level for the bounds (default 0.95)
 //   --inducer NAME     c45 | naive-bayes | knn | oner (default c45)
+//   --split-mode MODE  c4.5 split evaluator: histogram (default; binned
+//                      scans, sibling subtraction, intra-tree parallelism)
+//                      or exact (the reference SLIQ row sweep)
 //   --save-model FILE  persist the induced structure model (rule sets)
 //   --load-model FILE  skip induction, check against a persisted model
 //   --top N            print the N strongest suspicions (default 20)
@@ -81,6 +84,7 @@ struct Options {
   double min_conf = 0.8;
   double level = 0.95;
   std::string inducer = "c45";
+  std::string split_mode = "histogram";
   int top = 20;
   int explain = 0;
   int threads = 0;
@@ -93,7 +97,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: dqaudit --schema spec.txt --data table.csv\n"
                "  [--train t.csv] [--min-conf 0.8] [--level 0.95]\n"
-               "  [--inducer c45|naive-bayes|knn|oner] [--save-model m]\n"
+               "  [--inducer c45|naive-bayes|knn|oner]\n"
+               "  [--split-mode histogram|exact] [--save-model m]\n"
                "  [--load-model m] [--top 20] [--explain 5] [--rules]\n"
                "  [--corrected out.csv] [--report report.csv]\n"
                "  [--summary] [--threads 0] [--rules-file r.rules] [--lint]\n"
@@ -120,6 +125,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--report" && need_value(&opts->report_path)) continue;
     if (arg == "--rules-file" && need_value(&opts->rules_path)) continue;
     if (arg == "--inducer" && need_value(&opts->inducer)) continue;
+    if (arg == "--split-mode" && need_value(&opts->split_mode)) continue;
     if (arg == "--on-error" && need_value(&opts->on_error)) continue;
     if (arg == "--ingest-report" && need_value(&opts->ingest_report_path)) {
       continue;
@@ -177,6 +183,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   }
   if (!obs::ParseLogLevel(opts->log_level).has_value()) {
     std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
+    return false;
+  }
+  if (opts->split_mode != "histogram" && opts->split_mode != "exact") {
+    std::fprintf(stderr, "--split-mode must be 'histogram' or 'exact'\n");
     return false;
   }
   return true;
@@ -316,6 +326,8 @@ int main(int argc, char** argv) {
   auto kind = InducerFromName(opts.inducer);
   if (!kind.ok()) return Fail(kind.status());
   config.inducer = *kind;
+  config.c45.split_mode = opts.split_mode == "exact" ? SplitMode::kExact
+                                                     : SplitMode::kHistogram;
   Auditor auditor(config);
 
   // Checking via a persisted structure model needs no induction.
