@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "audit/audit_model.h"
+#include "lint/suggest.h"
+#include "mining/assoc_rules.h"
 #include "mining/c45.h"
 
 namespace dq {
@@ -58,6 +60,52 @@ std::vector<StructureRule> ExtractStructureModel(const AuditModel& model,
 /// first.
 std::string RenderStructureModel(const AuditModel& model, const Schema& schema,
                                  size_t max_rules = 50);
+
+// --- dqsuggest candidate extraction --------------------------------------
+//
+// Induced models become *parseable* TDG-rule candidates: C4.5 path
+// conditions turn into conjunctions of atoms (`A <= c` is spelled
+// `(A < c OR A = c)` — the grammar has no <=; date thresholds floor to
+// whole days), discretized class consequents turn into bin-interval
+// formulas over the encoder's cut points, and association rules map to
+// equality atoms on both sides. Conditions that are vacuous for
+// schema-valid data (a threshold beyond the domain bound, mined from
+// polluted training values) are dropped; rules whose premise or consequent
+// is unsatisfiable inside the domain fail to convert and are skipped.
+// Annotations follow the standard mining measures: confidence =
+// P(consequent | premise), support = fraction of rows matching premise and
+// consequent, coverage = fraction matching the premise.
+
+/// \brief Converts one structure rule into a candidate. `total_rows` is
+/// the training row count (for support/coverage fractions); `source` is
+/// the provenance tag embedded in diagnostics. Fails when the rule cannot
+/// be expressed inside the schema domain (empty premise, vacuous bin).
+Result<CandidateRule> StructureRuleToCandidate(const StructureRule& rule,
+                                               const ClassEncoder& encoder,
+                                               const Schema& schema,
+                                               double total_rows,
+                                               const std::string& source);
+
+/// \brief Extracts candidates from every C4.5 model of `model`
+/// (inconvertible rules are skipped). Provenance: "c45:<attr>:path#<k>".
+std::vector<CandidateRule> ExtractCandidateRules(const AuditModel& model,
+                                                 const Schema& schema,
+                                                 double total_rows);
+
+/// \brief Converts mined association rules into candidates. Provenance:
+/// "assoc#<k>".
+std::vector<CandidateRule> AssociationCandidates(
+    const std::vector<AssociationRule>& rules, const Schema& schema,
+    double total_rows);
+
+/// \brief Renders candidates as an annotated rule file that dqlint,
+/// dqaudit --rules-file and dqgen accept unchanged: each rule line is
+/// preceded by a "# @rule conf=... support=... coverage=... source=..."
+/// metadata comment. `header` becomes a leading comment block (may be
+/// empty).
+std::string RenderSuggestedRuleFile(const std::vector<CandidateRule>& rules,
+                                    const Schema& schema,
+                                    const std::string& header);
 
 }  // namespace dq
 

@@ -181,7 +181,7 @@ Status StructureModel::SaveToFile(const std::string& path) const {
 
 namespace {
 
-Status ParseError(size_t line_no, const std::string& what) {
+Status ModelParseError(size_t line_no, const std::string& what) {
   return Status::IOError("dqmodel parse error at line " +
                          std::to_string(line_no) + ": " + what);
 }
@@ -204,7 +204,7 @@ Result<StructureModel> StructureModel::Deserialize(const Schema& schema,
   };
 
   if (!next_line() || line != "dqmodel v1") {
-    return ParseError(line_no, "missing 'dqmodel v1' header");
+    return ModelParseError(line_no, "missing 'dqmodel v1' header");
   }
 
   AttributeRuleSet* current = nullptr;
@@ -219,7 +219,7 @@ Result<StructureModel> StructureModel::Deserialize(const Schema& schema,
       int attr = -1;
       std::string kind;
       ls >> attr >> kind;
-      if (!ls) return ParseError(line_no, "malformed attrset");
+      if (!ls) return ModelParseError(line_no, "malformed attrset");
       std::optional<EqualFrequencyDiscretizer> disc;
       if (kind == "discretized") {
         size_t ncuts = 0;
@@ -230,16 +230,16 @@ Result<StructureModel> StructureModel::Deserialize(const Schema& schema,
         ls >> nreps;
         std::vector<double> reps(nreps);
         for (double& r : reps) ls >> r;
-        if (!ls) return ParseError(line_no, "malformed discretizer");
+        if (!ls) return ModelParseError(line_no, "malformed discretizer");
         auto built = EqualFrequencyDiscretizer::FromParts(std::move(cuts),
                                                           std::move(reps));
-        if (!built.ok()) return ParseError(line_no, built.status().message());
+        if (!built.ok()) return ModelParseError(line_no, built.status().message());
         disc = std::move(*built);
       } else if (kind != "nominal") {
-        return ParseError(line_no, "unknown encoder kind '" + kind + "'");
+        return ModelParseError(line_no, "unknown encoder kind '" + kind + "'");
       }
       auto encoder = ClassEncoder::FromParts(schema, attr, std::move(disc));
-      if (!encoder.ok()) return ParseError(line_no, encoder.status().message());
+      if (!encoder.ok()) return ModelParseError(line_no, encoder.status().message());
       AttributeRuleSet set;
       set.class_attr = attr;
       set.encoder = std::move(*encoder);
@@ -248,7 +248,7 @@ Result<StructureModel> StructureModel::Deserialize(const Schema& schema,
       continue;
     }
     if (tag == "rule") {
-      if (current == nullptr) return ParseError(line_no, "rule before attrset");
+      if (current == nullptr) return ModelParseError(line_no, "rule before attrset");
       StructureRule rule;
       rule.class_attr = current->class_attr;
       std::string counts_tag, conds_tag;
@@ -256,30 +256,30 @@ Result<StructureModel> StructureModel::Deserialize(const Schema& schema,
       ls >> rule.majority_class >> rule.support >> rule.purity >>
           rule.expected_error_confidence >> counts_tag >> ncounts;
       if (!ls || counts_tag != "counts") {
-        return ParseError(line_no, "malformed rule");
+        return ModelParseError(line_no, "malformed rule");
       }
       rule.class_counts.resize(ncounts);
       for (double& c : rule.class_counts) ls >> c;
       ls >> conds_tag >> nconds;
       if (!ls || conds_tag != "conds") {
-        return ParseError(line_no, "malformed rule conditions count");
+        return ModelParseError(line_no, "malformed rule conditions count");
       }
       if (static_cast<int>(ncounts) !=
           current->encoder.num_classes()) {
-        return ParseError(line_no, "class count arity mismatch");
+        return ModelParseError(line_no, "class count arity mismatch");
       }
       for (size_t i = 0; i < nconds; ++i) {
-        if (!next_line()) return ParseError(line_no, "truncated conditions");
+        if (!next_line()) return ModelParseError(line_no, "truncated conditions");
         std::istringstream cs(line);
         std::string cond_tag, op;
         SplitCondition cond;
         cs >> cond_tag >> cond.attr >> op;
         if (!cs || cond_tag != "cond") {
-          return ParseError(line_no, "malformed cond");
+          return ModelParseError(line_no, "malformed cond");
         }
         if (cond.attr < 0 ||
             static_cast<size_t>(cond.attr) >= schema.num_attributes()) {
-          return ParseError(line_no, "cond attribute out of range");
+          return ModelParseError(line_no, "cond attribute out of range");
         }
         if (op == "cat") {
           cond.kind = SplitCondition::Kind::kCategory;
@@ -291,17 +291,17 @@ Result<StructureModel> StructureModel::Deserialize(const Schema& schema,
           cond.kind = SplitCondition::Kind::kGreater;
           cs >> cond.threshold;
         } else {
-          return ParseError(line_no, "unknown cond op '" + op + "'");
+          return ModelParseError(line_no, "unknown cond op '" + op + "'");
         }
-        if (!cs) return ParseError(line_no, "malformed cond operand");
+        if (!cs) return ModelParseError(line_no, "malformed cond operand");
         rule.conditions.push_back(cond);
       }
       current->rules.push_back(std::move(rule));
       continue;
     }
-    return ParseError(line_no, "unknown tag '" + tag + "'");
+    return ModelParseError(line_no, "unknown tag '" + tag + "'");
   }
-  return ParseError(line_no, "missing 'end'");
+  return ModelParseError(line_no, "missing 'end'");
 }
 
 Result<StructureModel> StructureModel::LoadFromFile(const Schema& schema,

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "lint/rule_abstraction.h"
+#include "obs/metrics.h"
 
 namespace dq {
 
@@ -26,6 +31,16 @@ enum CheckIndex {
   kSubsumedRule,
   kConflictingOverlap,
   kCheckSkipped,
+  kDeadDisjunct,
+  kUnreachableThreshold,
+  kMinedExpertContradiction,
+  kRedundantInCover,
+  kLowSupportCandidate,
+  kIntervalWidening,
+  kLowConfidenceCandidate,
+  kDuplicateCandidate,
+  kCandidateBudgetExceeded,
+  kExpertImpliedCandidate,
 };
 
 const std::vector<LintCheckInfo>& Checks() {
@@ -61,6 +76,28 @@ const std::vector<LintCheckInfo>& Checks() {
        "that region out"},
       {"DQ030", "check-skipped", LintSeverity::kNote,
        "a satisfiability or implication test exhausted its budget"},
+      {"DQ031", "dead-disjunct", LintSeverity::kWarning,
+       "a branch of the rule's DNF is unsatisfiable and can never fire"},
+      {"DQ032", "unreachable-threshold", LintSeverity::kNote,
+       "threshold is never reached: sibling conditions in the conjunction "
+       "already enforce it"},
+      {"DQ033", "mined-expert-contradiction", LintSeverity::kWarning,
+       "mined candidate conflicts with the expert rule set or an accepted "
+       "higher-ranked candidate"},
+      {"DQ034", "redundant-in-cover", LintSeverity::kNote,
+       "mined candidate is subsumed by a stronger mined sibling"},
+      {"DQ035", "low-support-candidate", LintSeverity::kNote,
+       "mined candidate falls below the support floor"},
+      {"DQ036", "interval-widening", LintSeverity::kNote,
+       "abstract summary lost precision (interval join or widening)"},
+      {"DQ037", "low-confidence-candidate", LintSeverity::kNote,
+       "mined candidate falls below the confidence floor"},
+      {"DQ038", "duplicate-candidate", LintSeverity::kNote,
+       "mined candidate is logically equivalent to an earlier candidate"},
+      {"DQ039", "candidate-budget-exceeded", LintSeverity::kNote,
+       "the --max-rules budget truncated the suggestion list"},
+      {"DQ040", "expert-implied-candidate", LintSeverity::kNote,
+       "mined candidate is already implied by the expert rule set"},
   };
   return kChecks;
 }
@@ -123,6 +160,18 @@ std::string EscapeJson(const std::string& s) {
 
 }  // namespace
 
+namespace {
+
+// Satellite observability: suggestion runs over large mined sets execute
+// thousands of sat/implication tests; these counters make the volume (and
+// the budget-exhausted fraction) visible in --metrics-out dumps.
+void CountCheckRun() { obs::GetCounter("lint.checks_run")->Add(1); }
+void CountCheckSkipped(uint64_t n = 1) {
+  obs::GetCounter("lint.checks_skipped")->Add(n);
+}
+
+}  // namespace
+
 const char* LintSeverityToString(LintSeverity severity) {
   switch (severity) {
     case LintSeverity::kError:
@@ -136,6 +185,13 @@ const char* LintSeverityToString(LintSeverity severity) {
 }
 
 const std::vector<LintCheckInfo>& LintChecks() { return Checks(); }
+
+const LintCheckInfo& LintCheckById(const char* id) {
+  for (const LintCheckInfo& check : Checks()) {
+    if (std::strcmp(check.id, id) == 0) return check;
+  }
+  std::abort();  // unknown IDs are programming errors, not inputs
+}
 
 size_t LintResult::CountSeverity(LintSeverity severity) const {
   size_t n = 0;
@@ -166,33 +222,14 @@ void Linter::Emit(const LintCheckInfo& check, SourceLocation loc,
   out->diagnostics.push_back(std::move(d));
 }
 
-namespace {
-
-/// DNF-based satisfiability with an explicit disjunct budget.
-Result<bool> SatisfiableWithBudget(const SatChecker& sat, const Formula& f,
-                                   size_t budget) {
-  DQ_ASSIGN_OR_RETURN(std::vector<std::vector<Atom>> dnf, ToDnf(f, budget));
-  for (const std::vector<Atom>& conj : dnf) {
-    if (sat.ConjunctionSatisfiable(conj)) return true;
-  }
-  return false;
-}
-
-/// Validity of alpha => beta, decided as unsat(alpha AND ~beta).
-Result<bool> ImpliesWithBudget(const SatChecker& sat, const Formula& alpha,
-                               const Formula& beta, size_t budget) {
-  Formula counterexample = Formula::And({alpha, Negate(beta)});
-  DQ_ASSIGN_OR_RETURN(bool sat_counter,
-                      SatisfiableWithBudget(sat, counterexample, budget));
-  return !sat_counter;
-}
-
-}  // namespace
-
 bool Linter::Try(const Result<bool>& result, SourceLocation loc,
                  int rule_index, const char* what, bool fallback,
                  LintResult* out) const {
-  if (result.ok()) return *result;
+  if (result.ok()) {
+    CountCheckRun();
+    return *result;
+  }
+  CountCheckSkipped();
   Emit(Checks()[kCheckSkipped], loc,
        std::string(what) + " skipped: " + result.status().message(),
        rule_index, out);
@@ -201,7 +238,9 @@ bool Linter::Try(const Result<bool>& result, SourceLocation loc,
 
 void Linter::CheckAtoms(const ParsedRule& rule, int index,
                         LintResult* out) const {
-  if (!Enabled(Checks()[kImpossibleAtom])) return;
+  const bool want_impossible = Enabled(Checks()[kImpossibleAtom]);
+  const bool want_threshold = Enabled(Checks()[kUnreachableThreshold]);
+  if (!want_impossible && !want_threshold) return;
   const std::pair<const Formula*, const std::vector<SourceLocation>*> sides[] =
       {{&rule.rule.premise, &rule.premise_atom_locs},
        {&rule.rule.consequent, &rule.consequent_atom_locs}};
@@ -213,6 +252,8 @@ void Linter::CheckAtoms(const ParsedRule& rule, int index,
       if (atom.op == AtomOp::kIsNull || atom.op == AtomOp::kIsNotNull) {
         continue;
       }
+      if (!want_impossible) continue;
+      CountCheckRun();
       if (!sat_.ConjunctionSatisfiable({atom})) {
         const SourceLocation loc = i < locs->size() ? (*locs)[i] : rule.loc;
         Emit(Checks()[kImpossibleAtom], loc,
@@ -224,6 +265,103 @@ void Linter::CheckAtoms(const ParsedRule& rule, int index,
       }
     }
   }
+  if (want_threshold) {
+    CheckThresholds(rule, index, out);
+  }
+}
+
+// DQ032: inside a pure conjunction, a threshold that the sibling
+// conditions already enforce decides nothing — the boundary is never
+// reached. Mined C4.5 path rules produce exactly this shape when an
+// ancestor split is looser than a descendant split on the same attribute.
+void Linter::CheckThresholds(const ParsedRule& rule, int index,
+                             LintResult* out) const {
+  const std::pair<const Formula*, const std::vector<SourceLocation>*> sides[] =
+      {{&rule.rule.premise, &rule.premise_atom_locs},
+       {&rule.rule.consequent, &rule.consequent_atom_locs}};
+  for (const auto& [formula, locs] : sides) {
+    Result<std::vector<Atom>> conj = formula->AsConjunction();
+    if (!conj.ok() || conj->size() < 2) continue;
+    for (size_t i = 0; i < conj->size(); ++i) {
+      const Atom& atom = (*conj)[i];
+      if (atom.rhs_is_attr || atom.rhs_value.is_null()) continue;
+      if (atom.op != AtomOp::kLt && atom.op != AtomOp::kGt) continue;
+      std::vector<Atom> others;
+      others.reserve(conj->size() - 1);
+      for (size_t j = 0; j < conj->size(); ++j) {
+        if (j != i) others.push_back((*conj)[j]);
+      }
+      CountCheckRun();
+      const Propagation prop = sat_.Propagate(others);
+      if (!prop.satisfiable) continue;  // the unsat checks cover this
+      const size_t attr_idx = static_cast<size_t>(atom.lhs_attr);
+      const DomainRange& before = prop.ranges[attr_idx];
+      DomainRange after = before;
+      after.ForbidNull();
+      if (atom.op == AtomOp::kLt) {
+        after.RestrictLt(atom.rhs_value);
+      } else {
+        after.RestrictGt(atom.rhs_value);
+      }
+      // Restriction only shrinks; the threshold is dead iff nothing (not
+      // even the null permission) was cut away.
+      if (after.Covers(before)) {
+        const AttributeDef& attr = schema_->attribute(attr_idx);
+        const SourceLocation loc = i < locs->size() ? (*locs)[i] : rule.loc;
+        Emit(Checks()[kUnreachableThreshold], loc,
+             "threshold '" + atom.ToString(*schema_) +
+                 "' is never reached: the other conditions already restrict "
+                 "'" +
+                 attr.name + "' to " + before.ToString(attr),
+             index, out);
+      }
+    }
+  }
+}
+
+// Abstract interpretation of one rule side: summarizes the formula in the
+// per-attribute domain, reporting dead DNF branches (DQ031) and precision
+// loss (DQ036). Returns the side's satisfiability (budget exhaustion falls
+// back to "satisfiable", mirroring the exact test's fallback, with the
+// DQ030 note emitted by the caller-supplied Try pattern inlined here).
+bool Linter::CheckAbstract(const ParsedRule& rule, int index,
+                           bool premise_side, LintResult* out) const {
+  const char* side = premise_side ? "premise" : "consequent";
+  const Formula& formula =
+      premise_side ? rule.rule.premise : rule.rule.consequent;
+  RuleAbstraction::Options abs_options;
+  abs_options.max_disjuncts = options_.max_dnf_disjuncts;
+  const RuleAbstraction abstraction(&sat_);
+  Result<FormulaSummary> summary = abstraction.Summarize(formula, abs_options);
+  if (!summary.ok()) {
+    CountCheckSkipped();
+    Emit(Checks()[kCheckSkipped], rule.loc,
+         std::string(side) + " satisfiability test skipped: " +
+             summary.status().message(),
+         index, out);
+    return true;
+  }
+  CountCheckRun();
+  if (!summary->reachable) return false;
+  if (!summary->dead_disjuncts.empty()) {
+    for (size_t d : summary->dead_disjuncts) {
+      Emit(Checks()[kDeadDisjunct], rule.loc,
+           "dead branch: disjunct " + std::to_string(d + 1) + " of " +
+               std::to_string(summary->num_disjuncts) + " in the " + side +
+               " is unsatisfiable and can never fire",
+           index, out);
+    }
+  }
+  if (summary->joined_gap || summary->widen_applied) {
+    Emit(Checks()[kIntervalWidening], rule.loc,
+         std::string("abstract summary of the ") + side +
+             (summary->widen_applied
+                  ? " was widened to the schema domain bounds"
+                  : " covers a gap between disjoint intervals") +
+             "; interval precision is reduced for downstream checks",
+         index, out);
+  }
+  return true;
 }
 
 void Linter::CheckRule(const ParsedRule& rule, int index,
@@ -231,9 +369,8 @@ void Linter::CheckRule(const ParsedRule& rule, int index,
   CheckAtoms(rule, index, out);
 
   const size_t budget = options_.max_dnf_disjuncts;
-  const bool premise_sat =
-      Try(SatisfiableWithBudget(sat_, rule.rule.premise, budget), rule.loc,
-          index, "premise satisfiability test", true, out);
+  const bool premise_sat = CheckAbstract(rule, index, /*premise_side=*/true,
+                                         out);
   if (!premise_sat) {
     Emit(Checks()[kUnsatPremise], rule.loc,
          "premise is unsatisfiable: the rule can never fire", index, out);
@@ -242,9 +379,8 @@ void Linter::CheckRule(const ParsedRule& rule, int index,
     return;
   }
 
-  const bool consequent_sat =
-      Try(SatisfiableWithBudget(sat_, rule.rule.consequent, budget), rule.loc,
-          index, "consequent satisfiability test", true, out);
+  const bool consequent_sat = CheckAbstract(rule, index,
+                                            /*premise_side=*/false, out);
   if (!consequent_sat) {
     Emit(Checks()[kUnsatConsequent], rule.loc,
          "consequent is unsatisfiable: every record matching the premise "
@@ -413,6 +549,8 @@ LintResult Linter::LintParse(const RuleFileParse& parse) const {
   }
 
   if (parse.rules.size() > options_.max_pairwise_rules) {
+    const size_t n = parse.rules.size();
+    CountCheckSkipped(static_cast<uint64_t>(n) * (n - 1) / 2);
     Emit(Checks()[kCheckSkipped], SourceLocation{1, 1},
          "pairwise checks skipped: " + std::to_string(parse.rules.size()) +
              " rules exceed the limit of " +

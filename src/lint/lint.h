@@ -44,6 +44,36 @@
 //                                          worth knowing about)
 //   DQ030 check-skipped           note     a satisfiability/implication
 //                                          test exhausted its DNF budget
+//   DQ031 dead-disjunct           warning  a branch of the rule's DNF is
+//                                          unsatisfiable and can never fire
+//                                          while the rest of the rule can
+//   DQ032 unreachable-threshold   note     a threshold in a conjunction is
+//                                          never reached: sibling
+//                                          conditions already enforce it
+//   DQ033 mined-expert-contradiction warning a mined candidate conflicts
+//                                          with the expert rule set or an
+//                                          accepted higher-ranked candidate
+//                                          (Definition 6 over the union)
+//   DQ034 redundant-in-cover      note     a mined candidate is subsumed by
+//                                          a stronger mined sibling and
+//                                          dropped by the minimal cover
+//   DQ035 low-support-candidate   note     a mined candidate falls below
+//                                          the support floor
+//   DQ036 interval-widening       note     the abstract summary lost
+//                                          precision (join hull over a gap,
+//                                          or widening to domain bounds)
+//   DQ037 low-confidence-candidate note    a mined candidate falls below
+//                                          the confidence floor
+//   DQ038 duplicate-candidate     note     a mined candidate is logically
+//                                          equivalent to an earlier one
+//   DQ039 candidate-budget-exceeded note   --max-rules truncated the
+//                                          emitted suggestion list
+//   DQ040 expert-implied-candidate note    a mined candidate is already
+//                                          implied by the expert rule set
+//
+// DQ031–DQ040 are produced by the dqsuggest static analysis over mined
+// rule programs (src/lint/suggest.h); DQ031/DQ032/DQ036 also fire in the
+// regular per-rule battery.
 
 #ifndef DQ_LINT_LINT_H_
 #define DQ_LINT_LINT_H_
@@ -72,6 +102,10 @@ struct LintCheckInfo {
 
 /// \brief All known checks, in ID order.
 const std::vector<LintCheckInfo>& LintChecks();
+
+/// \brief Registry entry by stable ID ("DQ034"). Aborts on unknown IDs —
+/// callers pass literals.
+const LintCheckInfo& LintCheckById(const char* id);
 
 /// \brief One finding of the analyzer.
 struct LintDiagnostic {
@@ -137,6 +171,15 @@ class Linter {
   void Emit(const LintCheckInfo& check, SourceLocation loc, std::string message,
             int rule_index, LintResult* out) const;
   void CheckAtoms(const ParsedRule& rule, int index, LintResult* out) const;
+  /// DQ032: thresholds inside a pure conjunction that the sibling
+  /// conditions already enforce (the decision boundary is never reached).
+  void CheckThresholds(const ParsedRule& rule, int index,
+                       LintResult* out) const;
+  /// Abstract-interpretation pass over one side of a rule: dead-disjunct
+  /// (DQ031) and precision-loss (DQ036) findings. Returns the summary's
+  /// reachability (true on budget exhaustion, mirroring the sat fallback).
+  bool CheckAbstract(const ParsedRule& rule, int index, bool premise_side,
+                     LintResult* out) const;
   void CheckRule(const ParsedRule& rule, int index, LintResult* out) const;
   void CheckPair(const ParsedRule& a, int ia, const ParsedRule& b, int ib,
                  LintResult* out) const;

@@ -1,0 +1,108 @@
+#include "lint/rule_abstraction.h"
+
+#include <utility>
+
+namespace dq {
+
+Result<bool> SatisfiableWithBudget(const SatChecker& sat, const Formula& f,
+                                   size_t budget) {
+  DQ_ASSIGN_OR_RETURN(std::vector<std::vector<Atom>> dnf, ToDnf(f, budget));
+  for (const std::vector<Atom>& conj : dnf) {
+    if (sat.ConjunctionSatisfiable(conj)) return true;
+  }
+  return false;
+}
+
+Result<bool> ImpliesWithBudget(const SatChecker& sat, const Formula& alpha,
+                               const Formula& beta, size_t budget) {
+  Formula counterexample = Formula::And({alpha, Negate(beta)});
+  DQ_ASSIGN_OR_RETURN(bool sat_counter,
+                      SatisfiableWithBudget(sat, counterexample, budget));
+  return !sat_counter;
+}
+
+bool FormulaSummary::DisjointWith(const FormulaSummary& other) const {
+  if (!reachable || !other.reachable) return true;
+  const size_t n = std::min(ranges.size(), other.ranges.size());
+  for (size_t a = 0; a < n; ++a) {
+    if (!constrained[a] || !other.constrained[a]) continue;
+    DomainRange meet = ranges[a];
+    meet.IntersectWith(other.ranges[a]);
+    if (meet.Empty()) return true;
+  }
+  return false;
+}
+
+Result<FormulaSummary> RuleAbstraction::Summarize(
+    const Formula& f, const Options& options) const {
+  DQ_ASSIGN_OR_RETURN(std::vector<std::vector<Atom>> dnf,
+                      ToDnf(f, options.max_disjuncts));
+  const Schema& schema = sat_->schema();
+  const size_t num_attrs = schema.attributes().size();
+
+  FormulaSummary s;
+  s.num_disjuncts = dnf.size();
+  s.constrained.assign(num_attrs, false);
+  for (int a : f.Attributes()) s.constrained[static_cast<size_t>(a)] = true;
+
+  size_t live = 0;
+  bool live_exact = true;
+  std::vector<DomainRange> previous;  // iterate before the latest join
+  for (size_t i = 0; i < dnf.size(); ++i) {
+    const Propagation prop = sat_->Propagate(dnf[i]);
+    if (!prop.satisfiable) {
+      s.dead_disjuncts.push_back(i);
+      continue;
+    }
+    for (const Atom& atom : dnf[i]) {
+      if (atom.rhs_is_attr) s.has_relational = true;
+    }
+    // Relational links constrain attribute *pairs*; the per-attribute
+    // projection then over-approximates even a single disjunct.
+    if (s.has_relational || !prop.lt_links.empty() || !prop.neq_links.empty()) {
+      live_exact = false;
+    }
+    if (live == 0) {
+      s.ranges = prop.ranges;
+    } else {
+      const bool widen = live >= options.widen_after;
+      if (widen) previous = s.ranges;
+      for (size_t a = 0; a < num_attrs; ++a) {
+        if (s.ranges[a].JoinWith(prop.ranges[a])) s.joined_gap = true;
+        if (widen &&
+            s.ranges[a].WidenAgainst(previous[a], schema.attribute(a))) {
+          s.widen_applied = true;
+        }
+      }
+    }
+    ++live;
+  }
+
+  s.reachable = live > 0;
+  s.exact = s.reachable && live == 1 && live_exact;
+  if (!s.reachable) s.ranges.clear();
+  return s;
+}
+
+AbstractTri RuleAbstraction::CoversSummary(const FormulaSummary& outer,
+                                           const FormulaSummary& inner) {
+  // An unreachable inner formula is vacuously covered; an unreachable
+  // outer one covers nothing that exists.
+  if (!inner.reachable) return AbstractTri::kYes;
+  if (!outer.reachable) return AbstractTri::kNo;
+  const size_t n = std::min(outer.ranges.size(), inner.ranges.size());
+  bool contained = true;
+  for (size_t a = 0; a < n && contained; ++a) {
+    if (!outer.ranges[a].Covers(inner.ranges[a])) contained = false;
+  }
+  if (contained) {
+    // models(inner) <= region(inner) <= region(outer); when outer is exact
+    // the last region *is* models(outer), so the implication holds.
+    return outer.exact ? AbstractTri::kYes : AbstractTri::kUnknown;
+  }
+  // Containment failed. Only when both regions are their model sets does
+  // that refute the implication.
+  return outer.exact && inner.exact ? AbstractTri::kNo : AbstractTri::kUnknown;
+}
+
+}  // namespace dq

@@ -1,0 +1,108 @@
+// Abstract interpretation of TDG-formulae over the per-attribute domain.
+//
+// The satisfiability test of sec. 4.1.3 already interprets one conjunction
+// in the domain-range lattice; this layer lifts that interpretation to
+// whole formulae and whole rule programs. A formula is summarized by the
+// per-attribute *join* of its satisfiable DNF disjuncts: a product region
+// ("box") that over-approximates the formula's model set. The summary is
+// exact — the region *is* the model set — precisely when one satisfiable
+// disjunct remains and it contains no relational atoms, which is the shape
+// of every C4.5 path rule and association rule dqsuggest mines. Between
+// exact summaries region containment decides implication without a SAT
+// call, and disjoint regions soundly preclude two premises from co-firing
+// regardless of exactness — the pre-filters that make the O(n^2)
+// implication closure over mined rule sets affordable.
+//
+// Joins over many disjuncts can accumulate precision slowly (exclusion
+// points from `!=`, creeping interval hulls), so after `widen_after` live
+// disjuncts the accumulator is widened against its previous iterate
+// (DomainRange::WidenAgainst): any still-moving bound jumps to the schema
+// domain limit, bounding the chain. Both precision-loss events (a join
+// hull covering a gap, widening applied) are recorded so the linter can
+// surface them as DQ036 interval-widening notes.
+
+#ifndef DQ_LINT_RULE_ABSTRACTION_H_
+#define DQ_LINT_RULE_ABSTRACTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "logic/sat.h"
+
+namespace dq {
+
+/// \brief Abstract summary of one TDG-formula: a per-attribute box that
+/// over-approximates the formula's model set.
+struct FormulaSummary {
+  /// At least one DNF disjunct is satisfiable.
+  bool reachable = false;
+  /// The region equals the model set (single live propositional disjunct).
+  bool exact = false;
+  /// A join had to cover a gap between disjoint intervals (over-approx).
+  bool joined_gap = false;
+  /// Widening jumped a bound to the schema domain limit (over-approx).
+  bool widen_applied = false;
+  /// The formula contains relational (attribute vs attribute) atoms.
+  bool has_relational = false;
+  /// Total DNF disjuncts inspected.
+  size_t num_disjuncts = 0;
+  /// Indices (into the DNF expansion) of unsatisfiable disjuncts.
+  std::vector<size_t> dead_disjuncts;
+  /// One range per schema attribute (empty vector when !reachable).
+  std::vector<DomainRange> ranges;
+  /// Per schema attribute: mentioned by the formula.
+  std::vector<bool> constrained;
+
+  /// \brief True when the summaries admit no common row: some attribute's
+  /// regions are disjoint. Sound for any pair (exact or not).
+  bool DisjointWith(const FormulaSummary& other) const;
+};
+
+/// \brief Three-valued answer of an abstract test.
+enum class AbstractTri : uint8_t { kYes, kNo, kUnknown };
+
+/// \brief DNF-based satisfiability with an explicit disjunct budget (fails
+/// with Exhausted beyond it).
+Result<bool> SatisfiableWithBudget(const SatChecker& sat, const Formula& f,
+                                   size_t budget);
+
+/// \brief Validity of alpha => beta, decided as unsat(alpha AND ~beta)
+/// under the same budget.
+Result<bool> ImpliesWithBudget(const SatChecker& sat, const Formula& alpha,
+                               const Formula& beta, size_t budget);
+
+/// \brief Abstract interpreter for TDG-formulae over a fixed schema.
+class RuleAbstraction {
+ public:
+  struct Options {
+    /// DNF budget (same meaning as the satisfiability test's).
+    size_t max_disjuncts = 4096;
+    /// Join accumulator is widened once this many live disjuncts merged.
+    size_t widen_after = 64;
+  };
+
+  explicit RuleAbstraction(const SatChecker* sat) : sat_(sat) {}
+
+  /// \brief Summarizes `f`: DNF expansion, domain-range propagation per
+  /// disjunct, per-attribute join (with widening) across the live ones.
+  /// Fails with Exhausted when the DNF budget is blown.
+  Result<FormulaSummary> Summarize(const Formula& f,
+                                   const Options& options) const;
+
+  /// \brief Does every model of `inner` satisfy `outer`? Decided purely in
+  /// the abstract domain: kYes when inner's region fits inside an *exact*
+  /// outer region; kNo when both are exact and containment fails; kUnknown
+  /// otherwise (caller falls back to the exact implication test).
+  static AbstractTri CoversSummary(const FormulaSummary& outer,
+                                   const FormulaSummary& inner);
+
+  const SatChecker& sat() const { return *sat_; }
+
+ private:
+  const SatChecker* sat_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_LINT_RULE_ABSTRACTION_H_

@@ -1,0 +1,426 @@
+#include "lint/suggest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dq {
+
+namespace {
+
+/// Candidate plus its rank-order bookkeeping and abstract summaries.
+struct Working {
+  CandidateRule cand;
+  size_t input_index = 0;  ///< 0-based position in the input list
+  FormulaSummary premise;
+  FormulaSummary consequent;
+};
+
+SourceLocation CandLoc(const Working& w) {
+  return SourceLocation{w.input_index + 1, 1};
+}
+
+std::string Describe(const CandidateRule& c) {
+  return "mined candidate " + c.source + " (confidence " +
+         FormatDouble(c.confidence, 3) + ", support " +
+         std::to_string(c.support_count) + ")";
+}
+
+void CountRun() { obs::GetCounter("lint.checks_run")->Add(1); }
+void CountSkip() { obs::GetCounter("lint.checks_skipped")->Add(1); }
+
+}  // namespace
+
+SuggestEngine::SuggestEngine(const Schema* schema, SuggestOptions options)
+    : schema_(schema), options_(std::move(options)) {}
+
+SuggestResult SuggestEngine::Analyze(
+    const std::vector<CandidateRule>& candidates,
+    const std::vector<ParsedRule>& expert) const {
+  obs::Span span("suggest.analyze");
+  SuggestResult out;
+  out.num_candidates = candidates.size();
+  out.diagnostics.rules_checked = candidates.size();
+  obs::GetCounter("suggest.candidates")->Add(candidates.size());
+
+  SatChecker sat(schema_);
+  const RuleAbstraction abstraction(&sat);
+  RuleAbstraction::Options abs_options;
+  abs_options.max_disjuncts = options_.lint.max_dnf_disjuncts;
+  const size_t budget = options_.lint.max_dnf_disjuncts;
+  const Linter linter(schema_, options_.lint);
+
+  auto enabled = [&](const char* id) {
+    const LintCheckInfo& check = LintCheckById(id);
+    return options_.lint.disabled.count(check.id) == 0 &&
+           options_.lint.disabled.count(check.name) == 0;
+  };
+  auto emit = [&](const char* id, SourceLocation loc, std::string message,
+                  int rule_index, int other_index = -1,
+                  SourceLocation other_loc = SourceLocation{}) {
+    const LintCheckInfo& check = LintCheckById(id);
+    LintDiagnostic d;
+    d.check_id = check.id;
+    d.check_name = check.name;
+    d.severity = check.severity;
+    d.loc = loc;
+    d.message = std::move(message);
+    d.rule_index = rule_index;
+    d.other_rule_index = other_index;
+    d.other_loc = other_loc;
+    out.diagnostics.diagnostics.push_back(std::move(d));
+  };
+
+  // Budget-blown summaries degrade to the unconstrained box: nothing is
+  // pruned abstractly and every test falls back to the exact path.
+  auto summarize = [&](const Formula& f) {
+    Result<FormulaSummary> s = abstraction.Summarize(f, abs_options);
+    if (s.ok()) return *s;
+    FormulaSummary top;
+    top.reachable = true;
+    const size_t n = schema_->attributes().size();
+    top.constrained.assign(n, false);
+    top.ranges.reserve(n);
+    for (size_t a = 0; a < n; ++a) {
+      top.ranges.push_back(DomainRange::FullDomain(schema_->attribute(a)));
+    }
+    return top;
+  };
+
+  // alpha => beta, abstract domain first, exact DNF test as fallback. On
+  // budget exhaustion the implication is conservatively unproven (the
+  // candidate is kept / the conflict not raised) and a DQ030 note records
+  // the skip.
+  auto implies = [&](const Formula& alpha, const FormulaSummary& alpha_sum,
+                     const Formula& beta, const FormulaSummary& beta_sum,
+                     SourceLocation loc, int rule_index) {
+    switch (RuleAbstraction::CoversSummary(beta_sum, alpha_sum)) {
+      case AbstractTri::kYes:
+        return true;
+      case AbstractTri::kNo:
+        return false;
+      case AbstractTri::kUnknown:
+        break;
+    }
+    Result<bool> r = ImpliesWithBudget(sat, alpha, beta, budget);
+    if (r.ok()) {
+      CountRun();
+      return *r;
+    }
+    CountSkip();
+    emit("DQ030", loc, "implication test skipped: " + r.status().message(),
+         rule_index);
+    return false;
+  };
+
+  struct ExpertInfo {
+    const ParsedRule* rule;
+    FormulaSummary premise;
+    FormulaSummary consequent;
+  };
+  std::vector<ExpertInfo> experts;
+  experts.reserve(expert.size());
+  for (const ParsedRule& e : expert) {
+    experts.push_back(
+        {&e, summarize(e.rule.premise), summarize(e.rule.consequent)});
+  }
+
+  // Rank: confidence desc, support desc, then input order — the order in
+  // which the greedy cover considers (and therefore prefers) candidates.
+  std::vector<Working> ranked;
+  ranked.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Working w;
+    w.cand = candidates[i];
+    w.input_index = i;
+    ranked.push_back(std::move(w));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Working& x, const Working& y) {
+                     if (x.cand.confidence != y.cand.confidence) {
+                       return x.cand.confidence > y.cand.confidence;
+                     }
+                     if (x.cand.support_count != y.cand.support_count) {
+                       return x.cand.support_count > y.cand.support_count;
+                     }
+                     return x.input_index < y.input_index;
+                   });
+
+  // Phase 1: threshold filters and the per-candidate lint battery.
+  std::vector<Working> live;
+  live.reserve(ranked.size());
+  for (Working& w : ranked) {
+    const int index = static_cast<int>(w.input_index);
+    const SourceLocation loc = CandLoc(w);
+    if (enabled("DQ037") && w.cand.confidence < options_.min_confidence) {
+      ++out.num_filtered;
+      emit("DQ037", loc,
+           Describe(w.cand) + " falls below the confidence floor of " +
+               FormatDouble(options_.min_confidence, 3),
+           index);
+      continue;
+    }
+    if (enabled("DQ035") &&
+        w.cand.support_count < options_.min_support_count) {
+      ++out.num_filtered;
+      emit("DQ035", loc,
+           Describe(w.cand) + " falls below the support floor of " +
+               std::to_string(options_.min_support_count) + " rows",
+           index);
+      continue;
+    }
+
+    RuleFileParse parse;
+    ParsedRule p;
+    p.rule = w.cand.rule;
+    p.loc = loc;
+    p.text = w.cand.rule.ToString(*schema_);
+    parse.rules.push_back(std::move(p));
+    LintResult lint = linter.LintParse(parse);
+    bool invalid = lint.HasErrors();
+    for (LintDiagnostic& d : lint.diagnostics) {
+      d.rule_index = index;
+      out.diagnostics.diagnostics.push_back(std::move(d));
+    }
+    if (invalid) {
+      ++out.num_invalid;
+      continue;
+    }
+
+    w.premise = summarize(w.cand.rule.premise);
+    w.consequent = summarize(w.cand.rule.consequent);
+    live.push_back(std::move(w));
+  }
+
+  // Phase 2: Definition-6 conflict check against the expert program. A
+  // contradicting candidate is excluded from the cover and flagged for
+  // human review; the expert rule always wins.
+  std::vector<Working> compatible;
+  compatible.reserve(live.size());
+  for (Working& w : live) {
+    const int index = static_cast<int>(w.input_index);
+    const SourceLocation loc = CandLoc(w);
+    bool conflicting = false;
+    if (enabled("DQ033")) {
+      for (const ExpertInfo& e : experts) {
+        if (w.premise.DisjointWith(e.premise)) continue;  // never co-fire
+        // Definition 6 needs one premise to imply the other (either way).
+        const bool premises_linked =
+            implies(w.cand.rule.premise, w.premise, e.rule->rule.premise,
+                    e.premise, loc, index) ||
+            implies(e.rule->rule.premise, e.premise, w.cand.rule.premise,
+                    w.premise, loc, index);
+        if (!premises_linked) continue;
+        Result<bool> all_sat = SatisfiableWithBudget(
+            sat,
+            Formula::And({w.cand.rule.premise, e.rule->rule.premise,
+                          w.cand.rule.consequent, e.rule->rule.consequent}),
+            budget);
+        if (!all_sat.ok()) {
+          CountSkip();
+          emit("DQ030", loc,
+               "mined-vs-expert contradiction test skipped: " +
+                   all_sat.status().message(),
+               index, -1, e.rule->loc);
+          continue;
+        }
+        CountRun();
+        if (*all_sat) continue;
+        ++out.num_conflicts;
+        emit("DQ033", loc,
+             Describe(w.cand) +
+                 " contradicts the expert rule at line " +
+                 std::to_string(e.rule->loc.line) +
+                 ": no record matching the stronger premise can comply with "
+                 "both; the candidate is excluded and needs human review",
+             index, -1, e.rule->loc);
+        conflicting = true;
+        break;
+      }
+    }
+    if (!conflicting) compatible.push_back(std::move(w));
+  }
+
+  // Phase 3: greedy confidence-ranked minimal cover. A candidate enters
+  // the cover unless the expert program or an already-accepted (stronger-
+  // ranked) sibling subsumes it.
+  std::vector<Working> accepted;
+  accepted.reserve(compatible.size());
+  for (Working& w : compatible) {
+    const int index = static_cast<int>(w.input_index);
+    const SourceLocation loc = CandLoc(w);
+    bool dropped = false;
+
+    if (enabled("DQ040")) {
+      for (const ExpertInfo& e : experts) {
+        if (w.premise.DisjointWith(e.premise)) continue;
+        if (!implies(w.cand.rule.premise, w.premise, e.rule->rule.premise,
+                     e.premise, loc, index)) {
+          continue;
+        }
+        if (!implies(e.rule->rule.consequent, e.consequent,
+                     w.cand.rule.consequent, w.consequent, loc, index)) {
+          continue;
+        }
+        ++out.num_subsumed;
+        emit("DQ040", loc,
+             Describe(w.cand) + " is already implied by the expert rule at "
+                                "line " +
+                 std::to_string(e.rule->loc.line) + " and adds no information",
+             index, -1, e.rule->loc);
+        dropped = true;
+        break;
+      }
+    }
+
+    const bool check_conflict = enabled("DQ033");
+    const bool check_subsume = enabled("DQ034") || enabled("DQ038");
+    if (!dropped && (check_conflict || check_subsume)) {
+      for (const Working& a : accepted) {
+        // Disjoint premises never co-fire; with both premises individually
+        // satisfiable (lint passed) they also cannot imply each other, so
+        // the pair has no interaction at all.
+        if (w.premise.DisjointWith(a.premise)) continue;
+        const SourceLocation other_loc =
+            SourceLocation{a.input_index + 1, 1};
+        const bool c_implies_a =
+            implies(w.cand.rule.premise, w.premise, a.cand.rule.premise,
+                    a.premise, loc, index);
+        const bool a_implies_c =
+            implies(a.cand.rule.premise, a.premise, w.cand.rule.premise,
+                    w.premise, loc, index);
+
+        // Definition 6 among mined siblings (the condition dqlint flags as
+        // DQ020 on the emitted file): one premise implies the other, both
+        // are satisfiable, and the four-formula conjunction is not — every
+        // record matching the stronger premise violates one of the pair.
+        // The higher-ranked accepted rule wins.
+        if (check_conflict && (c_implies_a || a_implies_c)) {
+          bool conflict = false;
+          bool decided = true;
+          if (w.consequent.DisjointWith(a.consequent)) {
+            conflict = true;  // sound without a SAT call
+          } else {
+            Result<bool> all_sat = SatisfiableWithBudget(
+                sat,
+                Formula::And({w.cand.rule.premise, a.cand.rule.premise,
+                              w.cand.rule.consequent, a.cand.rule.consequent}),
+                budget);
+            if (all_sat.ok()) {
+              CountRun();
+              conflict = !*all_sat;
+            } else {
+              CountSkip();
+              decided = false;
+              emit("DQ030", loc,
+                   "mined-vs-mined contradiction test skipped: " +
+                       all_sat.status().message(),
+                   index, static_cast<int>(a.input_index), other_loc);
+            }
+          }
+          if (decided && conflict) {
+            ++out.num_conflicts;
+            emit("DQ033", loc,
+                 Describe(w.cand) + " contradicts the accepted " +
+                     a.cand.source +
+                     ": no record matching the stronger premise can comply "
+                     "with both; the candidate is excluded and needs human "
+                     "review",
+                 index, static_cast<int>(a.input_index), other_loc);
+            dropped = true;
+            break;
+          }
+        }
+
+        if (!check_subsume || !c_implies_a) continue;
+        const bool subsumed =
+            implies(a.cand.rule.consequent, a.consequent,
+                    w.cand.rule.consequent, w.consequent, loc, index);
+        if (!subsumed) continue;
+        const bool equivalent =
+            a_implies_c && implies(w.cand.rule.consequent, w.consequent,
+                                   a.cand.rule.consequent, a.consequent, loc,
+                                   index);
+        if (equivalent && enabled("DQ038")) {
+          ++out.num_subsumed;
+          emit("DQ038", loc,
+               Describe(w.cand) + " is logically equivalent to the accepted " +
+                   a.cand.source + " and is dropped from the cover",
+               index, static_cast<int>(a.input_index), other_loc);
+          dropped = true;
+        } else if (!equivalent && enabled("DQ034")) {
+          ++out.num_subsumed;
+          emit("DQ034", loc,
+               Describe(w.cand) + " is subsumed by the stronger accepted " +
+                   a.cand.source + " and is dropped from the cover",
+               index, static_cast<int>(a.input_index), other_loc);
+          dropped = true;
+        }
+        if (dropped) break;
+      }
+    }
+    if (dropped) continue;
+
+    if (options_.max_rules > 0 && accepted.size() >= options_.max_rules) {
+      ++out.num_truncated;
+      emit("DQ039", loc,
+           Describe(w.cand) + " exceeds the rule budget of " +
+               std::to_string(options_.max_rules) + " and is dropped",
+           index);
+      continue;
+    }
+
+    // Backward pruning: greedy rank order accepts high-confidence
+    // specializations before the general rule that covers them. Once the
+    // general rule enters, the specializations are redundant — retire them
+    // so the cover stays free of subsumed pairs (dqlint's DQ022).
+    if (enabled("DQ034")) {
+      for (size_t k = 0; k < accepted.size();) {
+        const Working& a = accepted[k];
+        if (w.premise.DisjointWith(a.premise)) {
+          ++k;
+          continue;
+        }
+        const bool retired =
+            implies(a.cand.rule.premise, a.premise, w.cand.rule.premise,
+                    w.premise, loc, index) &&
+            implies(w.cand.rule.consequent, w.consequent,
+                    a.cand.rule.consequent, a.consequent, loc, index);
+        if (!retired) {
+          ++k;
+          continue;
+        }
+        ++out.num_subsumed;
+        emit("DQ034", SourceLocation{a.input_index + 1, 1},
+             Describe(a.cand) + " is subsumed by the more general accepted " +
+                 w.cand.source + " and is retired from the cover",
+             static_cast<int>(a.input_index), index, loc);
+        accepted.erase(accepted.begin() + static_cast<long>(k));
+      }
+    }
+    accepted.push_back(std::move(w));
+  }
+
+  obs::GetCounter("suggest.dropped_subsumed")->Add(out.num_subsumed);
+  obs::GetCounter("suggest.conflicts")->Add(out.num_conflicts);
+  obs::GetCounter("suggest.accepted")->Add(accepted.size());
+
+  out.accepted.reserve(accepted.size());
+  for (Working& w : accepted) out.accepted.push_back(std::move(w.cand));
+
+  std::stable_sort(out.diagnostics.diagnostics.begin(),
+                   out.diagnostics.diagnostics.end(),
+                   [](const LintDiagnostic& x, const LintDiagnostic& y) {
+                     if (x.loc.line != y.loc.line) return x.loc.line < y.loc.line;
+                     if (x.loc.column != y.loc.column) {
+                       return x.loc.column < y.loc.column;
+                     }
+                     return x.check_id < y.check_id;
+                   });
+  return out;
+}
+
+}  // namespace dq

@@ -1,0 +1,111 @@
+// dqsuggest: static analysis over *mined* rule programs.
+//
+// The paper's workflow assumes experts author the TDG-rules the auditor
+// checks, but the mining side (C4.5 path rules, association rules) already
+// produces rule-shaped knowledge. This engine closes the loop: it takes
+// mined candidate rules (with model provenance and confidence/support
+// annotations), lints each one through the regular battery, reconciles the
+// set against an expert rule file, and reduces it to a greedy
+// confidence-ranked minimal cover. Every rule it drops is justified by a
+// DQ03x diagnostic:
+//
+//   DQ033  candidate contradicts an expert rule or an accepted
+//          higher-ranked candidate (Definition 6 over the union of both
+//          programs) — excluded, flagged for human review
+//   DQ034  candidate subsumed by a stronger accepted mined sibling
+//   DQ035  candidate below the support floor
+//   DQ037  candidate below the confidence floor
+//   DQ038  candidate logically equivalent to an accepted sibling
+//   DQ039  candidate beyond the --max-rules budget
+//   DQ040  candidate already implied by the expert rule set
+//
+// The O(n^2) subsumption/conflict closure is made affordable by the
+// abstract-interpretation layer (rule_abstraction.h): mined rules are
+// conjunctions of per-attribute constraints, so their abstract summaries
+// are *exact* and region containment decides premise implication without a
+// SAT call; disjoint summaries prune pairs that can never co-fire. The
+// exact DNF implication test is the fallback for the rest (expert rules
+// with ORs or relational atoms).
+//
+// Diagnostic locations are synthesized from candidate order (line == the
+// candidate's 1-based index in the input list, the provenance string is
+// embedded in the message); expert-rule locations are real file positions.
+
+#ifndef DQ_LINT_SUGGEST_H_
+#define DQ_LINT_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/rule_abstraction.h"
+
+namespace dq {
+
+/// \brief One mined candidate rule plus model provenance.
+struct CandidateRule {
+  Rule rule;
+  /// Provenance, e.g. "c45:GBM:path#3" or "assoc#12".
+  std::string source;
+  /// Estimated P(consequent | premise) — pessimistic leaf confidence for
+  /// tree paths, rule confidence for association rules.
+  double confidence = 0.0;
+  /// Fraction of training rows matching premise AND consequent.
+  double support = 0.0;
+  /// Absolute number of training rows matching premise AND consequent.
+  size_t support_count = 0;
+  /// Fraction of training rows matching the premise.
+  double coverage = 0.0;
+};
+
+/// \brief Engine configuration.
+struct SuggestOptions {
+  /// Candidates below this confidence are dropped with DQ037.
+  double min_confidence = 0.85;
+  /// Candidates below this premise-support count are dropped with DQ035.
+  size_t min_support_count = 2;
+  /// Hard cap on accepted rules (0 = unlimited); overflow drops with DQ039.
+  size_t max_rules = 0;
+  /// Budgets and disabled checks for the per-candidate lint battery.
+  LintOptions lint;
+};
+
+/// \brief Outcome of one suggestion run.
+struct SuggestResult {
+  /// Surviving candidates, ranked by (confidence desc, support desc,
+  /// input order). This is the minimal cover that gets emitted.
+  std::vector<CandidateRule> accepted;
+  /// All findings: per-candidate lint diagnostics plus the DQ03x drop
+  /// justifications, sorted by synthesized location.
+  LintResult diagnostics;
+
+  size_t num_candidates = 0;   ///< candidates considered
+  size_t num_filtered = 0;     ///< DQ035 + DQ037 drops
+  size_t num_invalid = 0;      ///< dropped by error-level lint findings
+  size_t num_conflicts = 0;    ///< DQ033 drops
+  size_t num_subsumed = 0;     ///< DQ034 + DQ038 + DQ040 drops
+  size_t num_truncated = 0;    ///< DQ039 drops
+};
+
+/// \brief Minimal-cover reduction and conflict checking for mined rules.
+class SuggestEngine {
+ public:
+  SuggestEngine(const Schema* schema, SuggestOptions options = {});
+
+  /// \brief Runs the full pipeline: filter -> per-candidate lint ->
+  /// expert-conflict check -> greedy minimal cover -> budget cap.
+  /// `expert` holds the parsed expert rule program (may be empty).
+  SuggestResult Analyze(const std::vector<CandidateRule>& candidates,
+                        const std::vector<ParsedRule>& expert) const;
+
+  const Schema& schema() const { return *schema_; }
+  const SuggestOptions& options() const { return options_; }
+
+ private:
+  const Schema* schema_;
+  SuggestOptions options_;
+};
+
+}  // namespace dq
+
+#endif  // DQ_LINT_SUGGEST_H_

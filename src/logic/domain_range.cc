@@ -175,6 +175,121 @@ bool DomainRange::LimitAbove(const DomainRange& other) {
   return false;
 }
 
+bool DomainRange::ContainsAxis(double x) const {
+  if (values_forbidden_) return false;
+  if (x < lo_ || (x == lo_ && lo_open_)) return false;
+  if (x > hi_ || (x == hi_ && hi_open_)) return false;
+  return excluded_.count(x) == 0;
+}
+
+bool DomainRange::Covers(const DomainRange& other) const {
+  if (other.allow_null_ && !allow_null_) return false;
+  if (other.ValuesEmpty()) return true;
+  if (type_ == DataType::kNominal) {
+    const size_t n = std::max(allowed_.size(), other.allowed_.size());
+    for (size_t i = 0; i < n; ++i) {
+      const bool theirs = i < other.allowed_.size() && other.allowed_[i];
+      const bool ours = i < allowed_.size() && allowed_[i];
+      if (theirs && !ours) return false;
+    }
+    return true;
+  }
+  if (values_forbidden_) return false;
+  if (other.lo_ < lo_ || (other.lo_ == lo_ && lo_open_ && !other.lo_open_)) {
+    return false;
+  }
+  if (other.hi_ > hi_ || (other.hi_ == hi_ && hi_open_ && !other.hi_open_)) {
+    return false;
+  }
+  // Every point we exclude must be unreachable for `other` as well.
+  for (double x : excluded_) {
+    if (other.ContainsAxis(x)) return false;
+  }
+  return true;
+}
+
+bool DomainRange::JoinWith(const DomainRange& other) {
+  allow_null_ = allow_null_ || other.allow_null_;
+  if (type_ == DataType::kNominal) {
+    const size_t n = std::max(allowed_.size(), other.allowed_.size());
+    allowed_.resize(n, false);
+    for (size_t i = 0; i < n && i < other.allowed_.size(); ++i) {
+      if (other.allowed_[i]) allowed_[i] = true;
+    }
+    return false;  // finite set union is exact
+  }
+  if (other.ValuesEmpty()) return false;
+  if (ValuesEmpty()) {
+    const bool null_ok = allow_null_;
+    *this = other;
+    allow_null_ = null_ok;
+    return false;
+  }
+  // A point stays excluded only when neither side admits it; points outside
+  // the partner interval remain excluded exactly.
+  std::set<double> merged;
+  for (double x : excluded_) {
+    if (!other.ContainsAxis(x)) merged.insert(x);
+  }
+  for (double x : other.excluded_) {
+    if (!ContainsAxis(x)) merged.insert(x);
+  }
+  // Hull gap: the intervals are disjoint with room between them.
+  bool gap = false;
+  const DomainRange& low = lo_ <= other.lo_ ? *this : other;
+  const DomainRange& high = lo_ <= other.lo_ ? other : *this;
+  if (high.lo_ > low.hi_) {
+    if (integer_axis()) {
+      gap = high.lo_ > low.hi_ + 1.0;  // bounds are normalized closed ints
+    } else {
+      gap = true;  // a continuous gap always drops points
+    }
+  } else if (high.lo_ == low.hi_ && high.lo_open_ && low.hi_open_) {
+    gap = !integer_axis();
+  }
+  if (other.lo_ < lo_ || (other.lo_ == lo_ && lo_open_ && !other.lo_open_)) {
+    lo_ = other.lo_;
+    lo_open_ = other.lo_open_;
+  }
+  if (other.hi_ > hi_ || (other.hi_ == hi_ && hi_open_ && !other.hi_open_)) {
+    hi_ = other.hi_;
+    hi_open_ = other.hi_open_;
+  }
+  excluded_ = std::move(merged);
+  values_forbidden_ = false;
+  return gap;
+}
+
+bool DomainRange::WidenAgainst(const DomainRange& previous,
+                               const AttributeDef& attr) {
+  if (type_ == DataType::kNominal) return false;
+  if (ValuesEmpty() || previous.ValuesEmpty()) return false;
+  bool widened = false;
+  const double dom_lo = type_ == DataType::kDate
+                            ? static_cast<double>(attr.date_min)
+                            : attr.numeric_min;
+  const double dom_hi = type_ == DataType::kDate
+                            ? static_cast<double>(attr.date_max)
+                            : attr.numeric_max;
+  if (lo_ < previous.lo_ ||
+      (lo_ == previous.lo_ && !lo_open_ && previous.lo_open_)) {
+    if (lo_ > dom_lo || lo_open_) {
+      lo_ = dom_lo;
+      lo_open_ = false;
+      widened = true;
+    }
+  }
+  if (hi_ > previous.hi_ ||
+      (hi_ == previous.hi_ && !hi_open_ && previous.hi_open_)) {
+    if (hi_ < dom_hi || hi_open_) {
+      hi_ = dom_hi;
+      hi_open_ = false;
+      widened = true;
+    }
+  }
+  return widened;
+}
+
 bool DomainRange::ValuesEmpty() const {
   if (type_ == DataType::kNominal) {
     return std::none_of(allowed_.begin(), allowed_.end(),

@@ -25,6 +25,13 @@ namespace dq {
 /// attributes (numeric, date) track an interval with open/closed endpoints
 /// and finitely many excluded points (from `!=` constraints). Date axes are
 /// integral, which sharpens strict bounds (x < 5 => x <= 4).
+///
+/// Beyond the meet-style restriction the satisfiability test performs, the
+/// range doubles as one element of a per-attribute *abstract domain* (the
+/// dqlint abstract-interpretation layer): Covers is the partial order,
+/// JoinWith the (over-approximating) least upper bound, and WidenAgainst
+/// the classic interval widening that jumps unstable bounds to the schema
+/// domain limits so fixpoint iterations terminate.
 class DomainRange {
  public:
   DomainRange() = default;
@@ -61,6 +68,28 @@ class DomainRange {
   /// \brief Tightens the lower end to lie strictly above other's lower end.
   bool LimitAbove(const DomainRange& other);
 
+  // --- Abstract-domain operations (dqlint) -------------------------------
+
+  /// \brief Partial order: true when every value (and null, if permitted)
+  /// allowed by `other` is also allowed by this range. Exact for same-typed
+  /// ranges of the same attribute.
+  bool Covers(const DomainRange& other) const;
+
+  /// \brief Least upper bound: widens this range to admit everything
+  /// `other` admits. Excluded points are kept exactly (a point stays
+  /// excluded iff neither input admits it), so the only precision loss is
+  /// the ordered interval hull covering a gap between disjoint inputs.
+  /// Returns true when that happened (the join over-approximates the
+  /// union).
+  bool JoinWith(const DomainRange& other);
+
+  /// \brief Interval widening against the previous iterate: any bound that
+  /// moved outward relative to `previous` jumps to the domain limit of
+  /// `attr`, guaranteeing termination of ascending chains. Nominal ranges
+  /// are finite lattices and need no widening (no-op). Returns true when a
+  /// bound was widened.
+  bool WidenAgainst(const DomainRange& previous, const AttributeDef& attr);
+
   /// \brief True if no non-null value remains.
   bool ValuesEmpty() const;
   /// \brief True if neither null nor any value remains (contradiction).
@@ -86,6 +115,9 @@ class DomainRange {
 
  private:
   bool integer_axis() const { return type_ == DataType::kDate; }
+  /// True if ordered axis point `x` lies inside the interval and is not
+  /// excluded (ordered types only; ignores the null flag).
+  bool ContainsAxis(double x) const;
   /// Normalizes open integer bounds to closed ones (x > 3 -> x >= 4).
   void NormalizeIntegerBounds();
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "table/date.h"
 
 namespace dq {
 
@@ -418,6 +419,86 @@ Result<RuleFileParse> ParseRuleFileLenientAt(const Schema& schema,
   std::ifstream f(path);
   if (!f) return Status::IOError("cannot open '" + path + "' for reading");
   return ParseRuleFileLenient(schema, &f);
+}
+
+namespace {
+
+bool IsKeywordText(const std::string& text) {
+  const std::string lower = Lower(text);
+  return lower == "or" || lower == "and" || lower == "isnull" ||
+         lower == "isnotnull";
+}
+
+/// True when `text` survives the tokenizer as one bare word token that the
+/// grammar reads back as a constant (not an attribute, keyword or operator).
+bool ParsesAsBareConstant(const std::string& text, const Schema& schema) {
+  if (text.empty() || IsKeywordText(text)) return false;
+  if (schema.IndexOf(text).ok()) return false;  // would become relational
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (!IsWordChar(text[i])) return false;
+    // The tokenizer splits a word before an embedded arrow.
+    if (text[i] == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RenderConstantSource(int attr, const Value& v,
+                                 const Schema& schema) {
+  const AttributeDef& def = schema.attribute(static_cast<size_t>(attr));
+  switch (def.type) {
+    case DataType::kNominal: {
+      const std::string text = schema.ValueToString(attr, v);
+      return ParsesAsBareConstant(text, schema) ? text : "'" + text + "'";
+    }
+    case DataType::kNumeric:
+      return FormatDoubleRoundTrip(v.numeric());
+    case DataType::kDate:
+      return FormatDate(v.date_days());
+  }
+  return schema.ValueToString(attr, v);
+}
+
+std::string RenderAtomSource(const Atom& atom, const Schema& schema) {
+  const std::string lhs =
+      schema.attribute(static_cast<size_t>(atom.lhs_attr)).name;
+  switch (atom.op) {
+    case AtomOp::kIsNull:
+      return lhs + " isnull";
+    case AtomOp::kIsNotNull:
+      return lhs + " isnotnull";
+    default:
+      break;
+  }
+  const std::string rhs =
+      atom.rhs_is_attr
+          ? schema.attribute(static_cast<size_t>(atom.rhs_attr)).name
+          : RenderConstantSource(atom.lhs_attr, atom.rhs_value, schema);
+  return lhs + " " + AtomOpToString(atom.op) + " " + rhs;
+}
+
+}  // namespace
+
+std::string RenderFormulaSource(const Formula& f, const Schema& schema) {
+  if (f.is_atom()) return RenderAtomSource(f.atom(), schema);
+  const char* joiner = f.kind() == Formula::Kind::kAnd ? " AND " : " OR ";
+  std::string out;
+  for (size_t i = 0; i < f.children().size(); ++i) {
+    if (i > 0) out += joiner;
+    const Formula& child = f.children()[i];
+    if (child.is_atom()) {
+      out += RenderFormulaSource(child, schema);
+    } else {
+      out += "(" + RenderFormulaSource(child, schema) + ")";
+    }
+  }
+  return out;
+}
+
+std::string RenderRuleSource(const Rule& rule, const Schema& schema) {
+  return RenderFormulaSource(rule.premise, schema) + " -> " +
+         RenderFormulaSource(rule.consequent, schema);
 }
 
 }  // namespace dq

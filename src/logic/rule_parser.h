@@ -119,6 +119,16 @@ RuleFileParse ParseRuleFileLenient(const Schema& schema, std::istream* in);
 Result<RuleFileParse> ParseRuleFileLenientAt(const Schema& schema,
                                              const std::string& path);
 
+/// \brief Renders a formula as source text this parser accepts: numeric
+/// constants in shortest round-trip form, dates as YYYY-MM-DD, and nominal
+/// categories quoted whenever the bare spelling would mis-parse (text that
+/// names a schema attribute, matches a keyword, or contains characters
+/// outside the word-token alphabet). Compound children are parenthesized.
+std::string RenderFormulaSource(const Formula& f, const Schema& schema);
+
+/// \brief Renders "premise -> consequent" in parseable form.
+std::string RenderRuleSource(const Rule& rule, const Schema& schema);
+
 }  // namespace dq
 
 #endif  // DQ_LOGIC_RULE_PARSER_H_

@@ -42,6 +42,21 @@ bool AssociationRule::ViolatedBy(const Row& row) const {
   return RowHasItems(row, premise);
 }
 
+Rule AssociationRule::ToTdgRule() const {
+  std::vector<Formula> conditions;
+  conditions.reserve(premise.size());
+  for (const auto& [attr, code] : premise) {
+    conditions.push_back(
+        Formula::MakeAtom(Atom::Prop(attr, AtomOp::kEq, Value::Nominal(code))));
+  }
+  Rule rule;
+  rule.premise = conditions.size() == 1 ? std::move(conditions.front())
+                                        : Formula::And(std::move(conditions));
+  rule.consequent = Formula::MakeAtom(Atom::Prop(
+      consequent_attr, AtomOp::kEq, Value::Nominal(consequent_code)));
+  return rule;
+}
+
 std::string AssociationRule::ToString(const Schema& schema) const {
   std::string out;
   for (size_t i = 0; i < premise.size(); ++i) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "logic/formula.h"
 #include "table/table.h"
 
 namespace dq {
@@ -35,6 +36,10 @@ struct AssociationRule {
   /// \brief Premise holds but the consequent attribute carries a different
   /// (non-null) value.
   bool ViolatedBy(const Row& row) const;
+
+  /// \brief The rule as a TDG-rule (equality atoms on both sides) so mined
+  /// association knowledge can flow through the rule linter/auditor.
+  Rule ToTdgRule() const;
 
   std::string ToString(const Schema& schema) const;
 };

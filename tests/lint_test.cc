@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "lint/lint.h"
+#include "obs/metrics.h"
 #include "table/date.h"
 #include "tdg/rule_generator.h"
 
@@ -277,6 +278,113 @@ TEST(LintTest, PairwiseLimitEmitsSkipNote) {
   auto skipped = FindAll(result, "DQ030");
   ASSERT_EQ(skipped.size(), 1u);
   EXPECT_EQ(skipped[0].severity, LintSeverity::kNote);
+}
+
+TEST(LintTest, DeadDisjunctDQ031) {
+  Schema s = LintSchema();
+  // First branch of the premise DNF is an empty interval; the second keeps
+  // the rule alive, so this is a warning rather than DQ010.
+  const LintResult result = LintText(
+      s,
+      "(WEIGHT < 100 AND WEIGHT > 200) OR GROUP = G1 -> FAMILY = F1\n");
+  EXPECT_FALSE(result.HasErrors());
+  auto found = FindAll(result, "DQ031");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].check_name, "dead-disjunct");
+  EXPECT_EQ(found[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(found[0].message.find("disjunct 1 of 2"), std::string::npos);
+  EXPECT_TRUE(FindAll(result, "DQ010").empty());
+}
+
+TEST(LintTest, DeadDisjunctInConsequentDQ031) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(
+      s,
+      "GROUP = G1 -> FAMILY = F1 OR (WEIGHT > 300 AND WEIGHT < 200)\n");
+  auto found = FindAll(result, "DQ031");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("consequent"), std::string::npos);
+}
+
+TEST(LintTest, UnreachableThresholdDQ032) {
+  Schema s = LintSchema();
+  // WEIGHT < 100 already enforces WEIGHT < 200: the second threshold's
+  // decision boundary is never reached.
+  const LintResult result = LintText(
+      s, "GROUP = G1 AND WEIGHT < 100 AND WEIGHT < 200 -> FAMILY = F1\n");
+  EXPECT_FALSE(result.HasErrors());
+  auto found = FindAll(result, "DQ032");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].check_name, "unreachable-threshold");
+  EXPECT_EQ(found[0].severity, LintSeverity::kNote);
+  EXPECT_NE(found[0].message.find("WEIGHT < 200"), std::string::npos);
+}
+
+TEST(LintTest, DistinctThresholdsAreNotFlagged) {
+  Schema s = LintSchema();
+  const LintResult result = LintText(
+      s, "GROUP = G1 AND WEIGHT > 100 AND WEIGHT < 200 -> FAMILY = F1\n");
+  EXPECT_TRUE(FindAll(result, "DQ032").empty());
+}
+
+TEST(LintTest, IntervalWideningDQ036) {
+  Schema s = LintSchema();
+  // The premise's two disjuncts are disjoint intervals: the abstract join
+  // hull covers the (100, 200) gap and the summary over-approximates.
+  const LintResult result =
+      LintText(s, "WEIGHT < 100 OR WEIGHT > 200 -> FAMILY = F1\n");
+  EXPECT_FALSE(result.HasErrors());
+  auto found = FindAll(result, "DQ036");
+  ASSERT_GE(found.size(), 1u);
+  EXPECT_EQ(found[0].check_name, "interval-widening");
+  EXPECT_EQ(found[0].severity, LintSeverity::kNote);
+  EXPECT_NE(found[0].message.find("gap"), std::string::npos);
+}
+
+TEST(LintTest, AdjacentDisjunctsDoNotWiden) {
+  Schema s = LintSchema();
+  const LintResult result =
+      LintText(s, "WEIGHT < 200 OR WEIGHT > 100 -> FAMILY = F1\n");
+  EXPECT_TRUE(FindAll(result, "DQ036").empty());
+}
+
+TEST(LintTest, CheckCountersAreRecorded) {
+  // Satellite observability: lint runs report sat/implication test volume
+  // through the metrics registry.
+  Schema s = LintSchema();
+  obs::GetCounter("lint.checks_run")->Reset();
+  obs::GetCounter("lint.checks_skipped")->Reset();
+  const LintResult result = LintText(s,
+                                     "GROUP = G1 -> FAMILY = F2\n"
+                                     "GROUP = G2 -> FAMILY = F3\n");
+  EXPECT_FALSE(result.HasErrors());
+  EXPECT_GT(obs::GetCounter("lint.checks_run")->Value(), 0u);
+  EXPECT_EQ(obs::GetCounter("lint.checks_skipped")->Value(), 0u);
+}
+
+TEST(LintTest, PairwiseSkipCountsAllPairs) {
+  Schema s = LintSchema();
+  obs::GetCounter("lint.checks_skipped")->Reset();
+  LintOptions options;
+  options.max_pairwise_rules = 1;
+  const LintResult result = LintText(s,
+                                     "GROUP = G1 -> FAMILY = F1\n"
+                                     "GROUP = G2 -> FAMILY = F2\n"
+                                     "GROUP = G3 -> FAMILY = F3\n",
+                                     options);
+  ASSERT_EQ(FindAll(result, "DQ030").size(), 1u);
+  // All n*(n-1)/2 = 3 skipped pairwise tests are accounted for.
+  EXPECT_EQ(obs::GetCounter("lint.checks_skipped")->Value(), 3u);
+}
+
+TEST(LintTest, LintCheckByIdResolvesRegistryEntries) {
+  const LintCheckInfo& dq033 = LintCheckById("DQ033");
+  EXPECT_STREQ(dq033.id, "DQ033");
+  EXPECT_STREQ(dq033.name, "mined-expert-contradiction");
+  EXPECT_EQ(dq033.severity, LintSeverity::kWarning);
+  const LintCheckInfo& dq040 = LintCheckById("DQ040");
+  EXPECT_STREQ(dq040.name, "expert-implied-candidate");
+  EXPECT_EQ(dq040.severity, LintSeverity::kNote);
 }
 
 TEST(LintTest, CheckRegistryIsStable) {

@@ -327,6 +327,184 @@ TEST(ImplicationTest, EqImpliesIsNotNull) {
   EXPECT_TRUE(*r);
 }
 
+TEST(ImplicationTest, DateIntervalImplication) {
+  // Date axes are integral: D > 2 AND (D < 6 OR D = 6)  =>  D > 1, and the
+  // tightened interval [3, 6] does not imply the stricter D > 3.
+  Schema s = SatSchema();
+  SatChecker sat(&s);
+  Formula box = Formula::And(
+      {Formula::MakeAtom(Atom::Prop(5, AtomOp::kGt, Value::Date(2))),
+       Formula::Or(
+           {Formula::MakeAtom(Atom::Prop(5, AtomOp::kLt, Value::Date(6))),
+            Formula::MakeAtom(Atom::Prop(5, AtomOp::kEq, Value::Date(6)))})});
+  auto weaker = sat.Implies(
+      box, Formula::MakeAtom(Atom::Prop(5, AtomOp::kGt, Value::Date(1))));
+  ASSERT_TRUE(weaker.ok());
+  EXPECT_TRUE(*weaker);
+  auto stricter = sat.Implies(
+      box, Formula::MakeAtom(Atom::Prop(5, AtomOp::kGt, Value::Date(3))));
+  ASSERT_TRUE(stricter.ok());
+  EXPECT_FALSE(*stricter);
+}
+
+TEST(ImplicationTest, DateIntegerSharpening) {
+  // On an integer axis D < 5 means D <= 4, so D < 5 AND D > 3 pins D = 4.
+  Schema s = SatSchema();
+  SatChecker sat(&s);
+  Formula pinned = Formula::And(
+      {Formula::MakeAtom(Atom::Prop(5, AtomOp::kLt, Value::Date(5))),
+       Formula::MakeAtom(Atom::Prop(5, AtomOp::kGt, Value::Date(3)))});
+  auto r = sat.Implies(
+      pinned, Formula::MakeAtom(Atom::Prop(5, AtomOp::kEq, Value::Date(4))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  // The numeric twin (N < 5 AND N > 3) keeps a continuum and implies no
+  // single value.
+  Formula open_interval =
+      Formula::And({Formula::MakeAtom(NLt(5.0)), Formula::MakeAtom(NGt(3.0))});
+  auto rn = sat.Implies(
+      open_interval,
+      Formula::MakeAtom(Atom::Prop(2, AtomOp::kEq, Value::Numeric(4.0))));
+  ASSERT_TRUE(rn.ok());
+  EXPECT_FALSE(*rn);
+}
+
+TEST(ImplicationTest, CategoricalSetMembership) {
+  // A = x implies membership in the superset {x, y}; the reverse does not
+  // hold.
+  Schema s = SatSchema();
+  SatChecker sat(&s);
+  Formula set_xy = Formula::Or(
+      {Formula::MakeAtom(AEq(0)), Formula::MakeAtom(AEq(1))});
+  auto forward = sat.Implies(Formula::MakeAtom(AEq(0)), set_xy);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_TRUE(*forward);
+  auto backward = sat.Implies(set_xy, Formula::MakeAtom(AEq(0)));
+  ASSERT_TRUE(backward.ok());
+  EXPECT_FALSE(*backward);
+}
+
+TEST(ImplicationTest, CategoricalComplementEquivalence) {
+  // Over the 3-category domain {x, y, z}, (A = x OR A = y) and A != z name
+  // the same non-null set — implication holds both ways.
+  Schema s = SatSchema();
+  SatChecker sat(&s);
+  Formula set_xy = Formula::Or(
+      {Formula::MakeAtom(AEq(0)), Formula::MakeAtom(AEq(1))});
+  Formula not_z = Formula::MakeAtom(ANeq(2));
+  auto forward = sat.Implies(set_xy, not_z);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_TRUE(*forward);
+  auto backward = sat.Implies(not_z, set_xy);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_TRUE(*backward);
+}
+
+// --- Abstract-domain operations --------------------------------------------------
+
+TEST(DomainRangeTest, CoversIsPartialOrder) {
+  Schema s = SatSchema();
+  DomainRange full = DomainRange::FullDomain(s.attribute(2));
+  DomainRange narrow = DomainRange::FullDomain(s.attribute(2));
+  narrow.RestrictGt(Value::Numeric(3.0));
+  narrow.RestrictLt(Value::Numeric(7.0));
+  EXPECT_TRUE(full.Covers(narrow));
+  EXPECT_FALSE(narrow.Covers(full));
+  EXPECT_TRUE(narrow.Covers(narrow));
+  // Null permission participates in the order.
+  DomainRange no_null = DomainRange::FullDomain(s.attribute(2));
+  no_null.ForbidNull();
+  EXPECT_TRUE(full.Covers(no_null));
+  EXPECT_FALSE(no_null.Covers(full));
+}
+
+TEST(DomainRangeTest, CoversRespectsExcludedPoints) {
+  Schema s = SatSchema();
+  DomainRange holed = DomainRange::FullDomain(s.attribute(2));
+  holed.RestrictNeq(Value::Numeric(5.0));
+  DomainRange point = DomainRange::FullDomain(s.attribute(2));
+  point.RestrictEq(Value::Numeric(5.0));
+  EXPECT_FALSE(holed.Covers(point));
+  DomainRange other_point = DomainRange::FullDomain(s.attribute(2));
+  other_point.RestrictEq(Value::Numeric(4.0));
+  EXPECT_TRUE(holed.Covers(other_point));
+}
+
+TEST(DomainRangeTest, JoinWithoutGapIsExact) {
+  Schema s = SatSchema();
+  DomainRange a = DomainRange::FullDomain(s.attribute(2));
+  a.RestrictGt(Value::Numeric(2.0));
+  a.RestrictLt(Value::Numeric(5.0));
+  DomainRange b = DomainRange::FullDomain(s.attribute(2));
+  b.RestrictGt(Value::Numeric(4.0));
+  b.RestrictLt(Value::Numeric(8.0));
+  EXPECT_FALSE(a.JoinWith(b));  // overlapping intervals: no gap covered
+  EXPECT_TRUE(a.Contains(Value::Numeric(7.5)));
+  EXPECT_FALSE(a.Contains(Value::Numeric(2.0)));
+  EXPECT_FALSE(a.Contains(Value::Numeric(8.0)));
+}
+
+TEST(DomainRangeTest, JoinOverGapReportsPrecisionLoss) {
+  Schema s = SatSchema();
+  DomainRange a = DomainRange::FullDomain(s.attribute(2));
+  a.RestrictLt(Value::Numeric(3.0));
+  DomainRange b = DomainRange::FullDomain(s.attribute(2));
+  b.RestrictGt(Value::Numeric(7.0));
+  EXPECT_TRUE(a.JoinWith(b));  // hull covers the (3, 7) gap
+  EXPECT_TRUE(a.Contains(Value::Numeric(5.0)));  // over-approximation
+}
+
+TEST(DomainRangeTest, JoinKeepsCommonExclusionsOnly) {
+  Schema s = SatSchema();
+  DomainRange a = DomainRange::FullDomain(s.attribute(2));
+  a.RestrictNeq(Value::Numeric(4.0));
+  a.RestrictNeq(Value::Numeric(6.0));
+  DomainRange b = DomainRange::FullDomain(s.attribute(2));
+  b.RestrictNeq(Value::Numeric(6.0));
+  EXPECT_FALSE(a.JoinWith(b));
+  EXPECT_TRUE(a.Contains(Value::Numeric(4.0)));   // b admits 4
+  EXPECT_FALSE(a.Contains(Value::Numeric(6.0)));  // neither admits 6
+}
+
+TEST(DomainRangeTest, JoinNominalUnionsCategories) {
+  Schema s = SatSchema();
+  DomainRange a = DomainRange::FullDomain(s.attribute(0));
+  a.RestrictEq(Value::Nominal(0));
+  DomainRange b = DomainRange::FullDomain(s.attribute(0));
+  b.RestrictEq(Value::Nominal(1));
+  EXPECT_FALSE(a.JoinWith(b));  // finite set union: never over-approximates
+  EXPECT_TRUE(a.Contains(Value::Nominal(0)));
+  EXPECT_TRUE(a.Contains(Value::Nominal(1)));
+  EXPECT_FALSE(a.Contains(Value::Nominal(2)));
+}
+
+TEST(DomainRangeTest, WidenJumpsUnstableBounds) {
+  Schema s = SatSchema();  // N has domain [0, 10]
+  DomainRange prev = DomainRange::FullDomain(s.attribute(2));
+  prev.RestrictGt(Value::Numeric(3.0));
+  prev.RestrictLt(Value::Numeric(5.0));
+  DomainRange cur = DomainRange::FullDomain(s.attribute(2));
+  cur.RestrictGt(Value::Numeric(2.0));  // lower bound moved outward
+  cur.RestrictLt(Value::Numeric(5.0));  // upper bound stable
+  EXPECT_TRUE(cur.WidenAgainst(prev, s.attribute(2)));
+  EXPECT_TRUE(cur.Contains(Value::Numeric(0.5)));   // jumped to domain lo
+  EXPECT_FALSE(cur.Contains(Value::Numeric(5.0)));  // stable bound kept
+}
+
+TEST(DomainRangeTest, WidenStableIsNoOp) {
+  Schema s = SatSchema();
+  DomainRange prev = DomainRange::FullDomain(s.attribute(2));
+  prev.RestrictGt(Value::Numeric(3.0));
+  DomainRange cur = prev;
+  EXPECT_FALSE(cur.WidenAgainst(prev, s.attribute(2)));
+  EXPECT_FALSE(cur.Contains(Value::Numeric(3.0)));
+  // Nominal ranges are finite lattices: widening is always a no-op.
+  DomainRange nom_prev = DomainRange::FullDomain(s.attribute(0));
+  nom_prev.RestrictEq(Value::Nominal(0));
+  DomainRange nom_cur = DomainRange::FullDomain(s.attribute(0));
+  EXPECT_FALSE(nom_cur.WidenAgainst(nom_prev, s.attribute(0)));
+}
+
 // --- SolveConjunction -----------------------------------------------------------
 
 TEST(SolveTest, SolvesAndKeepsBaseValues) {

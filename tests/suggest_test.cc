@@ -1,0 +1,371 @@
+// Tests for the dqsuggest static analysis: the abstract-interpretation
+// layer (formula summaries, containment, disjointness) and the
+// SuggestEngine minimal-cover pipeline — every DQ03x drop reason on
+// crafted candidate sets, backward retirement, and the suggest.* counters.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rule_abstraction.h"
+#include "lint/suggest.h"
+#include "obs/metrics.h"
+#include "table/date.h"
+
+namespace dq {
+namespace {
+
+Schema SuggestSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddNominal("GROUP", {"G1", "G2", "G3", "G4"}).ok());
+  EXPECT_TRUE(s.AddNominal("FAMILY", {"F1", "F2", "F3", "F4"}).ok());
+  EXPECT_TRUE(s.AddNominal("PLANT", {"MANNHEIM", "KASSEL", "BERLIN"}).ok());
+  EXPECT_TRUE(s.AddNumeric("WEIGHT", 0.1, 500.0).ok());
+  EXPECT_TRUE(s.AddDate("INTRODUCED", DaysFromCivil({1995, 1, 1}),
+                        DaysFromCivil({2003, 12, 31}))
+                  .ok());
+  return s;
+}
+
+/// Builds a mined candidate from rule text with the given annotations.
+CandidateRule Cand(const Schema& schema, const std::string& text,
+                   double confidence, size_t support_count,
+                   const std::string& source) {
+  auto rule = ParseRule(schema, text);
+  EXPECT_TRUE(rule.ok()) << text << ": " << rule.status().message();
+  CandidateRule c;
+  c.rule = std::move(*rule);
+  c.source = source;
+  c.confidence = confidence;
+  c.support_count = support_count;
+  c.support = static_cast<double>(support_count) / 1000.0;
+  c.coverage = c.confidence > 0 ? c.support / c.confidence : 0.0;
+  return c;
+}
+
+/// Parses an expert rule program from text.
+std::vector<ParsedRule> Expert(const Schema& schema, const std::string& text) {
+  std::istringstream in(text);
+  RuleFileParse parse = ParseRuleFileLenient(schema, &in);
+  EXPECT_TRUE(parse.errors.empty());
+  return parse.rules;
+}
+
+std::vector<LintDiagnostic> FindAll(const SuggestResult& result,
+                                    const std::string& id) {
+  std::vector<LintDiagnostic> out;
+  for (const LintDiagnostic& d : result.diagnostics.diagnostics) {
+    if (d.check_id == id) out.push_back(d);
+  }
+  return out;
+}
+
+// --- RuleAbstraction ---------------------------------------------------------
+
+TEST(RuleAbstractionTest, ConjunctionSummaryIsExact) {
+  Schema s = SuggestSchema();
+  SatChecker sat(&s);
+  RuleAbstraction abs(&sat);
+  auto rule = ParseRule(s, "GROUP = G1 AND WEIGHT > 100 -> FAMILY = F1");
+  ASSERT_TRUE(rule.ok());
+  auto summary = abs.Summarize(rule->premise, {});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->reachable);
+  EXPECT_TRUE(summary->exact);
+  EXPECT_EQ(summary->num_disjuncts, 1u);
+  EXPECT_TRUE(summary->constrained[0]);   // GROUP
+  EXPECT_TRUE(summary->constrained[3]);   // WEIGHT
+  EXPECT_FALSE(summary->constrained[1]);  // FAMILY untouched
+}
+
+TEST(RuleAbstractionTest, DisjunctionSummaryIsInexact) {
+  Schema s = SuggestSchema();
+  SatChecker sat(&s);
+  RuleAbstraction abs(&sat);
+  auto rule = ParseRule(s, "WEIGHT < 100 OR WEIGHT > 200 -> FAMILY = F1");
+  ASSERT_TRUE(rule.ok());
+  auto summary = abs.Summarize(rule->premise, {});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->reachable);
+  EXPECT_FALSE(summary->exact);
+  EXPECT_TRUE(summary->joined_gap);
+}
+
+TEST(RuleAbstractionTest, DeadDisjunctRecorded) {
+  Schema s = SuggestSchema();
+  SatChecker sat(&s);
+  RuleAbstraction abs(&sat);
+  auto rule = ParseRule(
+      s, "(WEIGHT < 100 AND WEIGHT > 200) OR GROUP = G1 -> FAMILY = F1");
+  ASSERT_TRUE(rule.ok());
+  auto summary = abs.Summarize(rule->premise, {});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->reachable);
+  ASSERT_EQ(summary->dead_disjuncts.size(), 1u);
+  EXPECT_EQ(summary->dead_disjuncts[0], 0u);
+  // One live propositional disjunct remains: still exact.
+  EXPECT_TRUE(summary->exact);
+}
+
+TEST(RuleAbstractionTest, CoversSummaryDecidesContainment) {
+  Schema s = SuggestSchema();
+  SatChecker sat(&s);
+  RuleAbstraction abs(&sat);
+  auto narrow = ParseRule(s, "GROUP = G1 AND WEIGHT > 200 -> FAMILY = F1");
+  auto wide = ParseRule(s, "GROUP = G1 AND WEIGHT > 100 -> FAMILY = F1");
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  auto sn = abs.Summarize(narrow->premise, {});
+  auto sw = abs.Summarize(wide->premise, {});
+  ASSERT_TRUE(sn.ok() && sw.ok());
+  EXPECT_EQ(RuleAbstraction::CoversSummary(*sw, *sn), AbstractTri::kYes);
+  EXPECT_EQ(RuleAbstraction::CoversSummary(*sn, *sw), AbstractTri::kNo);
+}
+
+TEST(RuleAbstractionTest, CoversSummaryUnknownWhenInexact) {
+  Schema s = SuggestSchema();
+  SatChecker sat(&s);
+  RuleAbstraction abs(&sat);
+  // The outer summary joins a gap, so containment of the inner region in
+  // the *summary* proves nothing about the formula: answer is unknown.
+  auto outer = ParseRule(s, "WEIGHT < 100 OR WEIGHT > 200 -> FAMILY = F1");
+  auto inner = ParseRule(s, "WEIGHT > 300 -> FAMILY = F1");
+  ASSERT_TRUE(outer.ok() && inner.ok());
+  auto so = abs.Summarize(outer->premise, {});
+  auto si = abs.Summarize(inner->premise, {});
+  ASSERT_TRUE(so.ok() && si.ok());
+  EXPECT_EQ(RuleAbstraction::CoversSummary(*so, *si), AbstractTri::kUnknown);
+}
+
+TEST(RuleAbstractionTest, DisjointSummariesPrecludeCoFiring) {
+  Schema s = SuggestSchema();
+  SatChecker sat(&s);
+  RuleAbstraction abs(&sat);
+  auto a = ParseRule(s, "GROUP = G1 -> FAMILY = F1");
+  auto b = ParseRule(s, "GROUP = G2 -> FAMILY = F2");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto sa = abs.Summarize(a->premise, {});
+  auto sb = abs.Summarize(b->premise, {});
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_TRUE(sa->DisjointWith(*sb));
+  auto c = ParseRule(s, "WEIGHT > 100 -> FAMILY = F1");
+  auto sc = abs.Summarize(c->premise, {});
+  ASSERT_TRUE(sc.ok());
+  EXPECT_FALSE(sa->DisjointWith(*sc));
+}
+
+// --- SuggestEngine -----------------------------------------------------------
+
+TEST(SuggestEngineTest, AcceptsCleanCandidates) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 400, "c45:FAMILY:path#1"),
+      Cand(s, "GROUP = G2 -> FAMILY = F2", 0.95, 300, "c45:FAMILY:path#2"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  EXPECT_EQ(result.num_candidates, 2u);
+  ASSERT_EQ(result.accepted.size(), 2u);
+  // Ranked by confidence.
+  EXPECT_EQ(result.accepted[0].source, "c45:FAMILY:path#1");
+  EXPECT_FALSE(result.diagnostics.HasErrors());
+}
+
+TEST(SuggestEngineTest, ConfidenceFloorDQ037) {
+  Schema s = SuggestSchema();
+  SuggestOptions options;
+  options.min_confidence = 0.9;
+  SuggestEngine engine(&s, options);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.80, 400, "assoc#1"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  EXPECT_TRUE(result.accepted.empty());
+  EXPECT_EQ(result.num_filtered, 1u);
+  auto found = FindAll(result, "DQ037");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].loc.line, 1u);  // synthesized from candidate order
+}
+
+TEST(SuggestEngineTest, SupportFloorDQ035) {
+  Schema s = SuggestSchema();
+  SuggestOptions options;
+  options.min_support_count = 10;
+  SuggestEngine engine(&s, options);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 3, "assoc#1"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  EXPECT_TRUE(result.accepted.empty());
+  EXPECT_EQ(result.num_filtered, 1u);
+  EXPECT_EQ(FindAll(result, "DQ035").size(), 1u);
+}
+
+TEST(SuggestEngineTest, InvalidCandidatesDroppedByLint) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      // Contradictory rule: fails the per-candidate battery with DQ012.
+      Cand(s, "GROUP = G1 -> GROUP = G2", 0.99, 400, "assoc#1"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  EXPECT_TRUE(result.accepted.empty());
+  EXPECT_EQ(result.num_invalid, 1u);
+  EXPECT_FALSE(FindAll(result, "DQ012").empty());
+}
+
+TEST(SuggestEngineTest, ExpertContradictionDQ033) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 400, "c45:FAMILY:path#1"),
+  };
+  std::vector<ParsedRule> expert =
+      Expert(s, "GROUP = G1 -> FAMILY = F2\n");
+  SuggestResult result = engine.Analyze(cands, expert);
+  EXPECT_TRUE(result.accepted.empty());
+  EXPECT_EQ(result.num_conflicts, 1u);
+  auto found = FindAll(result, "DQ033");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(found[0].message.find("expert rule"), std::string::npos);
+}
+
+TEST(SuggestEngineTest, MinedConflictDropsLowerRankedDQ033) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      // The stronger-premise candidate conflicts with the higher-ranked
+      // general one: accepting both would lint as DQ020.
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 400, "c45:FAMILY:path#1"),
+      Cand(s, "GROUP = G1 AND PLANT = KASSEL -> FAMILY = F2", 0.98, 50,
+           "c45:FAMILY:path#2"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].source, "c45:FAMILY:path#1");
+  EXPECT_EQ(result.num_conflicts, 1u);
+  ASSERT_EQ(FindAll(result, "DQ033").size(), 1u);
+}
+
+TEST(SuggestEngineTest, SubsumedSiblingDQ034) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 400, "c45:FAMILY:path#1"),
+      // Specialization with the same conclusion: adds nothing.
+      Cand(s, "GROUP = G1 AND PLANT = KASSEL -> FAMILY = F1", 0.97, 50,
+           "c45:FAMILY:path#2"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].source, "c45:FAMILY:path#1");
+  EXPECT_EQ(result.num_subsumed, 1u);
+  EXPECT_EQ(FindAll(result, "DQ034").size(), 1u);
+}
+
+TEST(SuggestEngineTest, BackwardRetirementPrunesSpecializations) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      // Greedy rank accepts the high-confidence specialization first; when
+      // the general rule arrives it must retire the specialization, not
+      // coexist with it (the emitted file would lint as DQ022).
+      Cand(s, "GROUP = G1 AND PLANT = KASSEL -> FAMILY = F1", 0.99, 50,
+           "c45:FAMILY:path#1"),
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.95, 400, "c45:FAMILY:path#2"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].source, "c45:FAMILY:path#2");
+  EXPECT_EQ(result.num_subsumed, 1u);
+  auto found = FindAll(result, "DQ034");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_NE(found[0].message.find("retired"), std::string::npos);
+}
+
+TEST(SuggestEngineTest, DuplicateCandidateDQ038) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 400, "c45:FAMILY:path#1"),
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.98, 390, "assoc#1"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.num_subsumed, 1u);
+  EXPECT_EQ(FindAll(result, "DQ038").size(), 1u);
+}
+
+TEST(SuggestEngineTest, BudgetCapDQ039) {
+  Schema s = SuggestSchema();
+  SuggestOptions options;
+  options.max_rules = 1;
+  SuggestEngine engine(&s, options);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 400, "c45:FAMILY:path#1"),
+      Cand(s, "GROUP = G2 -> FAMILY = F2", 0.95, 300, "c45:FAMILY:path#2"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].source, "c45:FAMILY:path#1");
+  EXPECT_EQ(result.num_truncated, 1u);
+  EXPECT_EQ(FindAll(result, "DQ039").size(), 1u);
+}
+
+TEST(SuggestEngineTest, ExpertImpliedDQ040) {
+  Schema s = SuggestSchema();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      // Specialization of an expert rule with the same conclusion: the
+      // expert program already enforces it.
+      Cand(s, "GROUP = G1 AND PLANT = KASSEL -> FAMILY = F1", 0.99, 50,
+           "c45:FAMILY:path#1"),
+  };
+  std::vector<ParsedRule> expert = Expert(s, "GROUP = G1 -> FAMILY = F1\n");
+  SuggestResult result = engine.Analyze(cands, expert);
+  EXPECT_TRUE(result.accepted.empty());
+  EXPECT_EQ(result.num_subsumed, 1u);
+  EXPECT_EQ(FindAll(result, "DQ040").size(), 1u);
+}
+
+TEST(SuggestEngineTest, CountersTrackOutcomes) {
+  Schema s = SuggestSchema();
+  obs::GetCounter("suggest.candidates")->Reset();
+  obs::GetCounter("suggest.accepted")->Reset();
+  obs::GetCounter("suggest.dropped_subsumed")->Reset();
+  obs::GetCounter("suggest.conflicts")->Reset();
+  SuggestEngine engine(&s);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.99, 400, "c45:FAMILY:path#1"),
+      Cand(s, "GROUP = G1 AND PLANT = KASSEL -> FAMILY = F1", 0.97, 50,
+           "c45:FAMILY:path#2"),
+      Cand(s, "GROUP = G2 -> FAMILY = F2", 0.95, 300, "c45:FAMILY:path#3"),
+  };
+  std::vector<ParsedRule> expert = Expert(s, "GROUP = G2 -> FAMILY = F3\n");
+  SuggestResult result = engine.Analyze(cands, expert);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(obs::GetCounter("suggest.candidates")->Value(), 3u);
+  EXPECT_EQ(obs::GetCounter("suggest.accepted")->Value(), 1u);
+  EXPECT_EQ(obs::GetCounter("suggest.dropped_subsumed")->Value(), 1u);
+  EXPECT_EQ(obs::GetCounter("suggest.conflicts")->Value(), 1u);
+}
+
+TEST(SuggestEngineTest, DiagnosticsSortedBySynthesizedLocation) {
+  Schema s = SuggestSchema();
+  SuggestOptions options;
+  options.min_confidence = 0.9;
+  SuggestEngine engine(&s, options);
+  std::vector<CandidateRule> cands = {
+      Cand(s, "GROUP = G1 -> FAMILY = F1", 0.80, 400, "assoc#1"),
+      Cand(s, "GROUP = G2 -> FAMILY = F2", 0.70, 300, "assoc#2"),
+  };
+  SuggestResult result = engine.Analyze(cands, {});
+  ASSERT_EQ(result.diagnostics.diagnostics.size(), 2u);
+  EXPECT_LE(result.diagnostics.diagnostics[0].loc.line,
+            result.diagnostics.diagnostics[1].loc.line);
+}
+
+}  // namespace
+}  // namespace dq

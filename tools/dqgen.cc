@@ -16,6 +16,10 @@
 //   --factor F        pollution factor (default 1.0)
 //   --log FILE        write the corruption log
 //   --truth FILE      write per-dirty-row ground truth (row,corrupted,origin)
+//   --quis            generate the synthetic QUIS engine-composition sample
+//                     (sec. 6.2 surrogate) instead of a rule-driven
+//                     database; --schema/--rules are ignored, the 8
+//                     attributes come from MakeQuisSchema
 //   --print-rules     print the generated rule set
 //   --lint            run the dqlint check battery over the rule set before
 //                     generating; lint errors abort with exit code 1
@@ -41,6 +45,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pollution/pipeline.h"
+#include "quis/quis_sample.h"
 #include "table/csv.h"
 #include "table/schema_spec.h"
 #include "tdg/data_generator.h"
@@ -61,6 +66,7 @@ struct Options {
   int rules = 25;
   uint64_t seed = 1;
   double factor = 1.0;
+  bool quis = false;
   bool print_rules = false;
   bool lint = false;
   bool verify_roundtrip = false;
@@ -73,7 +79,8 @@ struct Options {
 void Usage() {
   std::fprintf(stderr,
                "usage: dqgen --schema spec.txt --records N --clean out.csv\n"
-               "  [--rules 25] [--seed 1] [--dirty out.csv] [--factor 1.0]\n"
+               "  [--quis] [--rules 25] [--seed 1] [--dirty out.csv]\n"
+               "  [--factor 1.0]\n"
                "  [--log corruption.log] [--truth truth.csv] [--print-rules]\n"
                "  [--rules-file rules.txt] [--lint] [--verify-roundtrip]\n"
                "  [--ingest-report report.json] [--trace-out trace.json]\n"
@@ -112,6 +119,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->factor = std::atof(value.c_str());
       continue;
     }
+    if (arg == "--quis") {
+      opts->quis = true;
+      continue;
+    }
     if (arg == "--print-rules") {
       opts->print_rules = true;
       continue;
@@ -139,7 +150,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
     return false;
   }
-  return !opts->schema_path.empty() && opts->records > 0 &&
+  return (opts->quis || !opts->schema_path.empty()) && opts->records > 0 &&
          !opts->clean_path.empty();
 }
 
@@ -191,16 +202,40 @@ int main(int argc, char** argv) {
     (void)obs::AddInputFileHash(&manifest, "rules", opts.rules_path);
   }
 
-  auto schema = ParseSchemaSpecFile(opts.schema_path);
-  if (!schema.ok()) return Fail(schema.status());
+  Schema schema;
+  if (opts.quis) {
+    schema = MakeQuisSchema();
+  } else {
+    auto parsed_schema = ParseSchemaSpecFile(opts.schema_path);
+    if (!parsed_schema.ok()) return Fail(parsed_schema.status());
+    schema = std::move(*parsed_schema);
+  }
 
   std::vector<Rule> rules;
-  if (!opts.rules_path.empty()) {
+  Table clean;
+  if (opts.quis) {
+    QuisConfig qcfg;
+    qcfg.num_records = opts.records;
+    qcfg.seed = opts.seed;
+    auto sample = [&] {
+      obs::Span span("quis.generate");
+      return GenerateQuisSample(qcfg);
+    }();
+    if (!sample.ok()) return Fail(sample.status());
+    clean = std::move(sample->table);
+    obs::GetCounter("tdg.records_generated")->Add(clean.num_rows());
+    Status written = WriteCsvFile(clean, opts.clean_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("generated %zu QUIS engine-composition records (planted "
+                "deviation at row %zu) -> %s\n",
+                clean.num_rows(), sample->planted_deviation_row,
+                opts.clean_path.c_str());
+  } else if (!opts.rules_path.empty()) {
     // The lint pre-pass rejects malformed rule files with actionable,
     // position-annotated diagnostics instead of silently generating
     // garbage data.
     if (opts.lint) {
-      Linter linter(&*schema);
+      Linter linter(&schema);
       auto lint_result = linter.LintFileAt(opts.rules_path);
       if (!lint_result.ok()) return Fail(lint_result.status());
       std::fputs(RenderLintText(*lint_result, opts.rules_path).c_str(),
@@ -212,12 +247,12 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    auto parsed = ParseRuleFileAt(*schema, opts.rules_path);
+    auto parsed = ParseRuleFileAt(schema, opts.rules_path);
     if (!parsed.ok()) return Fail(parsed.status());
     rules = std::move(*parsed);
     // Expert-written rules are advisory-checked against the naturalness
     // conditions; contradictions would make generation impossible.
-    NaturalnessChecker checker(&*schema);
+    NaturalnessChecker checker(&schema);
     auto natural = checker.IsNaturalRuleSet(rules);
     if (natural.ok() && !*natural) {
       DQ_LOG_WARN("dqgen",
@@ -229,7 +264,7 @@ int main(int argc, char** argv) {
     RuleGenConfig rcfg;
     rcfg.num_rules = opts.rules;
     rcfg.seed = opts.seed;
-    RuleGenerator rule_gen(&*schema, rcfg);
+    RuleGenerator rule_gen(&schema, rcfg);
     auto generated = [&] {
       obs::Span span("tdg.rules");
       return rule_gen.Generate();
@@ -237,7 +272,7 @@ int main(int argc, char** argv) {
     if (!generated.ok()) return Fail(generated.status());
     rules = std::move(*generated);
     if (opts.lint) {
-      Linter linter(&*schema);
+      Linter linter(&schema);
       const LintResult lint_result = linter.LintRules(rules);
       std::fputs(RenderLintText(lint_result, "<generated>").c_str(), stderr);
       if (lint_result.HasErrors()) {
@@ -248,31 +283,34 @@ int main(int argc, char** argv) {
   }
   if (opts.print_rules) {
     for (const Rule& r : rules) {
-      std::printf("rule: %s\n", r.ToString(*schema).c_str());
+      std::printf("rule: %s\n", r.ToString(schema).c_str());
     }
   }
 
-  std::vector<DistributionSpec> specs(schema->num_attributes(),
-                                      DistributionSpec::Uniform());
-  DataGenerator data_gen(&*schema, specs, nullptr, rules);
-  DataGenConfig dcfg;
-  dcfg.num_records = opts.records;
-  dcfg.seed = opts.seed ^ 0x9e3779b9ULL;
-  auto data = [&] {
-    obs::Span span("tdg.generate");
-    return data_gen.Generate(dcfg);
-  }();
-  if (!data.ok()) return Fail(data.status());
-  obs::GetCounter("tdg.records_generated")->Add(data->table.num_rows());
-  Status written = WriteCsvFile(data->table, opts.clean_path);
-  if (!written.ok()) return Fail(written);
-  std::printf("generated %zu records following %zu rules -> %s\n",
-              data->table.num_rows(), rules.size(), opts.clean_path.c_str());
+  if (!opts.quis) {
+    std::vector<DistributionSpec> specs(schema.num_attributes(),
+                                        DistributionSpec::Uniform());
+    DataGenerator data_gen(&schema, specs, nullptr, rules);
+    DataGenConfig dcfg;
+    dcfg.num_records = opts.records;
+    dcfg.seed = opts.seed ^ 0x9e3779b9ULL;
+    auto data = [&] {
+      obs::Span span("tdg.generate");
+      return data_gen.Generate(dcfg);
+    }();
+    if (!data.ok()) return Fail(data.status());
+    clean = std::move(data->table);
+    obs::GetCounter("tdg.records_generated")->Add(clean.num_rows());
+    Status written = WriteCsvFile(clean, opts.clean_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("generated %zu records following %zu rules -> %s\n",
+                clean.num_rows(), rules.size(), opts.clean_path.c_str());
+  }
 
   IngestReport verify_report;
   if (opts.verify_roundtrip) {
-    Status verified = VerifyRoundTrip(*schema, data->table, opts.clean_path,
-                                      &verify_report);
+    Status verified =
+        VerifyRoundTrip(schema, clean, opts.clean_path, &verify_report);
     if (!verified.ok()) return Fail(verified);
   }
   auto finish = [&]() -> int {
@@ -304,17 +342,17 @@ int main(int argc, char** argv) {
                              opts.factor);
   auto polluted = [&] {
     obs::Span span("pollute");
-    return pipeline.Apply(data->table);
+    return pipeline.Apply(clean);
   }();
   if (!polluted.ok()) return Fail(polluted.status());
   obs::GetCounter("pollute.records_corrupted")->Add(polluted->CorruptedCount());
-  written = WriteCsvFile(polluted->dirty, opts.dirty_path);
+  Status written = WriteCsvFile(polluted->dirty, opts.dirty_path);
   if (!written.ok()) return Fail(written);
   std::printf("polluted %zu of %zu records (factor %.2f) -> %s\n",
               polluted->CorruptedCount(), polluted->dirty.num_rows(),
               opts.factor, opts.dirty_path.c_str());
   if (opts.verify_roundtrip) {
-    Status verified = VerifyRoundTrip(*schema, polluted->dirty,
+    Status verified = VerifyRoundTrip(schema, polluted->dirty,
                                       opts.dirty_path, &verify_report);
     if (!verified.ok()) return Fail(verified);
   }
@@ -323,7 +361,7 @@ int main(int argc, char** argv) {
     std::ofstream log(opts.log_path);
     if (!log) return Fail(Status::IOError("cannot open " + opts.log_path));
     for (const CorruptionEvent& ev : polluted->log) {
-      log << ev.ToString(*schema) << '\n';
+      log << ev.ToString(schema) << '\n';
     }
   }
   if (!opts.truth_path.empty()) {
