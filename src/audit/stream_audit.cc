@@ -1,0 +1,127 @@
+#include "audit/stream_audit.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "common/strings.h"
+#include "table/csv.h"
+
+namespace dq {
+
+namespace {
+
+/// Single-pass ingest fan-out: every kept record lands in the segment
+/// store (columnar, spillable) and is offered to the reservoir (row form,
+/// bounded). Records are offered in global order — OnChunk is called
+/// serially by the CSV driver — which is what keeps the sample
+/// chunking-invariant.
+class StreamingIngestSink : public CsvChunkSink {
+ public:
+  StreamingIngestSink(SegmentStore* store, ReservoirSampler* sampler)
+      : store_(store), sampler_(sampler) {}
+
+  Status OnChunk(const TableChunk& chunk,
+                 const std::vector<uint8_t>& keep) override {
+    for (size_t i = 0; i < chunk.num_rows(); ++i) {
+      if (keep[i] == 0) continue;
+      sampler_->Offer(chunk.MaterializeRow(i));
+    }
+    return store_->Append(chunk, &keep);
+  }
+
+ private:
+  SegmentStore* store_;
+  ReservoirSampler* sampler_;
+};
+
+}  // namespace
+
+Result<StreamAuditResult> RunStreamingCsvAudit(
+    const Schema& schema, const std::string& csv_path,
+    const StreamAuditOptions& options) {
+  if (options.sample_rows == 0) {
+    return Status::InvalidArgument("sample_rows must be positive");
+  }
+  StreamAuditResult result;
+  SegmentStore store(schema, options.store);
+  ReservoirSampler sampler(options.sample_rows, options.sample_seed);
+  StreamingIngestSink sink(&store, &sampler);
+  DQ_RETURN_NOT_OK(
+      ReadCsvFileChunks(schema, csv_path, options.csv, &sink, &result.ingest));
+  DQ_RETURN_NOT_OK(store.Finish());
+  result.timings.ingest_ms = result.ingest.parse_ms;
+  result.total_rows = store.num_rows();
+
+  const Table sample = sampler.BuildSampleTable(schema);
+  result.sampled_rows = sample.num_rows();
+
+  const Auditor auditor(options.auditor);
+  DQ_ASSIGN_OR_RETURN(result.model, auditor.Induce(sample, &result.timings));
+
+  // Deviation detection per segment. Records are scored independently of
+  // one another (Def. 7/8 look only at the model), so segment-local audits
+  // see the same confidences the whole-table audit would. Only each
+  // segment's suspicious list survives — the per-record score vectors die
+  // with the segment, so audit memory is bounded by one segment plus the
+  // flagged rows.
+  for (size_t s = 0; s < store.num_segments(); ++s) {
+    DQ_ASSIGN_OR_RETURN(const Table* segment, store.Pin(s));
+    AuditTimings segment_timings;
+    DQ_ASSIGN_OR_RETURN(AuditReport report,
+                        auditor.Audit(result.model, *segment,
+                                      &segment_timings));
+    result.timings.audit_ms += segment_timings.audit_ms;
+    const size_t base = store.segment_base_row(s);
+    result.suspicious.reserve(result.suspicious.size() +
+                              report.suspicious.size());
+    for (Suspicion& suspicion : report.suspicious) {
+      suspicion.row += base;  // segment-local -> global row index
+      result.suspicious.push_back(std::move(suspicion));
+    }
+    DQ_RETURN_NOT_OK(store.Unpin(s));
+  }
+
+  // Merge: each per-segment list is already stable-ranked (confidence
+  // descending, row ascending on ties), and the lists were concatenated in
+  // base-row order, so ties across segments sit in global row order too.
+  // One stable sort by confidence alone therefore reproduces exactly the
+  // ranking Auditor::Audit emits for the whole table.
+  std::stable_sort(result.suspicious.begin(), result.suspicious.end(),
+                   [](const Suspicion& a, const Suspicion& b) {
+                     return a.error_confidence > b.error_confidence;
+                   });
+
+  result.store_stats = store.stats();
+  return result;
+}
+
+Status WriteStreamAuditReportCsv(const std::vector<Suspicion>& suspicious,
+                                 const Schema& schema, std::ostream* out) {
+  *out << "rank,row,error_confidence,attribute,observed,suggestion,support\n";
+  size_t rank = 1;
+  for (const Suspicion& s : suspicious) {
+    if (s.attr < 0 || static_cast<size_t>(s.attr) >= schema.num_attributes()) {
+      return Status::InvalidArgument("report does not match the schema");
+    }
+    *out << rank++ << ',' << s.row << ','
+         << FormatDouble(s.error_confidence, 6) << ','
+         << CsvQuote(schema.attribute(static_cast<size_t>(s.attr)).name, ',')
+         << ',' << CsvQuote(schema.ValueToString(s.attr, s.observed), ',')
+         << ',' << CsvQuote(schema.ValueToString(s.attr, s.suggestion), ',')
+         << ',' << FormatDouble(s.support, 1) << '\n';
+  }
+  if (!*out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteStreamAuditReportCsvFile(const std::vector<Suspicion>& suspicious,
+                                     const Schema& schema,
+                                     const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteStreamAuditReportCsv(suspicious, schema, &f);
+}
+
+}  // namespace dq

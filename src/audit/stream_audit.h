@@ -1,0 +1,88 @@
+// Out-of-core audit: memory-budgeted streaming variant of the classic
+// ingest -> Induce -> Audit pipeline.
+//
+// The classic path holds the whole table plus per-record score vectors in
+// RAM. The streaming path bounds both sides:
+//
+//   1. Ingest streams the CSV once through a CsvChunkSink that feeds a
+//      SegmentStore (segments spill to disk past --memory-budget) and a
+//      ReservoirSampler (a uniform sample_rows-row sample of the stream).
+//   2. Structure induction trains on the sample table, so the
+//      EncodedDataset is bounded by the sample size, not the input.
+//   3. Deviation detection walks the segments in order — Pin, Audit,
+//      offset rows by the segment's base row, Unpin — keeping only each
+//      segment's suspicious list, then merges the lists into the global
+//      ranking with one stable sort by error confidence.
+//
+// Determinism: the sample depends only on (seed, record sequence); segment
+// boundaries depend only on the record sequence; the merged ranking equals
+// the ranking Auditor::Audit would produce over the whole table with the
+// same model. Hence the report is bitwise identical for every memory
+// budget, and — when sample_rows >= total rows, where the sample IS the
+// table in original order — identical to the classic in-memory path too.
+
+#ifndef DQ_AUDIT_STREAM_AUDIT_H_
+#define DQ_AUDIT_STREAM_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "mining/sample.h"
+#include "table/csv.h"
+#include "table/segment_store.h"
+
+namespace dq {
+
+struct StreamAuditOptions {
+  /// Reservoir capacity for the induction sample. When this reaches the
+  /// input size the sample is the full table and the streaming audit
+  /// reproduces the classic path exactly.
+  size_t sample_rows = 200000;
+
+  /// Seed of the reservoir's RNG (fixed default: rerunning the same file
+  /// with the same options gives the same report).
+  uint64_t sample_seed = 2003;
+
+  /// Segment sizing, memory budget and spill directory.
+  SegmentStoreOptions store;
+
+  /// CSV dialect, error policy and decode threads for the single pass.
+  CsvOptions csv;
+
+  AuditorConfig auditor;
+};
+
+/// \brief Everything a streaming audit run produces. Unlike AuditReport
+/// there are no per-record vectors — only the ranked suspicious list, so
+/// the result's footprint scales with the number of flagged records.
+struct StreamAuditResult {
+  AuditModel model;
+  AuditTimings timings;
+  IngestReport ingest;
+  size_t total_rows = 0;    ///< rows audited (kept by ingest)
+  size_t sampled_rows = 0;  ///< rows the model was trained on
+  /// Globally ranked suspicions (error confidence descending, row
+  /// ascending on ties); Suspicion::row is the global row index.
+  std::vector<Suspicion> suspicious;
+  SegmentStore::Stats store_stats;
+};
+
+/// \brief Runs the full streaming audit over a CSV file.
+Result<StreamAuditResult> RunStreamingCsvAudit(const Schema& schema,
+                                               const std::string& csv_path,
+                                               const StreamAuditOptions& options);
+
+/// \brief Writes the ranked streaming suspicions in exactly the classic
+/// report CSV format (rank,row,error_confidence,attribute,observed,
+/// suggestion,support) — byte-compatible with WriteAuditReportCsv.
+Status WriteStreamAuditReportCsv(const std::vector<Suspicion>& suspicious,
+                                 const Schema& schema, std::ostream* out);
+
+Status WriteStreamAuditReportCsvFile(const std::vector<Suspicion>& suspicious,
+                                     const Schema& schema,
+                                     const std::string& path);
+
+}  // namespace dq
+
+#endif  // DQ_AUDIT_STREAM_AUDIT_H_

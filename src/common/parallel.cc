@@ -37,9 +37,11 @@ int HardwareThreads() {
 }
 
 int ResolveThreadCount(int requested) {
-  if (requested <= 0) {
-    return requested == 0 ? HardwareThreads() : 1;
-  }
+  // Zero and negative both mean "hardware default": every CLI and pool
+  // constructor funnels through here, so the normalization is uniform
+  // instead of tool-by-tool ad hoc (negatives used to clamp to 1 while 0
+  // meant auto — two undocumented behaviors for one misconfiguration).
+  if (requested <= 0) return HardwareThreads();
   return requested;
 }
 

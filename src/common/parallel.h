@@ -27,8 +27,10 @@ namespace dq {
 /// \brief Number of hardware threads; always >= 1.
 int HardwareThreads();
 
-/// \brief Maps a user thread-count setting to an effective count:
-/// 0 (auto) becomes HardwareThreads(), negatives clamp to 1.
+/// \brief Maps a user thread-count setting to an effective count: any
+/// non-positive value (0 = auto, negatives included) becomes
+/// HardwareThreads(). One documented behavior for every CLI and for
+/// ThreadPool construction.
 int ResolveThreadCount(int requested);
 
 /// \brief Deterministic per-task child seed: the same (base_seed, task_id)

@@ -89,4 +89,40 @@ bool ParseInt64(std::string_view s, int64_t* out) {
   return true;
 }
 
+bool ParseByteSize(std::string_view s, uint64_t* out) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return false;
+  // Strip the optional multiplier suffix: K/M/G/T, optionally followed by
+  // "B" or "iB" ("64K", "2g", "512B", "1GiB" all work).
+  uint64_t multiplier = 1;
+  size_t end = s.size();
+  bool saw_i = false;
+  if (end >= 2 && (s[end - 1] == 'B' || s[end - 1] == 'b')) {
+    --end;
+    if (end >= 2 && (s[end - 1] == 'i' || s[end - 1] == 'I')) {
+      --end;
+      saw_i = true;
+    }
+  }
+  if (end >= 1) {
+    switch (s[end - 1]) {
+      case 'K': case 'k': multiplier = uint64_t{1} << 10; --end; break;
+      case 'M': case 'm': multiplier = uint64_t{1} << 20; --end; break;
+      case 'G': case 'g': multiplier = uint64_t{1} << 30; --end; break;
+      case 'T': case 't': multiplier = uint64_t{1} << 40; --end; break;
+      default: break;
+    }
+  }
+  // "iB" only follows a multiplier letter ("1iB" is not a byte count).
+  if (saw_i && multiplier == 1) return false;
+  s = s.substr(0, end);
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  if (multiplier != 1 && v > UINT64_MAX / multiplier) return false;
+  *out = v * multiplier;
+  return true;
+}
+
 }  // namespace dq

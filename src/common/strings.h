@@ -32,6 +32,12 @@ bool ParseDouble(std::string_view s, double* out);
 /// \brief True if `s` parses fully as a 64-bit integer.
 bool ParseInt64(std::string_view s, int64_t* out);
 
+/// \brief True if `s` parses fully as a byte count: a non-negative integer
+/// with an optional binary-multiple suffix K/M/G/T (case-insensitive,
+/// optional trailing B), e.g. "65536", "64K", "2g", "1GiB". Rejects
+/// negative values, junk and overflow.
+bool ParseByteSize(std::string_view s, uint64_t* out);
+
 }  // namespace dq
 
 #endif  // DQ_COMMON_STRINGS_H_

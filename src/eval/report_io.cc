@@ -3,30 +3,26 @@
 #include <fstream>
 #include <ostream>
 
-#include "common/strings.h"
-#include "table/csv.h"
+#include "audit/stream_audit.h"
 
 namespace dq {
 
 Status WriteAuditReportCsv(const AuditReport& report, const Table& data,
                            std::ostream* out) {
-  const Schema& schema = data.schema();
-  *out << "rank,row,error_confidence,attribute,observed,suggestion,support\n";
-  size_t rank = 1;
+  // Same writer the streaming audit uses (so both paths emit identical
+  // bytes); the only in-memory extra is the row bounds check, which the
+  // streaming path cannot do (it never holds the full table).
   for (const Suspicion& s : report.suspicious) {
-    if (s.row >= data.num_rows() || s.attr < 0 ||
-        static_cast<size_t>(s.attr) >= schema.num_attributes()) {
+    if (s.row >= data.num_rows()) {
       return Status::InvalidArgument("report does not match the table");
     }
-    *out << rank++ << ',' << s.row << ','
-         << FormatDouble(s.error_confidence, 6) << ','
-         << CsvQuote(schema.attribute(static_cast<size_t>(s.attr)).name, ',')
-         << ',' << CsvQuote(schema.ValueToString(s.attr, s.observed), ',')
-         << ',' << CsvQuote(schema.ValueToString(s.attr, s.suggestion), ',')
-         << ',' << FormatDouble(s.support, 1) << '\n';
   }
-  if (!*out) return Status::IOError("stream write failed");
-  return Status::OK();
+  Status written =
+      WriteStreamAuditReportCsv(report.suspicious, data.schema(), out);
+  if (!written.ok() && written.IsInvalidArgument()) {
+    return Status::InvalidArgument("report does not match the table");
+  }
+  return written;
 }
 
 Status WriteAuditReportCsvFile(const AuditReport& report, const Table& data,

@@ -47,23 +47,28 @@ constexpr int kKbm01 = 0;
 
 }  // namespace
 
-Result<QuisSample> GenerateQuisSample(const QuisConfig& config) {
+QuisStreamGenerator::QuisStreamGenerator(const QuisConfig& config)
+    : config_(config),
+      schema_(MakeQuisSchema()),
+      rng_(config.seed),
+      // Model-series mix; BRV=404 sized so the headline rule rests on ~16k
+      // instances at the paper's 200k scale.
+      brv_weights_({0.12, 0.0806, 0.10, 0.25, 0.15, 0.12, 0.10, 0.0794}) {}
+
+Result<QuisStreamGenerator> QuisStreamGenerator::Create(
+    const QuisConfig& config) {
   if (config.num_records < 100) {
     return Status::InvalidArgument("QUIS sample needs at least 100 records");
   }
   if (config.noise_prob < 0.0 || config.noise_prob > 1.0) {
     return Status::InvalidArgument("noise_prob outside [0,1]");
   }
-  QuisSample out;
-  Schema schema = MakeQuisSchema();
-  out.table = Table(schema);
-  out.table.Reserve(config.num_records);
-  Rng rng(config.seed);
+  return QuisStreamGenerator(config);
+}
 
-  // Model-series mix; BRV=404 sized so the headline rule rests on ~16k
-  // instances at the paper's 200k scale.
-  const std::vector<double> brv_weights = {0.12,  0.0806, 0.10, 0.25,
-                                           0.15,  0.12,   0.10, 0.0794};
+Status QuisStreamGenerator::NextChunk(size_t max_rows, Table* out) {
+  Rng& rng = rng_;
+  const QuisConfig& config = config_;
 
   // Deterministic engine assignment per model series; only 404 and 501 use
   // the 901 engine, which pins down the KBM=01 AND GBM=901 slice.
@@ -141,46 +146,61 @@ Result<QuisSample> GenerateQuisSample(const QuisConfig& config) {
     return static_cast<int32_t>(rng.UniformInt(date_lo, date_hi));
   };
 
-  size_t first_404 = 0;
-  bool seen_404 = false;
-  for (size_t r = 0; r < config.num_records; ++r) {
-    const int brv = static_cast<int>(rng.WeightedIndex(brv_weights));
+  *out = Table(schema_);
+  const size_t remaining = config.num_records - generated_;
+  const size_t n = std::min(max_rows, remaining);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = generated_++;
+    const int brv = static_cast<int>(rng.WeightedIndex(brv_weights_));
     const int gbm = gbm_for(brv);
     const int kbm = kbm_for(brv);
 
-    Row row(schema.num_attributes());
+    // The headline deviation is planted in place: the first BRV=404 record
+    // gets GBM=911 instead of the rule's 901 ("One instance, however,
+    // contradicts the rule: It has got a value of 911 for the GBM
+    // attribute", sec. 6.2). AGM and displacement still derive from the
+    // undeviated engine (gbm), exactly as the one-shot generator's
+    // after-the-fact SetCell left them.
+    int gbm_emitted = gbm;
+    if (brv == kBrv404 && !seen_404_) {
+      first_404_ = r;
+      seen_404_ = true;
+      gbm_emitted = kGbm911;
+    }
+
+    Row row(schema_.num_attributes());
     row[kBrv] = Value::Nominal(brv);
-    row[kGbm] = Value::Nominal(gbm);
+    row[kGbm] = Value::Nominal(gbm_emitted);
     row[kKbm] = Value::Nominal(kbm);
     row[kAgm] = Value::Nominal(agm_for(gbm));
     row[kPlant] = Value::Nominal(plant_for(brv));
     row[kVariant] = Value::Nominal(static_cast<int>(rng.UniformInt(0, 7)));
     row[kDisplacement] = Value::Numeric(displacement_for(gbm));
     row[kProdDate] = Value::Date(prod_date_for(brv));
-    out.table.AppendRowUnchecked(std::move(row));
+    out->AppendRowUnchecked(std::move(row));
 
-    if (brv == kBrv404) {
-      ++out.brv404_count;
-      if (!seen_404) {
-        first_404 = r;
-        seen_404 = true;
-      }
-    }
+    if (brv == kBrv404) ++brv404_count_;
     if (kbm == kKbm01 && gbm == kGbm901) {
-      ++out.kbm01_gbm901_count;
-      if (brv == kBrv501) ++out.kbm01_gbm901_brv501_count;
+      ++kbm01_gbm901_count_;
+      if (brv == kBrv501) ++kbm01_gbm901_brv501_count_;
     }
   }
-  if (!seen_404) {
+  if (done() && !seen_404_) {
     return Status::Internal("no BRV=404 records generated");
   }
+  return Status::OK();
+}
 
-  // Plant exactly one deviating instance for the headline rule: "One
-  // instance, however, contradicts the rule: It has got a value of 911 for
-  // the GBM attribute" (sec. 6.2).
-  out.planted_deviation_row = first_404;
-  out.table.SetCell(first_404, kGbm, Value::Nominal(kGbm911));
-
+Result<QuisSample> GenerateQuisSample(const QuisConfig& config) {
+  DQ_ASSIGN_OR_RETURN(QuisStreamGenerator gen,
+                      QuisStreamGenerator::Create(config));
+  QuisSample out;
+  DQ_RETURN_NOT_OK(gen.NextChunk(config.num_records, &out.table));
+  out.planted_deviation_row = gen.planted_deviation_row();
+  out.brv404_count = gen.brv404_count();
+  out.kbm01_gbm901_count = gen.kbm01_gbm901_count();
+  out.kbm01_gbm901_brv501_count = gen.kbm01_gbm901_brv501_count();
   return out;
 }
 

@@ -20,6 +20,10 @@
 #ifndef DQ_QUIS_QUIS_SAMPLE_H_
 #define DQ_QUIS_QUIS_SAMPLE_H_
 
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
 #include "common/result.h"
 #include "table/table.h"
 
@@ -54,6 +58,52 @@ struct QuisSample {
 
 /// \brief Generates the synthetic sample.
 Result<QuisSample> GenerateQuisSample(const QuisConfig& config = {});
+
+/// \brief Chunked QUIS generation for datasets that must never be held in
+/// RAM at once: NextChunk() emits the next run of records into a fresh
+/// table, and the concatenation of all chunks is bitwise identical to the
+/// table GenerateQuisSample builds for the same config — one RNG stream
+/// advances across chunk boundaries, and the single planted GBM=911
+/// deviation is emitted in place when the first BRV=404 record is reached
+/// (the engine assignment for series 404 consumes no RNG draw, so planting
+/// at generation time leaves the stream untouched).
+class QuisStreamGenerator {
+ public:
+  /// Validates the config (same rules as GenerateQuisSample).
+  static Result<QuisStreamGenerator> Create(const QuisConfig& config = {});
+
+  const Schema& schema() const { return schema_; }
+  size_t total_records() const { return config_.num_records; }
+  size_t records_generated() const { return generated_; }
+  bool done() const { return generated_ >= config_.num_records; }
+
+  /// \brief Replaces `*out` with the next at-most-max_rows records. On the
+  /// final chunk, verifies the planted deviation exists (mirrors the
+  /// one-shot generator's check).
+  Status NextChunk(size_t max_rows, Table* out);
+
+  /// \brief Sample statistics; complete once done().
+  size_t planted_deviation_row() const { return first_404_; }
+  size_t brv404_count() const { return brv404_count_; }
+  size_t kbm01_gbm901_count() const { return kbm01_gbm901_count_; }
+  size_t kbm01_gbm901_brv501_count() const {
+    return kbm01_gbm901_brv501_count_;
+  }
+
+ private:
+  explicit QuisStreamGenerator(const QuisConfig& config);
+
+  QuisConfig config_;
+  Schema schema_;
+  Rng rng_;
+  std::vector<double> brv_weights_;
+  size_t generated_ = 0;
+  bool seen_404_ = false;
+  size_t first_404_ = 0;
+  size_t brv404_count_ = 0;
+  size_t kbm01_gbm901_count_ = 0;
+  size_t kbm01_gbm901_brv501_count_ = 0;
+};
 
 }  // namespace dq
 

@@ -1,6 +1,7 @@
 #include "table/csv.h"
 
 #include <fstream>
+#include <functional>
 #include <optional>
 #include <ostream>
 #include <utility>
@@ -168,16 +169,18 @@ Status CheckHeader(const Schema& schema, const CsvOptions& options,
   return Status::OK();
 }
 
-}  // namespace
-
-Result<Table> ReadCsv(const Schema& schema, std::istream* in,
-                      const CsvOptions& options, IngestReport* report) {
+/// Shared streaming driver behind ReadCsv and ReadCsvChunks: tokenize,
+/// batch-parallel decode, serial quarantine bookkeeping in record order,
+/// then hand each batch (chunk + keep mask) to `deliver`. The delivered
+/// sequence is identical whichever consumer sits on the other end.
+Status ReadCsvDriver(const Schema& schema, std::istream* in,
+                     const CsvOptions& options, IngestReport* rep,
+                     const std::function<Status(const TableChunk&,
+                                                const std::vector<uint8_t>&)>&
+                         deliver) {
   obs::Span span("ingest");
-  IngestReport local;
-  IngestReport* rep = report != nullptr ? report : &local;
   *rep = IngestReport();
 
-  Table table(schema);
   const int threads = ResolveThreadCount(options.num_threads);
   rep->threads_used = threads;
   // One pool for the whole read (a pool per batch would respawn workers).
@@ -194,9 +197,8 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
   auto finish = [&](Status status) {
     rep->bytes_read = reader.bytes_read();
     // parse_ms is a view of the "ingest" span measurement; the span itself
-    // closes (and records) when ReadCsv returns.
+    // closes (and records) when the driver returns.
     rep->parse_ms = span.ElapsedMs();
-    obs::GetGauge("table.bytes")->Set(static_cast<double>(table.byte_size()));
     static obs::Counter* const total = obs::GetCounter("ingest.records_total");
     static obs::Counter* const kept = obs::GetCounter("ingest.records_kept");
     static obs::Counter* const quarantined =
@@ -216,7 +218,7 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
     scratch.resize(batch.size());
     chunk.Reset(batch.size());
     // Workers decode straight into disjoint chunk slots — no Row
-    // materialization between the parser and the table's columns.
+    // materialization between the parser and the consumer's columns.
     auto decode_one = [&](size_t i) {
       DecodeRecord(schema, options, batch[i], &scratch[i], &chunk, i,
                    &decoded[i]);
@@ -227,9 +229,9 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
       for (size_t i = 0; i < batch.size(); ++i) decode_one(i);
     }
     // Serial bookkeeping in record order (quarantine entries land in the
-    // same sequence for every thread count), then one bulk columnar append
-    // of the kept slots. Under kFail, slots after the failing record stay
-    // unkept — the table holds exactly the records before the error.
+    // same sequence for every thread count), then one bulk delivery of the
+    // kept slots. Under kFail, slots after the failing record stay unkept —
+    // the consumer holds exactly the records before the error.
     keep.assign(batch.size(), 0);
     Status failed = Status::OK();
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -246,7 +248,8 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
         break;
       }
     }
-    table.AppendChunk(chunk, &keep);
+    Status delivered = deliver(chunk, keep);
+    if (!delivered.ok()) return delivered;  // sink failure aborts the read
     batch.clear();
     return failed;
   };
@@ -282,8 +285,45 @@ Result<Table> ReadCsv(const Schema& schema, std::istream* in,
   }
   Status flushed = flush_batch();
   if (!flushed.ok()) return finish(std::move(flushed));
-  (void)finish(Status::OK());
+  return finish(Status::OK());
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const Schema& schema, std::istream* in,
+                      const CsvOptions& options, IngestReport* report) {
+  IngestReport local;
+  IngestReport* rep = report != nullptr ? report : &local;
+  Table table(schema);
+  Status status = ReadCsvDriver(
+      schema, in, options, rep,
+      [&table](const TableChunk& chunk, const std::vector<uint8_t>& keep) {
+        table.AppendChunk(chunk, &keep);
+        return Status::OK();
+      });
+  obs::GetGauge("table.bytes")->Set(static_cast<double>(table.byte_size()));
+  if (!status.ok()) return status;
   return table;
+}
+
+Status ReadCsvChunks(const Schema& schema, std::istream* in,
+                     const CsvOptions& options, CsvChunkSink* sink,
+                     IngestReport* report) {
+  IngestReport local;
+  IngestReport* rep = report != nullptr ? report : &local;
+  return ReadCsvDriver(
+      schema, in, options, rep,
+      [sink](const TableChunk& chunk, const std::vector<uint8_t>& keep) {
+        return sink->OnChunk(chunk, keep);
+      });
+}
+
+Status ReadCsvFileChunks(const Schema& schema, const std::string& path,
+                         const CsvOptions& options, CsvChunkSink* sink,
+                         IngestReport* report) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadCsvChunks(schema, &f, options, sink, report);
 }
 
 Result<Table> ReadCsvFile(const Schema& schema, const std::string& path,

@@ -64,6 +64,21 @@ Status WriteCsv(const Table& table, std::ostream* out,
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options = {});
 
+/// \brief Receives decoded record batches from the streaming CSV reader.
+///
+/// The sink is called in record order with each decoded columnar batch;
+/// slots with keep[i] == 0 are quarantined records the sink must drop
+/// (pass the mask through to Table::AppendChunk or an equivalent). The
+/// chunk object is reused across calls — consume it before returning.
+/// This is the seam that lets ingestion feed either an in-memory Table
+/// (ReadCsv) or an out-of-core segment store without re-reading the file.
+class CsvChunkSink {
+ public:
+  virtual ~CsvChunkSink() = default;
+  virtual Status OnChunk(const TableChunk& chunk,
+                         const std::vector<uint8_t>& keep) = 0;
+};
+
 /// \brief Reads rows from a stream into a table with the given schema.
 ///
 /// With options.expect_header the first record must match the schema's
@@ -75,6 +90,21 @@ Status WriteCsvFile(const Table& table, const std::string& path,
 Result<Table> ReadCsv(const Schema& schema, std::istream* in,
                       const CsvOptions& options = {},
                       IngestReport* report = nullptr);
+
+/// \brief Streaming variant of ReadCsv: decoded batches flow to `sink`
+/// instead of accumulating in a Table, so ingest memory stays bounded by
+/// one batch regardless of file size. Decode parallelism, quarantine
+/// behavior and the resulting record sequence are identical to ReadCsv.
+/// Under kFail the batch containing the error is delivered truncated (the
+/// records before the failure), matching ReadCsv's partial table.
+Status ReadCsvChunks(const Schema& schema, std::istream* in,
+                     const CsvOptions& options, CsvChunkSink* sink,
+                     IngestReport* report = nullptr);
+
+/// \brief Reads a CSV file (binary mode) through a chunk sink.
+Status ReadCsvFileChunks(const Schema& schema, const std::string& path,
+                         const CsvOptions& options, CsvChunkSink* sink,
+                         IngestReport* report = nullptr);
 
 /// \brief Reads a CSV file (binary mode) into a table with the schema.
 Result<Table> ReadCsvFile(const Schema& schema, const std::string& path,

@@ -114,6 +114,17 @@ Result<int> Schema::IndexOf(const std::string& name) const {
   return it->second;
 }
 
+size_t Schema::string_pool_bytes() const {
+  size_t bytes = 0;
+  for (const AttributeDef& def : attrs_) {
+    bytes += def.name.size() + sizeof(std::string);
+    for (const std::string& category : def.categories) {
+      bytes += category.size() + sizeof(std::string);
+    }
+  }
+  return bytes;
+}
+
 Result<int32_t> Schema::CategoryCode(int attr, const std::string& category) const {
   if (attr < 0 || static_cast<size_t>(attr) >= attrs_.size()) {
     return Status::OutOfRange("attribute index " + std::to_string(attr));

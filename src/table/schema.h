@@ -65,6 +65,13 @@ class Schema {
   /// \brief Index of the attribute named `name`.
   Result<int> IndexOf(const std::string& name) const;
 
+  /// \brief Bytes held by the schema's string pool: attribute names and
+  /// nominal category spellings (payload bytes plus the fixed per-entry
+  /// std::string footprint — logical sizes, deterministic across
+  /// allocators). Tables report this as part of their residency: nominal
+  /// columns store dictionary codes whose spellings live here.
+  size_t string_pool_bytes() const;
+
   /// \brief Category code of `category` within nominal attribute `attr`.
   Result<int32_t> CategoryCode(int attr, const std::string& category) const;
 

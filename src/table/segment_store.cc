@@ -1,0 +1,303 @@
+#include "table/segment_store.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dq {
+
+namespace {
+
+// Spill file layout ("dqseg v1", docs/FORMATS.md): magic, row and attribute
+// counts, then per attribute a type byte, the typed payload and the null
+// bitmap words. Native-endian and schema-less: spill files are ephemeral
+// scratch owned by the store that wrote them, never an interchange format.
+constexpr char kMagic[8] = {'D', 'Q', 'S', 'E', 'G', 'v', '1', '\n'};
+
+template <typename T>
+bool WritePod(std::ofstream* f, const T& v) {
+  f->write(reinterpret_cast<const char*>(&v), sizeof(T));
+  return f->good();
+}
+
+template <typename T>
+bool ReadPod(std::ifstream* f, T* v) {
+  f->read(reinterpret_cast<char*>(v), sizeof(T));
+  return f->good();
+}
+
+template <typename T>
+bool WriteVec(std::ofstream* f, const std::vector<T>& v) {
+  f->write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+  return f->good();
+}
+
+template <typename T>
+bool ReadVec(std::ifstream* f, std::vector<T>* v, size_t n) {
+  v->resize(n);
+  f->read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return f->good() || (n == 0 && !f->bad());
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(Schema schema, SegmentStoreOptions options)
+    : schema_(std::move(schema)),
+      options_(std::move(options)),
+      open_(schema_) {
+  open_bytes_ = open_.byte_size();
+  resident_bytes_ = open_bytes_;
+  stats_.resident_bytes_peak = resident_bytes_;
+}
+
+SegmentStore::~SegmentStore() {
+  std::error_code ec;
+  bool any = false;
+  for (const Segment& seg : segments_) {
+    if (!seg.on_disk) continue;
+    std::filesystem::remove(seg.path, ec);
+    any = true;
+  }
+  if (any && !options_.spill_dir.empty()) {
+    // Only removes the directory when nothing else lives there.
+    std::filesystem::remove(options_.spill_dir, ec);
+  }
+}
+
+Status SegmentStore::Append(const TableChunk& chunk,
+                            const std::vector<uint8_t>* keep) {
+  DQ_DCHECK(!finished_);
+  open_.AppendChunk(chunk, keep);
+  const uint64_t new_bytes = open_.byte_size();
+  resident_bytes_ += new_bytes - open_bytes_;
+  open_bytes_ = new_bytes;
+  num_rows_ = segments_.empty()
+                  ? open_.num_rows()
+                  : segments_.back().base_row + segments_.back().rows +
+                        open_.num_rows();
+  if (open_.num_rows() >= options_.segment_rows) {
+    DQ_RETURN_NOT_OK(SealOpen());
+    DQ_RETURN_NOT_OK(EnforceBudget());
+  }
+  PublishGauges();
+  return Status::OK();
+}
+
+Status SegmentStore::Finish() {
+  DQ_DCHECK(!finished_);
+  finished_ = true;
+  if (open_.num_rows() > 0) {
+    DQ_RETURN_NOT_OK(SealOpen());
+  } else {
+    // Drop the empty open table's accounting (schema pool bytes).
+    resident_bytes_ -= open_bytes_;
+    open_bytes_ = 0;
+  }
+  DQ_RETURN_NOT_OK(EnforceBudget());
+  PublishGauges();
+  return Status::OK();
+}
+
+Status SegmentStore::SealOpen() {
+  Segment seg;
+  seg.base_row = segments_.empty()
+                     ? 0
+                     : segments_.back().base_row + segments_.back().rows;
+  seg.rows = open_.num_rows();
+  seg.bytes = open_bytes_;
+  seg.table = std::move(open_);
+  segments_.push_back(std::move(seg));
+  ++stats_.segments_sealed;
+  static obs::Counter* const sealed =
+      obs::GetCounter("segstore.segments_sealed");
+  sealed->Add(1);
+  // A fresh open segment; its empty-table footprint joins the residency.
+  open_ = Table(schema_);
+  open_bytes_ = open_.byte_size();
+  resident_bytes_ += open_bytes_;
+  return Status::OK();
+}
+
+Status SegmentStore::EnforceBudget() {
+  if (options_.memory_budget_bytes == 0) return Status::OK();
+  // FIFO: evict the oldest unpinned resident first. Streaming consumers
+  // walk segments in order, so the oldest resident is the furthest from
+  // being needed again.
+  for (Segment& seg : segments_) {
+    if (resident_bytes_ <= options_.memory_budget_bytes) break;
+    if (!seg.table.has_value() || seg.pins > 0) continue;
+    DQ_RETURN_NOT_OK(SpillSegment(&seg));
+  }
+  return Status::OK();
+}
+
+Status SegmentStore::SpillSegment(Segment* seg) {
+  if (!seg->on_disk) {
+    if (options_.spill_dir.empty()) {
+      return Status::InvalidArgument(
+          "segment store has a memory budget but no spill_dir");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spill_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create spill dir '" +
+                             options_.spill_dir + "': " + ec.message());
+    }
+    const size_t index = static_cast<size_t>(seg - segments_.data());
+    seg->path = options_.spill_dir + "/seg-" + std::to_string(index) +
+                ".dqseg";
+    std::ofstream f(seg->path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      return Status::IOError("cannot open spill file '" + seg->path +
+                             "' for writing");
+    }
+    const Table& t = *seg->table;
+    f.write(kMagic, sizeof(kMagic));
+    bool ok = f.good();
+    ok = ok && WritePod(&f, static_cast<uint64_t>(t.num_rows()));
+    ok = ok && WritePod(&f, static_cast<uint64_t>(t.num_attributes()));
+    for (size_t a = 0; ok && a < t.num_attributes(); ++a) {
+      const Table::Column& c = t.cols_[a];
+      ok = ok && WritePod(&f, static_cast<uint8_t>(c.type));
+      if (c.type == DataType::kNumeric) {
+        ok = ok && WriteVec(&f, c.num);
+      } else {
+        ok = ok && WriteVec(&f, c.code);
+      }
+      ok = ok && WriteVec(&f, c.nulls);
+    }
+    f.flush();
+    if (!ok || !f.good()) {
+      return Status::IOError("short write to spill file '" + seg->path + "'");
+    }
+    seg->on_disk = true;
+    ++stats_.spill_writes;
+    const auto written =
+        static_cast<uint64_t>(std::filesystem::file_size(seg->path));
+    stats_.spill_bytes_written += written;
+    static obs::Counter* const writes = obs::GetCounter("segstore.spill_writes");
+    static obs::Counter* const wbytes =
+        obs::GetCounter("segstore.spill_bytes_written");
+    writes->Add(1);
+    wbytes->Add(written);
+  }
+  // Immutable + on disk: dropping the resident copy loses nothing.
+  seg->table.reset();
+  resident_bytes_ -= seg->bytes;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status SegmentStore::LoadSegment(Segment* seg) {
+  std::ifstream f(seg->path, std::ios::binary);
+  if (!f) {
+    return Status::IOError("cannot open spill file '" + seg->path +
+                           "' for reading");
+  }
+  char magic[sizeof(kMagic)];
+  f.read(magic, sizeof(magic));
+  if (!f.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("spill file '" + seg->path +
+                           "' is not a dqseg v1 file");
+  }
+  uint64_t rows = 0;
+  uint64_t attrs = 0;
+  if (!ReadPod(&f, &rows) || !ReadPod(&f, &attrs) || rows != seg->rows ||
+      attrs != schema_.num_attributes()) {
+    return Status::IOError("spill file '" + seg->path +
+                           "' does not match its segment");
+  }
+  Table t(schema_);
+  const size_t words = (seg->rows + 63) >> 6;
+  for (size_t a = 0; a < t.num_attributes(); ++a) {
+    Table::Column& c = t.cols_[a];
+    uint8_t type = 0;
+    if (!ReadPod(&f, &type) || type != static_cast<uint8_t>(c.type)) {
+      return Status::IOError("spill file '" + seg->path +
+                             "' column type mismatch");
+    }
+    bool ok;
+    if (c.type == DataType::kNumeric) {
+      ok = ReadVec(&f, &c.num, seg->rows);
+    } else {
+      ok = ReadVec(&f, &c.code, seg->rows);
+    }
+    ok = ok && ReadVec(&f, &c.nulls, words);
+    if (!ok) {
+      return Status::IOError("short read from spill file '" + seg->path +
+                             "'");
+    }
+  }
+  t.num_rows_ = seg->rows;
+  seg->table = std::move(t);
+  resident_bytes_ += seg->bytes;
+  if (resident_bytes_ > stats_.resident_bytes_peak) {
+    stats_.resident_bytes_peak = resident_bytes_;
+  }
+  ++stats_.spill_reads;
+  const uint64_t read_bytes =
+      static_cast<uint64_t>(std::filesystem::file_size(seg->path));
+  stats_.spill_bytes_read += read_bytes;
+  static obs::Counter* const reads = obs::GetCounter("segstore.spill_reads");
+  static obs::Counter* const rbytes =
+      obs::GetCounter("segstore.spill_bytes_read");
+  reads->Add(1);
+  rbytes->Add(read_bytes);
+  return Status::OK();
+}
+
+Result<const Table*> SegmentStore::Pin(size_t i) {
+  DQ_DCHECK(finished_ && i < segments_.size());
+  Segment& seg = segments_[i];
+  if (!seg.table.has_value()) {
+    DQ_RETURN_NOT_OK(LoadSegment(&seg));
+    PublishGauges();
+  }
+  ++seg.pins;
+  return &*seg.table;
+}
+
+Status SegmentStore::Unpin(size_t i) {
+  DQ_DCHECK(i < segments_.size());
+  Segment& seg = segments_[i];
+  DQ_DCHECK(seg.pins > 0);
+  --seg.pins;
+  DQ_RETURN_NOT_OK(EnforceBudget());
+  PublishGauges();
+  return Status::OK();
+}
+
+Status SegmentStore::Materialize(Table* out) {
+  DQ_DCHECK(finished_);
+  *out = Table(schema_);
+  out->Reserve(num_rows_);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    Result<const Table*> seg = Pin(i);
+    DQ_RETURN_NOT_OK(seg.status());
+    out->AppendFrom(**seg);
+    DQ_RETURN_NOT_OK(Unpin(i));
+  }
+  return Status::OK();
+}
+
+void SegmentStore::PublishGauges() {
+  if (resident_bytes_ > stats_.resident_bytes_peak) {
+    stats_.resident_bytes_peak = resident_bytes_;
+  }
+  static obs::Gauge* const resident =
+      obs::GetGauge("segstore.resident_bytes");
+  static obs::Gauge* const peak =
+      obs::GetGauge("segstore.resident_bytes_peak");
+  static obs::Gauge* const budget =
+      obs::GetGauge("segstore.memory_budget_bytes");
+  resident->Set(static_cast<double>(resident_bytes_));
+  peak->Set(static_cast<double>(stats_.resident_bytes_peak));
+  budget->Set(static_cast<double>(options_.memory_budget_bytes));
+}
+
+}  // namespace dq

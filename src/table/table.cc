@@ -77,6 +77,30 @@ void TableChunk::Set(size_t row, size_t attr, const Value& v) {
   }
 }
 
+Row TableChunk::MaterializeRow(size_t row) const {
+  DQ_DCHECK(row < num_rows_);
+  Row out(cols_.size());
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    const Column& c = cols_[a];
+    if (c.null_[row] != 0) {
+      out[a] = Value::Null();
+      continue;
+    }
+    switch (c.type) {
+      case DataType::kNumeric:
+        out[a] = Value::Numeric(c.num[row]);
+        break;
+      case DataType::kNominal:
+        out[a] = Value::Nominal(c.code[row]);
+        break;
+      case DataType::kDate:
+        out[a] = Value::Date(c.code[row]);
+        break;
+    }
+  }
+  return out;
+}
+
 // --- Table -------------------------------------------------------------------
 
 Table::Table(Schema schema) : schema_(std::move(schema)) {
@@ -182,6 +206,26 @@ void Table::AppendChunk(const TableChunk& chunk,
   num_rows_ += kept;
 }
 
+void Table::AppendFrom(const Table& src) {
+  DQ_DCHECK(src.cols_.size() == cols_.size());
+  if (src.num_rows_ == 0) return;
+  for (size_t a = 0; a < cols_.size(); ++a) {
+    Column& dst = cols_[a];
+    const Column& from = src.cols_[a];
+    DQ_DCHECK(dst.type == from.type);
+    if (dst.type == DataType::kNumeric) {
+      dst.num.insert(dst.num.end(), from.num.begin(), from.num.end());
+    } else {
+      dst.code.insert(dst.code.end(), from.code.begin(), from.code.end());
+    }
+    GrowBits(&dst.nulls, num_rows_ + src.num_rows_);
+    for (size_t r = 0; r < src.num_rows_; ++r) {
+      if (BitIsSet(from.nulls, r)) SetBit(&dst.nulls, num_rows_ + r);
+    }
+  }
+  num_rows_ += src.num_rows_;
+}
+
 Row Table::row(size_t i) const {
   DQ_DCHECK(i < num_rows_);
   Row out(cols_.size());
@@ -258,7 +302,12 @@ void Table::Clear() {
 }
 
 size_t Table::byte_size() const {
-  size_t bytes = 0;
+  // Residency = typed column payloads + null bitmaps + the schema string
+  // pool (nominal cells are dictionary codes; their spellings are bytes
+  // this table keeps alive). Leaving out the bitmaps or the pool made the
+  // table.bytes gauge — and any memory-budget accounting built on it —
+  // under-report what the table actually holds.
+  size_t bytes = schema_.string_pool_bytes();
   for (const Column& c : cols_) {
     bytes += c.num.size() * sizeof(double);
     bytes += c.code.size() * sizeof(int32_t);

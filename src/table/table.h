@@ -57,6 +57,11 @@ class TableChunk {
   /// \brief Writes one cell (null or type-matching) into slot `row`.
   void Set(size_t row, size_t attr, const Value& v);
 
+  /// \brief Materializes slot `row` as tagged Values (the streaming-ingest
+  /// reservoir sampler reads decoded records straight off the chunk,
+  /// before they reach any table).
+  Row MaterializeRow(size_t row) const;
+
  private:
   friend class Table;
 
@@ -102,6 +107,11 @@ class Table {
   /// CSV records are dropped this way without re-packing the chunk.
   void AppendChunk(const TableChunk& chunk,
                    const std::vector<uint8_t>* keep = nullptr);
+
+  /// \brief Column-to-column bulk append of every row of `src` (same
+  /// schema); the deterministic in-order assembly path segment stores use
+  /// to materialize a full table from sealed segments.
+  void AppendFrom(const Table& src);
 
   /// \brief Materializes row `i` as tagged Values. Compat layer: new code
   /// should read the typed accessors instead.
@@ -220,8 +230,9 @@ class Table {
   void Reserve(size_t n);
   void Clear();
 
-  /// \brief Heap bytes held by the column payloads and null bitmaps
-  /// (logical sizes, not capacities — deterministic across allocators).
+  /// \brief Heap bytes held by the column payloads, null bitmaps and the
+  /// schema's string pool (logical sizes, not capacities — deterministic
+  /// across allocators). This is the residency figure memory budgets use.
   size_t byte_size() const;
 
   /// \brief Validates every cell against the schema (used by tests and
@@ -229,6 +240,11 @@ class Table {
   Status Validate() const;
 
  private:
+  // The segment store serializes column payloads verbatim to its spill
+  // files and rebuilds them on load; it is the table's paging layer, so it
+  // sees the raw columns instead of a public raw-mutation API.
+  friend class SegmentStore;
+
   struct Column {
     DataType type = DataType::kNominal;
     std::vector<double> num;      ///< kNumeric payloads (NaN when null)

@@ -296,5 +296,38 @@ TEST(StringsTest, ParseInt64) {
   EXPECT_FALSE(ParseInt64("", &v));
 }
 
+TEST(StringsTest, ParseByteSizeAcceptsPlainAndSuffixedCounts) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseByteSize("65536", &v));
+  EXPECT_EQ(v, 65536u);
+  EXPECT_TRUE(ParseByteSize("64K", &v));
+  EXPECT_EQ(v, 64u << 10);
+  EXPECT_TRUE(ParseByteSize("2g", &v));
+  EXPECT_EQ(v, uint64_t{2} << 30);
+  EXPECT_TRUE(ParseByteSize("1GiB", &v));
+  EXPECT_EQ(v, uint64_t{1} << 30);
+  EXPECT_TRUE(ParseByteSize("3MB", &v));
+  EXPECT_EQ(v, uint64_t{3} << 20);
+  EXPECT_TRUE(ParseByteSize("1T", &v));
+  EXPECT_EQ(v, uint64_t{1} << 40);
+  EXPECT_TRUE(ParseByteSize(" 64B ", &v));
+  EXPECT_EQ(v, 64u);
+  EXPECT_TRUE(ParseByteSize("0", &v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(StringsTest, ParseByteSizeRejectsJunkNegativesAndOverflow) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseByteSize("", &v));
+  EXPECT_FALSE(ParseByteSize("abc", &v));
+  EXPECT_FALSE(ParseByteSize("-5", &v));
+  EXPECT_FALSE(ParseByteSize("-64K", &v));
+  EXPECT_FALSE(ParseByteSize("64Q", &v));
+  EXPECT_FALSE(ParseByteSize("1.5G", &v));
+  EXPECT_FALSE(ParseByteSize("64iB", &v));  // "iB" needs a multiplier letter
+  EXPECT_FALSE(ParseByteSize("99999999999999999999999", &v));
+  EXPECT_FALSE(ParseByteSize("999999999999T", &v));  // multiplier overflow
+}
+
 }  // namespace
 }  // namespace dq

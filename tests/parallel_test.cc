@@ -20,9 +20,11 @@ TEST(ResolveThreadCountTest, AutoMapsToHardware) {
   EXPECT_GE(HardwareThreads(), 1);
 }
 
-TEST(ResolveThreadCountTest, NegativeClampsToOne) {
-  EXPECT_EQ(ResolveThreadCount(-1), 1);
-  EXPECT_EQ(ResolveThreadCount(-100), 1);
+TEST(ResolveThreadCountTest, NegativeMapsToHardwareDefault) {
+  // Negative and zero requests normalize to the same documented behavior
+  // (the hardware default) across every CLI and ThreadPool construction.
+  EXPECT_EQ(ResolveThreadCount(-1), HardwareThreads());
+  EXPECT_EQ(ResolveThreadCount(-100), HardwareThreads());
 }
 
 TEST(ResolveThreadCountTest, PositivePassesThrough) {

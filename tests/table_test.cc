@@ -250,24 +250,29 @@ TEST(TableTest, CellAtThrowsOutOfRange) {
   EXPECT_THROW(t.cell_at(0, 3), std::out_of_range);
 }
 
-TEST(TableTest, ByteSizeTracksColumnPayloads) {
+TEST(TableTest, ByteSizeTracksColumnPayloadsBitmapsAndStringPool) {
   Table t(TestSchema());
-  EXPECT_EQ(t.byte_size(), 0u);
+  // An empty table still keeps the schema string pool resident (attribute
+  // names + nominal category spellings); nominal cells are codes into it.
+  const size_t pool = t.schema().string_pool_bytes();
+  EXPECT_GT(pool, 0u);
+  EXPECT_EQ(t.byte_size(), pool);
   ASSERT_TRUE(t.AppendRow(MakeRow(0, 1.0, 11000)).ok());
   // nominal int32 + numeric double + date int32 + three 1-word bitmaps.
-  EXPECT_EQ(t.byte_size(), sizeof(int32_t) * 2 + sizeof(double) +
+  EXPECT_EQ(t.byte_size(), pool + sizeof(int32_t) * 2 + sizeof(double) +
                                3 * sizeof(uint64_t));
-  const size_t one_row = t.byte_size();
   for (int i = 0; i < 63; ++i) {
     ASSERT_TRUE(t.AppendRow(MakeRow(1, 2.0, 11000)).ok());
   }
   // 64 rows still fit one bitmap word per column.
-  EXPECT_EQ(t.byte_size(), 64 * (sizeof(int32_t) * 2 + sizeof(double)) +
+  EXPECT_EQ(t.byte_size(), pool + 64 * (sizeof(int32_t) * 2 + sizeof(double)) +
                                3 * sizeof(uint64_t));
   ASSERT_TRUE(t.AppendRow(MakeRow(1, 2.0, 11000)).ok());
-  EXPECT_GT(t.byte_size(), 65 * (one_row - 3 * sizeof(uint64_t)));
+  // The 65th row grows every bitmap to two words.
+  EXPECT_EQ(t.byte_size(), pool + 65 * (sizeof(int32_t) * 2 + sizeof(double)) +
+                               6 * sizeof(uint64_t));
   t.Clear();
-  EXPECT_EQ(t.byte_size(), 0u);
+  EXPECT_EQ(t.byte_size(), pool);
 }
 
 // --- CSV --------------------------------------------------------------------

@@ -108,4 +108,67 @@ grep -v -e parse_ms -e threads_used "$WORK/ingest.json" > "$WORK/i1"
 grep -v -e parse_ms -e threads_used "$WORK/ingest_t4.json" > "$WORK/i4"
 diff "$WORK/i1" "$WORK/i4"
 
+# --- Flag validation: malformed values are rejected with a diagnostic ---
+# (not silently parsed as 0 the way atoi would).
+expect_flag_error() {
+  local needle="$1"; shift
+  local rc=0
+  "$@" > /dev/null 2> "$WORK/flag.err" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "accepted malformed flag: $*" >&2
+    exit 1
+  fi
+  if ! grep -q "$needle" "$WORK/flag.err"; then
+    echo "missing diagnostic '$needle' for: $*" >&2
+    cat "$WORK/flag.err" >&2
+    exit 1
+  fi
+}
+
+expect_flag_error "invalid value 'abc' for --threads" \
+  "$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" --threads abc
+expect_flag_error "out of range" \
+  "$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" --min-conf 1.5
+expect_flag_error "expected a byte count" \
+  "$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" --memory-budget 64Q
+expect_flag_error "expected a byte count" \
+  "$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" --memory-budget -5
+expect_flag_error "invalid value '10x' for --records" \
+  "$DQGEN" --schema "$SPEC" --records 10x --clean "$WORK/x.csv"
+expect_flag_error "invalid value 'junk' for --seed" \
+  "$DQGEN" --schema "$SPEC" --records 100 --seed junk --clean "$WORK/x.csv"
+# Zero and negative thread counts are normalized to the hardware default,
+# not rejected.
+"$DQAUDIT" --schema "$SPEC" --data "$WORK/dirty.csv" --threads -3 --top 1 \
+  > "$WORK/tneg.out"
+grep -q "records suspicious at minimal error confidence" "$WORK/tneg.out"
+
+# --- Out-of-core path: chunked generation + memory-budgeted audit ---
+QUIS_SPEC="$(dirname "$SPEC")/quis_full.spec"
+"$DQGEN" --quis --records 6000 --seed 11 --clean "$WORK/quis.csv" \
+  > /dev/null
+"$DQGEN" --quis --records 6000 --seed 11 --chunk-rows 700 \
+  --clean "$WORK/quis_chunked.csv" > "$WORK/chunkgen.out"
+grep -q "generated 6000 QUIS engine-composition records in chunks of 700" \
+  "$WORK/chunkgen.out"
+# Chunked emission is bitwise identical to the one-shot table.
+cmp "$WORK/quis.csv" "$WORK/quis_chunked.csv"
+
+"$DQAUDIT" --schema "$QUIS_SPEC" --data "$WORK/quis.csv" --min-conf 0.8 \
+  --top 3 --report "$WORK/quis_classic.csv" > /dev/null
+# Tiny budget + small segments: the audit must spill and still produce an
+# identical ranked report.
+"$DQAUDIT" --schema "$QUIS_SPEC" --data "$WORK/quis.csv" --min-conf 0.8 \
+  --top 3 --memory-budget 64K --segment-rows 500 \
+  --spill-dir "$WORK/quis.spill" --report "$WORK/quis_stream.csv" \
+  > "$WORK/stream.out"
+grep -q "streamed 6000 records" "$WORK/stream.out"
+grep -q "memory budget" "$WORK/stream.out"
+cmp "$WORK/quis_classic.csv" "$WORK/quis_stream.csv"
+# Spill files are scratch: gone once the audit exits.
+if [ -e "$WORK/quis.spill" ]; then
+  echo "spill dir survived the audit" >&2
+  exit 1
+fi
+
 echo "cli round trip OK ($AUDIT_N suspicious records)"

@@ -24,8 +24,26 @@
 //   --summary          print the per-attribute flag summary (including
 //                      per-attribute induction times)
 //   --threads N        worker threads for induction/checking
-//                      (default 0 = hardware concurrency; results are
+//                      (default 0 = hardware concurrency; any non-positive
+//                      value means the hardware default; results are
 //                      identical for every thread count)
+//   --memory-budget N  out-of-core mode: stream the audit with at most N
+//                      bytes of resident table data (suffixes K/M/G/T,
+//                      e.g. 64M). Induction trains on a reservoir sample
+//                      (--sample-rows); segments past the budget spill to
+//                      --spill-dir. The ranked report is identical for
+//                      every budget. Incompatible with --train,
+//                      --load-model, --corrected, --explain, --summary and
+//                      --rules-file (they need the whole table in RAM)
+//   --sample-rows N    reservoir sample size for streaming induction
+//                      (default 200000; >= the row count trains on the
+//                      full table and reproduces the in-memory audit
+//                      exactly)
+//   --spill-dir DIR    where streaming segments spill (default:
+//                      <data>.spill, removed after the run)
+//   --segment-rows N   rows per streaming segment (default 65536; the
+//                      paging granularity — smaller segments spill sooner.
+//                      Results are identical for every value)
 //   --rules-file FILE  expert-written TDG rules (sec. 3.2) checked
 //                      deterministically against the data: per-rule
 //                      violation counts plus example rows
@@ -50,6 +68,7 @@
 
 #include "audit/review.h"
 #include "audit/rule_export.h"
+#include "audit/stream_audit.h"
 #include "audit/summary.h"
 #include "audit/structure_model.h"
 #include "common/parallel.h"
@@ -62,6 +81,7 @@
 #include "obs/trace.h"
 #include "table/csv.h"
 #include "table/schema_spec.h"
+#include "flag_parse.h"
 
 using namespace dq;
 
@@ -88,6 +108,10 @@ struct Options {
   int top = 20;
   int explain = 0;
   int threads = 0;
+  uint64_t memory_budget = 0;  ///< 0 = classic in-memory audit
+  size_t sample_rows = 200000;
+  size_t segment_rows = 65536;
+  std::string spill_dir;
   bool print_rules = false;
   bool print_summary = false;
   bool lint = false;
@@ -102,6 +126,8 @@ void Usage() {
                "  [--load-model m] [--top 20] [--explain 5] [--rules]\n"
                "  [--corrected out.csv] [--report report.csv]\n"
                "  [--summary] [--threads 0] [--rules-file r.rules] [--lint]\n"
+               "  [--memory-budget 64M] [--sample-rows 200000]\n"
+               "  [--spill-dir DIR] [--segment-rows 65536]\n"
                "  [--on-error fail|skip] [--ingest-report report.json]\n"
                "  [--trace-out trace.json] [--metrics-out metrics.json]\n"
                "  [--log-level debug|info|warn|error|off]\n");
@@ -136,23 +162,60 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     }
     if (arg == "--log-level" && need_value(&opts->log_level)) continue;
     if (arg == "--min-conf" && need_value(&value)) {
-      opts->min_conf = std::atof(value.c_str());
+      if (!ParseDoubleFlag(arg, value, 0.0, 1.0, &opts->min_conf)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--level" && need_value(&value)) {
-      opts->level = std::atof(value.c_str());
+      if (!ParseDoubleFlag(arg, value, 0.0, 1.0, &opts->level)) return false;
       continue;
     }
     if (arg == "--top" && need_value(&value)) {
-      opts->top = std::atoi(value.c_str());
+      if (!ParseIntFlag32(arg, value, 0, std::numeric_limits<int>::max(),
+                          &opts->top)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--explain" && need_value(&value)) {
-      opts->explain = std::atoi(value.c_str());
+      if (!ParseIntFlag32(arg, value, 0, std::numeric_limits<int>::max(),
+                          &opts->explain)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--threads" && need_value(&value)) {
-      opts->threads = std::atoi(value.c_str());
+      // Any non-positive value is normalized to the hardware default by
+      // ResolveThreadCount; the parse only rejects non-numbers.
+      if (!ParseIntFlag32(arg, value, std::numeric_limits<int>::min(),
+                          std::numeric_limits<int>::max(), &opts->threads)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--memory-budget" && need_value(&value)) {
+      if (!ParseByteSizeFlag(arg, value, /*require_positive=*/true,
+                             &opts->memory_budget)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--sample-rows" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1,
+                         std::numeric_limits<int64_t>::max(),
+                         &opts->sample_rows)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--spill-dir" && need_value(&opts->spill_dir)) continue;
+    if (arg == "--segment-rows" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1,
+                         std::numeric_limits<int64_t>::max(),
+                         &opts->segment_rows)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--rules") {
@@ -188,6 +251,19 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   if (opts->split_mode != "histogram" && opts->split_mode != "exact") {
     std::fprintf(stderr, "--split-mode must be 'histogram' or 'exact'\n");
     return false;
+  }
+  if (opts->memory_budget > 0) {
+    // The streaming audit never holds the whole table, so every feature
+    // that random-accesses it is off the table too.
+    if (!opts->train_path.empty() || !opts->load_model_path.empty() ||
+        !opts->corrected_path.empty() || !opts->rules_path.empty() ||
+        opts->explain > 0 || opts->print_summary) {
+      std::fprintf(stderr,
+                   "--memory-budget is incompatible with --train, "
+                   "--load-model, --corrected, --rules-file, --explain and "
+                   "--summary\n");
+      return false;
+    }
   }
   return true;
 }
@@ -257,6 +333,107 @@ int main(int argc, char** argv) {
                              ? CsvErrorPolicy::kSkipAndReport
                              : CsvErrorPolicy::kFail;
   csv_options.num_threads = opts.threads;
+
+  AuditorConfig config;
+  config.min_error_confidence = opts.min_conf;
+  config.confidence_level = opts.level;
+  config.num_threads = opts.threads;
+  auto kind = InducerFromName(opts.inducer);
+  if (!kind.ok()) return Fail(kind.status());
+  config.inducer = *kind;
+  config.c45.split_mode = opts.split_mode == "exact" ? SplitMode::kExact
+                                                     : SplitMode::kHistogram;
+
+  // Out-of-core mode: one CSV pass feeds a spillable segment store and a
+  // reservoir sample; induction runs on the sample, detection runs segment
+  // by segment (audit/stream_audit.h). The ranked report is identical for
+  // every budget value.
+  if (opts.memory_budget > 0) {
+    StreamAuditOptions stream;
+    stream.sample_rows = opts.sample_rows;
+    stream.store.segment_rows = opts.segment_rows;
+    stream.store.memory_budget_bytes = opts.memory_budget;
+    stream.store.spill_dir =
+        opts.spill_dir.empty() ? opts.data_path + ".spill" : opts.spill_dir;
+    stream.csv = csv_options;
+    stream.auditor = config;
+    auto result = RunStreamingCsvAudit(*schema, opts.data_path, stream);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("streamed %zu records x %zu attributes from %s\n",
+                result->total_rows, schema->num_attributes(),
+                opts.data_path.c_str());
+    std::printf("memory budget %llu bytes: %llu segments sealed, "
+                "%llu spill writes (%llu bytes), %llu spill reads, "
+                "peak resident %llu bytes\n",
+                static_cast<unsigned long long>(opts.memory_budget),
+                static_cast<unsigned long long>(
+                    result->store_stats.segments_sealed),
+                static_cast<unsigned long long>(
+                    result->store_stats.spill_writes),
+                static_cast<unsigned long long>(
+                    result->store_stats.spill_bytes_written),
+                static_cast<unsigned long long>(
+                    result->store_stats.spill_reads),
+                static_cast<unsigned long long>(
+                    result->store_stats.resident_bytes_peak));
+    if (result->ingest.HasErrors()) {
+      std::printf("ingest: %s\n", result->ingest.Summary().c_str());
+      std::fputs(result->ingest.RenderText().c_str(), stderr);
+    }
+    if (!opts.ingest_report_path.empty()) {
+      Status written = result->ingest.WriteJsonFile(opts.ingest_report_path);
+      if (!written.ok()) return Fail(written);
+      std::printf("wrote ingest report to %s\n",
+                  opts.ingest_report_path.c_str());
+    }
+    std::printf("induced on %zu sampled records (reservoir capacity %zu)\n",
+                result->sampled_rows, opts.sample_rows);
+    if (opts.print_rules) {
+      std::printf("%s", RenderStructureModel(result->model, *schema).c_str());
+    }
+    if (!opts.save_model_path.empty()) {
+      StructureModel structure =
+          StructureModel::FromAuditModel(result->model, *schema);
+      Status saved = structure.SaveToFile(opts.save_model_path);
+      if (!saved.ok()) return Fail(saved);
+      std::printf("persisted %zu rules to %s\n", structure.TotalRules(),
+                  opts.save_model_path.c_str());
+    }
+    const AuditTimings& timings = result->timings;
+    std::printf("timings (threads=%d): ingest %.1f ms, induce %.1f ms "
+                "(encode %.1f ms, c4.5 presort %.1f ms, tree build %.1f ms), "
+                "audit %.1f ms\n",
+                timings.threads_used, timings.ingest_ms, timings.induce_ms,
+                timings.encode_ms, timings.presort_ms, timings.tree_build_ms,
+                timings.audit_ms);
+    std::printf("%zu of %zu records suspicious at minimal error confidence "
+                "%.2f\n",
+                result->suspicious.size(), result->total_rows, opts.min_conf);
+    const size_t limit = std::min<size_t>(result->suspicious.size(),
+                                          static_cast<size_t>(opts.top));
+    for (size_t i = 0; i < limit; ++i) {
+      const Suspicion& s = result->suspicious[i];
+      std::printf("  row %6zu  conf %.4f  %s = %s -> suggest %s (support "
+                  "%.0f)\n",
+                  s.row, s.error_confidence,
+                  schema->attribute(static_cast<size_t>(s.attr)).name.c_str(),
+                  schema->ValueToString(s.attr, s.observed).c_str(),
+                  schema->ValueToString(s.attr, s.suggestion).c_str(),
+                  s.support);
+    }
+    if (!opts.report_path.empty()) {
+      Status written = WriteStreamAuditReportCsvFile(result->suspicious,
+                                                     *schema,
+                                                     opts.report_path);
+      if (!written.ok()) return Fail(written);
+      std::printf("wrote ranked report to %s\n", opts.report_path.c_str());
+    }
+    manifest.threads_used = timings.threads_used;
+    Status exported = export_observability();
+    if (!exported.ok()) return Fail(exported);
+    return 0;
+  }
+
   IngestReport ingest;
   auto data = ReadCsvFile(*schema, opts.data_path, csv_options, &ingest);
   if (!data.ok()) {
@@ -319,15 +496,6 @@ int main(int argc, char** argv) {
                 expert_rules->size(), total_violations);
   }
 
-  AuditorConfig config;
-  config.min_error_confidence = opts.min_conf;
-  config.confidence_level = opts.level;
-  config.num_threads = opts.threads;
-  auto kind = InducerFromName(opts.inducer);
-  if (!kind.ok()) return Fail(kind.status());
-  config.inducer = *kind;
-  config.c45.split_mode = opts.split_mode == "exact" ? SplitMode::kExact
-                                                     : SplitMode::kHistogram;
   Auditor auditor(config);
 
   // Checking via a persisted structure model needs no induction.

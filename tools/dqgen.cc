@@ -20,6 +20,13 @@
 //                     (sec. 6.2 surrogate) instead of a rule-driven
 //                     database; --schema/--rules are ignored, the 8
 //                     attributes come from MakeQuisSchema
+//   --chunk-rows N    stream the QUIS sample to --clean N records at a
+//                     time instead of building it in memory first — the
+//                     multi-GB path for out-of-core audit experiments. The
+//                     file is bitwise identical to the one-shot --quis
+//                     output. Requires --quis; incompatible with --dirty,
+//                     --truth, --log and --verify-roundtrip (they need the
+//                     whole table in RAM)
 //   --print-rules     print the generated rule set
 //   --lint            run the dqlint check battery over the rule set before
 //                     generating; lint errors abort with exit code 1
@@ -36,6 +43,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+
+#include "flag_parse.h"
 
 #include "lint/lint.h"
 #include "logic/natural.h"
@@ -66,6 +75,7 @@ struct Options {
   int rules = 25;
   uint64_t seed = 1;
   double factor = 1.0;
+  size_t chunk_rows = 0;  ///< 0 = one-shot generation
   bool quis = false;
   bool print_rules = false;
   bool lint = false;
@@ -79,8 +89,8 @@ struct Options {
 void Usage() {
   std::fprintf(stderr,
                "usage: dqgen --schema spec.txt --records N --clean out.csv\n"
-               "  [--quis] [--rules 25] [--seed 1] [--dirty out.csv]\n"
-               "  [--factor 1.0]\n"
+               "  [--quis] [--chunk-rows N] [--rules 25] [--seed 1]\n"
+               "  [--dirty out.csv] [--factor 1.0]\n"
                "  [--log corruption.log] [--truth truth.csv] [--print-rules]\n"
                "  [--rules-file rules.txt] [--lint] [--verify-roundtrip]\n"
                "  [--ingest-report report.json] [--trace-out trace.json]\n"
@@ -104,19 +114,41 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--log" && need_value(&opts->log_path)) continue;
     if (arg == "--truth" && need_value(&opts->truth_path)) continue;
     if (arg == "--records" && need_value(&value)) {
-      opts->records = static_cast<size_t>(std::atoll(value.c_str()));
+      if (!ParseSizeFlag(arg, value, 1,
+                         std::numeric_limits<int64_t>::max(),
+                         &opts->records)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--rules" && need_value(&value)) {
-      opts->rules = std::atoi(value.c_str());
+      if (!ParseIntFlag32(arg, value, 0, std::numeric_limits<int>::max(),
+                          &opts->rules)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--seed" && need_value(&value)) {
-      opts->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+      int64_t seed = 0;
+      if (!ParseIntFlag(arg, value, std::numeric_limits<int64_t>::min(),
+                        std::numeric_limits<int64_t>::max(), &seed)) {
+        return false;
+      }
+      opts->seed = static_cast<uint64_t>(seed);
       continue;
     }
     if (arg == "--factor" && need_value(&value)) {
-      opts->factor = std::atof(value.c_str());
+      if (!ParseDoubleFlag(arg, value, 0.0, 1e6, &opts->factor)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--chunk-rows" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1,
+                         std::numeric_limits<int64_t>::max(),
+                         &opts->chunk_rows)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--quis") {
@@ -149,6 +181,19 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   if (!obs::ParseLogLevel(opts->log_level).has_value()) {
     std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
     return false;
+  }
+  if (opts->chunk_rows > 0) {
+    if (!opts->quis) {
+      std::fprintf(stderr, "--chunk-rows requires --quis\n");
+      return false;
+    }
+    if (!opts->dirty_path.empty() || !opts->truth_path.empty() ||
+        !opts->log_path.empty() || opts->verify_roundtrip) {
+      std::fprintf(stderr,
+                   "--chunk-rows is incompatible with --dirty, --truth, "
+                   "--log and --verify-roundtrip\n");
+      return false;
+    }
   }
   return (opts->quis || !opts->schema_path.empty()) && opts->records > 0 &&
          !opts->clean_path.empty();
@@ -211,8 +256,70 @@ int main(int argc, char** argv) {
     schema = std::move(*parsed_schema);
   }
 
+  IngestReport verify_report;
+  auto finish = [&]() -> int {
+    if (!opts.ingest_report_path.empty()) {
+      Status dumped = verify_report.WriteJsonFile(opts.ingest_report_path);
+      if (!dumped.ok()) return Fail(dumped);
+      std::printf("wrote ingest report to %s\n",
+                  opts.ingest_report_path.c_str());
+    }
+    if (!opts.trace_out_path.empty()) {
+      Status traced = obs::Tracer::Global().WriteChromeTraceFile(
+          opts.trace_out_path, &manifest);
+      if (!traced.ok()) return Fail(traced);
+      std::printf("wrote trace to %s\n", opts.trace_out_path.c_str());
+    }
+    if (!opts.metrics_out_path.empty()) {
+      obs::SyncPoolMetrics();
+      Status dumped = obs::MetricsRegistry::Global().WriteJsonFile(
+          opts.metrics_out_path, &manifest);
+      if (!dumped.ok()) return Fail(dumped);
+      std::printf("wrote metrics to %s\n", opts.metrics_out_path.c_str());
+    }
+    return 0;
+  };
+
   std::vector<Rule> rules;
   Table clean;
+  if (opts.quis && opts.chunk_rows > 0) {
+    // Streaming QUIS synthesis: one RNG stream, chunk_rows records per
+    // chunk, header written once — the file is bitwise identical to the
+    // one-shot path, but peak memory is one chunk instead of the dataset.
+    QuisConfig qcfg;
+    qcfg.num_records = opts.records;
+    qcfg.seed = opts.seed;
+    auto gen = QuisStreamGenerator::Create(qcfg);
+    if (!gen.ok()) return Fail(gen.status());
+    std::ofstream out(opts.clean_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(Status::IOError("cannot open '" + opts.clean_path +
+                                  "' for writing"));
+    }
+    obs::Span span("quis.generate");
+    CsvOptions write_options;
+    Table chunk;
+    size_t written_rows = 0;
+    while (!gen->done()) {
+      Status generated = gen->NextChunk(opts.chunk_rows, &chunk);
+      if (!generated.ok()) return Fail(generated);
+      write_options.write_header = written_rows == 0;
+      Status written = WriteCsv(chunk, &out, write_options);
+      if (!written.ok()) return Fail(written);
+      written_rows += chunk.num_rows();
+    }
+    out.flush();
+    if (!out) {
+      return Fail(Status::IOError("short write to '" + opts.clean_path +
+                                  "'"));
+    }
+    obs::GetCounter("tdg.records_generated")->Add(written_rows);
+    std::printf("generated %zu QUIS engine-composition records in chunks of "
+                "%zu (planted deviation at row %zu) -> %s\n",
+                written_rows, opts.chunk_rows, gen->planted_deviation_row(),
+                opts.clean_path.c_str());
+    return finish();
+  }
   if (opts.quis) {
     QuisConfig qcfg;
     qcfg.num_records = opts.records;
@@ -307,34 +414,11 @@ int main(int argc, char** argv) {
                 clean.num_rows(), rules.size(), opts.clean_path.c_str());
   }
 
-  IngestReport verify_report;
   if (opts.verify_roundtrip) {
     Status verified =
         VerifyRoundTrip(schema, clean, opts.clean_path, &verify_report);
     if (!verified.ok()) return Fail(verified);
   }
-  auto finish = [&]() -> int {
-    if (!opts.ingest_report_path.empty()) {
-      Status dumped = verify_report.WriteJsonFile(opts.ingest_report_path);
-      if (!dumped.ok()) return Fail(dumped);
-      std::printf("wrote ingest report to %s\n",
-                  opts.ingest_report_path.c_str());
-    }
-    if (!opts.trace_out_path.empty()) {
-      Status traced = obs::Tracer::Global().WriteChromeTraceFile(
-          opts.trace_out_path, &manifest);
-      if (!traced.ok()) return Fail(traced);
-      std::printf("wrote trace to %s\n", opts.trace_out_path.c_str());
-    }
-    if (!opts.metrics_out_path.empty()) {
-      obs::SyncPoolMetrics();
-      Status dumped = obs::MetricsRegistry::Global().WriteJsonFile(
-          opts.metrics_out_path, &manifest);
-      if (!dumped.ok()) return Fail(dumped);
-      std::printf("wrote metrics to %s\n", opts.metrics_out_path.c_str());
-    }
-    return 0;
-  };
 
   if (opts.dirty_path.empty()) return finish();
 

@@ -26,7 +26,9 @@
 //   --assoc-min-confidence X  confidence floor for the association miner
 //                             (default 0.9)
 //   --threads N         worker threads for induction (default 0 = hardware
-//                       concurrency; results are identical for every count)
+//                       concurrency; any non-positive value means the
+//                       hardware default; results are identical for every
+//                       count)
 //   --on-error MODE     fail (default) or skip malformed CSV records
 //   --trace-out FILE    write the span tree as Chrome trace-event JSON
 //   --metrics-out FILE  write the metrics registry snapshot as JSON
@@ -52,6 +54,7 @@
 #include "obs/trace.h"
 #include "table/csv.h"
 #include "table/schema_spec.h"
+#include "flag_parse.h"
 
 using namespace dq;
 
@@ -110,27 +113,47 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     }
     if (arg == "--log-level" && need_value(&opts->log_level)) continue;
     if (arg == "--min-confidence" && need_value(&value)) {
-      opts->min_confidence = std::atof(value.c_str());
+      if (!ParseDoubleFlag(arg, value, 0.0, 1.0, &opts->min_confidence)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--min-support" && need_value(&value)) {
-      opts->min_support = static_cast<size_t>(std::atoll(value.c_str()));
+      if (!ParseSizeFlag(arg, value, 0,
+                         std::numeric_limits<int64_t>::max(),
+                         &opts->min_support)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--max-rules" && need_value(&value)) {
-      opts->max_rules = static_cast<size_t>(std::atoll(value.c_str()));
+      if (!ParseSizeFlag(arg, value, 0,
+                         std::numeric_limits<int64_t>::max(),
+                         &opts->max_rules)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--assoc-min-support" && need_value(&value)) {
-      opts->assoc_min_support = std::atof(value.c_str());
+      if (!ParseDoubleFlag(arg, value, 0.0, 1.0,
+                           &opts->assoc_min_support)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--assoc-min-confidence" && need_value(&value)) {
-      opts->assoc_min_confidence = std::atof(value.c_str());
+      if (!ParseDoubleFlag(arg, value, 0.0, 1.0,
+                           &opts->assoc_min_confidence)) {
+        return false;
+      }
       continue;
     }
     if (arg == "--threads" && need_value(&value)) {
-      opts->threads = std::atoi(value.c_str());
+      // Non-positive values mean the hardware default (ResolveThreadCount).
+      if (!ParseIntFlag32(arg, value, std::numeric_limits<int>::min(),
+                          std::numeric_limits<int>::max(), &opts->threads)) {
+        return false;
+      }
       continue;
     }
     std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());

@@ -1,0 +1,102 @@
+// Validated command-line flag value parsing, shared by the dq* tools.
+//
+// The tools used to funnel flag values through atoi/atof, which silently
+// turn typos into zeros ("--threads abc" ran single-threaded, "--top 1e3"
+// audited with top=1). These helpers parse strictly — the whole value must
+// be a number, in range — and print a usage-grade diagnostic naming the
+// flag on failure, so every malformed flag exits nonzero instead of
+// running with a garbage configuration.
+
+#ifndef DQ_TOOLS_FLAG_PARSE_H_
+#define DQ_TOOLS_FLAG_PARSE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "common/strings.h"
+
+namespace dq {
+
+/// \brief Parses an integer flag value into [lo, hi]; prints a diagnostic
+/// naming `flag` and returns false on junk or out-of-range input.
+inline bool ParseIntFlag(const std::string& flag, const std::string& value,
+                         int64_t lo, int64_t hi, int64_t* out) {
+  int64_t v = 0;
+  if (!ParseInt64(value, &v)) {
+    std::fprintf(stderr, "invalid value '%s' for %s: expected an integer\n",
+                 value.c_str(), flag.c_str());
+    return false;
+  }
+  if (v < lo || v > hi) {
+    std::fprintf(stderr,
+                 "value %lld for %s out of range [%lld, %lld]\n",
+                 static_cast<long long>(v), flag.c_str(),
+                 static_cast<long long>(lo), static_cast<long long>(hi));
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// \brief Int-typed convenience over ParseIntFlag.
+inline bool ParseIntFlag32(const std::string& flag, const std::string& value,
+                           int lo, int hi, int* out) {
+  int64_t v = 0;
+  if (!ParseIntFlag(flag, value, lo, hi, &v)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// \brief size_t-typed convenience (lo/hi as non-negative int64 bounds).
+inline bool ParseSizeFlag(const std::string& flag, const std::string& value,
+                          int64_t lo, int64_t hi, size_t* out) {
+  int64_t v = 0;
+  if (!ParseIntFlag(flag, value, lo, hi, &v)) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+/// \brief Parses a floating-point flag value into [lo, hi].
+inline bool ParseDoubleFlag(const std::string& flag, const std::string& value,
+                            double lo, double hi, double* out) {
+  double v = 0.0;
+  if (!ParseDouble(value, &v)) {
+    std::fprintf(stderr, "invalid value '%s' for %s: expected a number\n",
+                 value.c_str(), flag.c_str());
+    return false;
+  }
+  if (!(v >= lo && v <= hi)) {  // negated: also rejects NaN
+    std::fprintf(stderr, "value %s for %s out of range [%g, %g]\n",
+                 value.c_str(), flag.c_str(), lo, hi);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// \brief Parses a byte count with optional K/M/G/T suffix ("64M", "2g",
+/// "1GiB"); rejects zero when `require_positive`.
+inline bool ParseByteSizeFlag(const std::string& flag,
+                              const std::string& value, bool require_positive,
+                              uint64_t* out) {
+  uint64_t v = 0;
+  if (!ParseByteSize(value, &v)) {
+    std::fprintf(stderr,
+                 "invalid value '%s' for %s: expected a byte count like "
+                 "65536, 64M or 2G\n",
+                 value.c_str(), flag.c_str());
+    return false;
+  }
+  if (require_positive && v == 0) {
+    std::fprintf(stderr, "%s must be positive\n", flag.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace dq
+
+#endif  // DQ_TOOLS_FLAG_PARSE_H_

@@ -79,4 +79,21 @@ grep -q '"accepted"' "$WORK/suggest.json"
 grep -q '"diagnostics"' "$WORK/suggest.json"
 grep -q '"source"' "$WORK/suggest.json"
 
+# Malformed flag values are rejected with a diagnostic, not atoi'd to 0.
+for bad in "--threads abc" "--min-confidence 1.5" "--max-rules -2"; do
+  rc=0
+  # shellcheck disable=SC2086
+  "$DQSUGGEST" --schema "$SPEC" --data "$WORK/quis.csv" $bad \
+    > /dev/null 2> "$WORK/flag.err" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "dqsuggest accepted malformed flag: $bad" >&2
+    exit 1
+  fi
+  if ! grep -Eq "invalid value|out of range" "$WORK/flag.err"; then
+    echo "dqsuggest missing diagnostic for: $bad" >&2
+    cat "$WORK/flag.err" >&2
+    exit 1
+  fi
+done
+
 echo "suggest cli test ok ($candidates candidates -> $accepted accepted)"
