@@ -8,6 +8,8 @@
 #include "eval/test_environment.h"
 #include "mining/split_kernels.h"
 #include "stats/descriptive.h"
+#include "obs/drift.h"
+#include "obs/history.h"
 #include "obs/trace.h"
 #include "pollution/pipeline.h"
 #include "tdg/data_generator.h"
@@ -290,6 +292,74 @@ void BM_AuditTracer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 5000);
 }
 BENCHMARK(BM_AuditTracer)->Arg(0)->Arg(1);
+
+// One history-record serialize + parse round trip — the per-run cost a
+// dqaudit --history append adds, and the per-line cost dqmon pays reading
+// the ledger back.
+void BM_HistoryRecordRoundTrip(benchmark::State& state) {
+  obs::HistoryRecord record;
+  record.manifest.tool = "dqaudit";
+  record.manifest.version = "1.0.0";
+  record.manifest.build_type = "Release";
+  record.manifest.config_hash = "9de6aa1e283a7ce0";
+  record.manifest.started_unix_ms = 1754600000000;
+  record.manifest.started_utc = "2025-08-07T20:53:20.000Z";
+  record.manifest.input_hashes = {{"schema", "1111111111111111"},
+                                  {"data", "2222222222222222"}};
+  record.summary.records = 1000000;
+  record.summary.suspicious = 6000;
+  record.summary.suspicion_rate = 0.006;
+  for (int i = 0; i < 25; ++i) {
+    record.summary.rule_violations.emplace_back(
+        "rule " + std::to_string(i) + " -> conclusion", i * 3);
+  }
+  record.summary.top_confidences.assign(10, 0.97);
+  record.summary.timings_ms = {{"ingest", 120.0}, {"induce", 800.0},
+                               {"audit", 300.0}};
+  for (int i = 0; i < 20; ++i) {
+    record.metrics.counters.emplace_back("counter." + std::to_string(i),
+                                         1ull << i);
+  }
+  for (auto _ : state) {
+    const std::string line = record.ToJsonLine();
+    obs::JsonValue json;
+    bool parsed = obs::ParseJson(line, &json);
+    benchmark::DoNotOptimize(parsed);
+    auto back = obs::HistoryRecord::FromJson(json);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_HistoryRecordRoundTrip);
+
+// Drift detection over a rolling baseline window — the dqmon check hot
+// path (no I/O; pure comparison and ranking).
+void BM_DriftCompare(benchmark::State& state) {
+  auto make_record = [](uint64_t suspicious) {
+    obs::HistoryRecord r;
+    r.manifest.config_hash = "9de6aa1e283a7ce0";
+    r.manifest.input_hashes = {{"schema", "1111111111111111"},
+                               {"data", "2222222222222222"}};
+    r.summary.records = 1000000;
+    r.summary.suspicious = suspicious;
+    r.summary.suspicion_rate = static_cast<double>(suspicious) / 1e6;
+    for (int i = 0; i < 25; ++i) {
+      r.summary.rule_violations.emplace_back(
+          "rule " + std::to_string(i) + " -> conclusion",
+          suspicious / 100 + static_cast<uint64_t>(i));
+    }
+    r.summary.timings_ms = {{"ingest", 120.0}, {"induce", 800.0},
+                            {"audit", 300.0}};
+    return r;
+  };
+  std::vector<obs::HistoryRecord> baseline;
+  for (uint64_t i = 0; i < 5; ++i) baseline.push_back(make_record(6000 + i));
+  const obs::HistoryRecord current = make_record(9000);
+  for (auto _ : state) {
+    obs::DriftReport report = obs::DetectDrift(baseline, current);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_DriftCompare);
 
 }  // namespace
 }  // namespace dq

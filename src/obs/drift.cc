@@ -1,0 +1,395 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace dq::obs {
+
+namespace {
+
+/// Floor for relative-delta denominators; keeps a zero baseline from
+/// producing infinities (which JSON cannot carry).
+constexpr double kTinyBase = 1e-9;
+/// Relative deltas are clamped here so a zero baseline stays finite.
+constexpr double kRelClamp = 1e6;
+
+double RelativeDelta(double baseline, double delta) {
+  const double rel = delta / std::max(std::fabs(baseline), kTinyBase);
+  return std::clamp(rel, -kRelClamp, kRelClamp);
+}
+
+/// Lower value = earlier in the ranked report. Suspicion rate is the
+/// headline monitoring signal and always outranks everything else at the
+/// same severity.
+int KindPriority(const std::string& kind) {
+  if (kind == "suspicion_rate") return 0;
+  if (kind == "rule_violation") return 1;
+  if (kind == "rule_set") return 2;
+  if (kind == "record_count") return 3;
+  if (kind == "schema_change") return 4;
+  if (kind == "input_change") return 5;
+  if (kind == "config_change") return 6;
+  if (kind == "timing") return 7;
+  return 8;
+}
+
+std::string FormatSigned(double v, const char* format = "%+.6g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string FormatPercent(double rel) {
+  char buf[64];
+  if (std::fabs(rel) >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%+.3gx", rel);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", rel * 100.0);
+  }
+  return buf;
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Looks up a (name, value) pair; returns whether it exists.
+template <typename T>
+bool FindPair(const std::vector<std::pair<std::string, T>>& pairs,
+              const std::string& name, T* out) {
+  for (const auto& [key, value] : pairs) {
+    if (key == name) {
+      *out = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+DriftFinding MakeFinding(std::string kind, DriftSeverity severity,
+                         std::string subject, double baseline, double current,
+                         std::string message) {
+  DriftFinding finding;
+  finding.kind = std::move(kind);
+  finding.severity = severity;
+  finding.subject = std::move(subject);
+  finding.baseline = baseline;
+  finding.current = current;
+  finding.delta_abs = current - baseline;
+  finding.delta_rel = RelativeDelta(baseline, finding.delta_abs);
+  finding.message = std::move(message);
+  return finding;
+}
+
+}  // namespace
+
+const char* DriftSeverityName(DriftSeverity severity) {
+  switch (severity) {
+    case DriftSeverity::kInfo:
+      return "info";
+    case DriftSeverity::kWarn:
+      return "warn";
+    case DriftSeverity::kDrift:
+      return "drift";
+  }
+  return "unknown";
+}
+
+bool DriftReport::HasDrift() const {
+  return CountAtLeast(DriftSeverity::kDrift) > 0;
+}
+
+size_t DriftReport::CountAtLeast(DriftSeverity severity) const {
+  size_t n = 0;
+  for (const DriftFinding& f : findings) {
+    if (static_cast<int>(f.severity) >= static_cast<int>(severity)) ++n;
+  }
+  return n;
+}
+
+std::string DriftReport::RenderText() const {
+  std::string out;
+  out += "baseline: " + baseline_desc + "\n";
+  out += "current:  " + current_desc + "\n";
+  if (findings.empty()) {
+    out += "no differences detected\n";
+    return out;
+  }
+  const size_t drifts = CountAtLeast(DriftSeverity::kDrift);
+  const size_t warns = CountAtLeast(DriftSeverity::kWarn) - drifts;
+  const size_t infos = findings.size() - drifts - warns;
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "%zu finding(s): %zu drift, %zu warn, %zu info\n",
+                findings.size(), drifts, warns, infos);
+  out += head;
+  for (const DriftFinding& f : findings) {
+    char line[512];
+    std::snprintf(line, sizeof(line), "  [%-5s] %-16s %s\n",
+                  DriftSeverityName(f.severity), f.kind.c_str(),
+                  f.message.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string DriftReport::ToJson(int indent) const {
+  JsonObjectWriter out;
+  out.Add("schema_version", kSchemaVersion);
+  out.Add("baseline", baseline_desc);
+  out.Add("current", current_desc);
+  out.Add("baseline_runs", static_cast<unsigned long long>(baseline_runs));
+  out.Add("has_drift", HasDrift());
+  const size_t drifts = CountAtLeast(DriftSeverity::kDrift);
+  const size_t warns = CountAtLeast(DriftSeverity::kWarn) - drifts;
+  JsonObjectWriter counts;
+  counts.Add("drift", static_cast<unsigned long long>(drifts));
+  counts.Add("warn", static_cast<unsigned long long>(warns));
+  counts.Add("info", static_cast<unsigned long long>(findings.size() -
+                                                     drifts - warns));
+  out.AddRaw("severity_counts", counts.Render(indent));
+  std::string rendered_findings = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const DriftFinding& f = findings[i];
+    JsonObjectWriter obj;
+    obj.Add("kind", f.kind);
+    obj.Add("severity", DriftSeverityName(f.severity));
+    obj.Add("subject", f.subject);
+    obj.Add("baseline", f.baseline);
+    obj.Add("current", f.current);
+    obj.Add("delta_abs", f.delta_abs);
+    obj.Add("delta_rel", f.delta_rel);
+    obj.Add("message", f.message);
+    if (i > 0) rendered_findings += ",";
+    rendered_findings += obj.Render(0);
+  }
+  rendered_findings += "]";
+  out.AddRaw("findings", std::move(rendered_findings));
+  return out.Render(indent) + "\n";
+}
+
+DriftReport DetectDrift(const std::vector<HistoryRecord>& baseline,
+                        const HistoryRecord& current,
+                        const DriftThresholds& thresholds) {
+  DriftReport report;
+  report.baseline_runs = baseline.size();
+  if (baseline.empty()) {
+    report.baseline_desc = "(empty)";
+    report.current_desc = current.manifest.started_utc;
+    return report;
+  }
+  const HistoryRecord& newest = baseline.back();
+  report.baseline_desc =
+      baseline.size() == 1
+          ? newest.manifest.started_utc
+          : "mean of " + std::to_string(baseline.size()) +
+                " runs ending " + newest.manifest.started_utc;
+  report.current_desc = current.manifest.started_utc;
+  std::vector<DriftFinding>& findings = report.findings;
+
+  // --- suspicion rate: always reported (the headline signal). -----------
+  {
+    std::vector<double> rates;
+    rates.reserve(baseline.size());
+    for (const HistoryRecord& r : baseline) {
+      rates.push_back(r.summary.suspicion_rate);
+    }
+    const double base = Mean(rates);
+    const double cur = current.summary.suspicion_rate;
+    const double delta = cur - base;
+    const bool past = std::fabs(delta) >= thresholds.suspicion_rate_abs &&
+                      std::fabs(RelativeDelta(base, delta)) >=
+                          thresholds.suspicion_rate_rel;
+    findings.push_back(MakeFinding(
+        "suspicion_rate",
+        past ? DriftSeverity::kDrift : DriftSeverity::kInfo, "", base, cur,
+        "suspicion rate " + FormatValue(base) + " -> " + FormatValue(cur) +
+            " (" + FormatSigned(delta) + ", " +
+            FormatPercent(RelativeDelta(base, delta)) + ")"));
+  }
+
+  // --- record count shift (warn at most). --------------------------------
+  {
+    std::vector<double> counts;
+    counts.reserve(baseline.size());
+    for (const HistoryRecord& r : baseline) {
+      counts.push_back(static_cast<double>(r.summary.records));
+    }
+    const double base = Mean(counts);
+    const double cur = static_cast<double>(current.summary.records);
+    const double delta = cur - base;
+    if (delta != 0.0) {
+      const bool past = std::fabs(RelativeDelta(base, delta)) >=
+                        thresholds.record_count_rel;
+      findings.push_back(MakeFinding(
+          "record_count", past ? DriftSeverity::kWarn : DriftSeverity::kInfo,
+          "", base, cur,
+          "record count " + FormatValue(base) + " -> " + FormatValue(cur) +
+              " (" + FormatSigned(delta) + ")"));
+    }
+  }
+
+  // --- per-rule violation counts + rule-set membership. -------------------
+  {
+    // Union of rule names: newest-baseline order first, then rules that
+    // only the current run knows.
+    std::vector<std::string> names;
+    for (const auto& [name, value] : newest.summary.rule_violations) {
+      (void)value;
+      names.push_back(name);
+    }
+    for (const auto& [name, value] : current.summary.rule_violations) {
+      (void)value;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    for (const std::string& name : names) {
+      uint64_t cur_count = 0;
+      const bool in_current =
+          FindPair(current.summary.rule_violations, name, &cur_count);
+      std::vector<double> base_values;
+      for (const HistoryRecord& r : baseline) {
+        uint64_t value = 0;
+        if (FindPair(r.summary.rule_violations, name, &value)) {
+          base_values.push_back(static_cast<double>(value));
+        }
+      }
+      if (base_values.empty() || !in_current) {
+        // Membership changed: the checked rule set itself differs.
+        findings.push_back(MakeFinding(
+            "rule_set", DriftSeverity::kWarn, name,
+            base_values.empty() ? 0.0 : Mean(base_values),
+            static_cast<double>(cur_count),
+            std::string("rule '") + name + "' " +
+                (in_current ? "added to" : "removed from") +
+                " the checked rule set"));
+        continue;
+      }
+      const double base = Mean(base_values);
+      const double cur = static_cast<double>(cur_count);
+      const double delta = cur - base;
+      if (delta == 0.0) continue;
+      const bool past = std::fabs(delta) >= thresholds.rule_violations_abs &&
+                        std::fabs(RelativeDelta(base, delta)) >=
+                            thresholds.rule_violations_rel;
+      findings.push_back(MakeFinding(
+          "rule_violation",
+          past ? DriftSeverity::kDrift : DriftSeverity::kInfo, name, base,
+          cur,
+          "rule '" + name + "' violations " + FormatValue(base) + " -> " +
+              FormatValue(cur) + " (" + FormatSigned(delta) + ", " +
+              FormatPercent(RelativeDelta(base, delta)) + ")"));
+    }
+  }
+
+  // --- manifest: schema / input / configuration changes. ------------------
+  {
+    auto hash_of = [](const RunManifest& m,
+                      const std::string& label) -> std::string {
+      std::string hash;
+      FindPair(m.input_hashes, label, &hash);
+      return hash;
+    };
+    // Union of labels, newest-baseline order first.
+    std::vector<std::string> labels;
+    for (const auto& [label, hash] : newest.manifest.input_hashes) {
+      (void)hash;
+      labels.push_back(label);
+    }
+    for (const auto& [label, hash] : current.manifest.input_hashes) {
+      (void)hash;
+      if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+        labels.push_back(label);
+      }
+    }
+    for (const std::string& label : labels) {
+      const std::string before = hash_of(newest.manifest, label);
+      const std::string after = hash_of(current.manifest, label);
+      if (before == after) continue;
+      const bool is_schema = label == "schema";
+      std::string what = before.empty()   ? "appeared"
+                         : after.empty()  ? "disappeared"
+                                          : "changed content";
+      findings.push_back(MakeFinding(
+          is_schema ? "schema_change" : "input_change",
+          is_schema ? DriftSeverity::kWarn : DriftSeverity::kInfo, label,
+          0.0, 0.0,
+          "input '" + label + "' " + what +
+              (before.empty() || after.empty()
+                   ? ""
+                   : " (" + before + " -> " + after + ")")));
+    }
+    if (newest.manifest.config_hash != current.manifest.config_hash) {
+      findings.push_back(MakeFinding(
+          "config_change", DriftSeverity::kInfo, "config_hash", 0.0, 0.0,
+          "CLI configuration changed (" + newest.manifest.config_hash +
+              " -> " + current.manifest.config_hash + ")"));
+    }
+    if (newest.manifest.tool != current.manifest.tool ||
+        newest.manifest.version != current.manifest.version) {
+      findings.push_back(MakeFinding(
+          "config_change", DriftSeverity::kWarn, "tool", 0.0, 0.0,
+          "producing tool changed (" + newest.manifest.tool + " " +
+              newest.manifest.version + " -> " + current.manifest.tool + " " +
+              current.manifest.version + ")"));
+    }
+  }
+
+  // --- timing regressions (never past warn: wall clock is noisy). ---------
+  for (const auto& [phase, cur_ms] : current.summary.timings_ms) {
+    std::vector<double> base_values;
+    for (const HistoryRecord& r : baseline) {
+      double value = 0.0;
+      if (FindPair(r.summary.timings_ms, phase, &value)) {
+        base_values.push_back(value);
+      }
+    }
+    if (base_values.empty()) continue;
+    const double base = Mean(base_values);
+    const double delta = cur_ms - base;
+    if (delta < thresholds.timing_abs_ms ||
+        RelativeDelta(base, delta) < thresholds.timing_rel) {
+      continue;
+    }
+    findings.push_back(MakeFinding(
+        "timing", DriftSeverity::kWarn, phase, base, cur_ms,
+        phase + " " + FormatValue(base) + " ms -> " + FormatValue(cur_ms) +
+            " ms (" + FormatSigned(delta) + " ms, " +
+            FormatPercent(RelativeDelta(base, delta)) + ")"));
+  }
+
+  // Deterministic total order: severity desc, kind priority asc,
+  // |delta| desc, subject asc, message asc.
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const DriftFinding& a, const DriftFinding& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     const int pa = KindPriority(a.kind);
+                     const int pb = KindPriority(b.kind);
+                     if (pa != pb) return pa < pb;
+                     const double da = std::fabs(a.delta_abs);
+                     const double db = std::fabs(b.delta_abs);
+                     if (da != db) return da > db;
+                     if (a.subject != b.subject) return a.subject < b.subject;
+                     return a.message < b.message;
+                   });
+  return report;
+}
+
+}  // namespace dq::obs

@@ -1,0 +1,112 @@
+// Snapshot drift detection over the run-history ledger (obs/history.h).
+//
+// Monitoring surveys (Ehrlinger et al.) draw the line between deployed DQ
+// tools and prototypes at exactly this capability: re-audit snapshots of
+// the same table over time and report when quality metrics move. The
+// drift engine compares the newest history record against either one
+// older record or a rolling baseline of the last N runs, and emits a
+// deterministic, severity-ranked list of findings:
+//
+//   * suspicion-rate drift (the paper's "about 6000 suspicious records"
+//     as a fraction of the table — the headline quality signal),
+//   * per-expert-rule violation-count drift,
+//   * rule-set changes (rules appearing in / vanishing from the check),
+//   * record-count shifts,
+//   * schema / input / configuration changes (manifest hash diffs),
+//   * ingest / phase timing regressions (capped at warn severity — wall
+//     clock noise must never gate a CI pipeline by itself).
+//
+// Severity is three-valued: info (reported, never gates), warn
+// (suspicious, never gates), drift (past both the absolute and relative
+// thresholds — dqmon check exits 3). Findings are ranked by a total
+// order (severity, kind priority, |delta|, subject) so the same pair of
+// records always renders the same report, byte for byte.
+
+#ifndef DQ_OBS_DRIFT_H_
+#define DQ_OBS_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/history.h"
+
+namespace dq::obs {
+
+enum class DriftSeverity : int { kInfo = 0, kWarn = 1, kDrift = 2 };
+
+const char* DriftSeverityName(DriftSeverity severity);
+
+/// \brief Absolute + relative gates. A signal reaches drift severity only
+/// when BOTH its absolute and relative deltas exceed the configured
+/// values, so tiny tables cannot alarm on one flipped record and huge
+/// tables cannot alarm on proportionally-invisible absolute moves.
+struct DriftThresholds {
+  /// Suspicion-rate drift (fraction of audited rows).
+  double suspicion_rate_abs = 0.002;
+  double suspicion_rate_rel = 0.10;
+
+  /// Per-expert-rule violation-count drift.
+  double rule_violations_abs = 5.0;
+  double rule_violations_rel = 0.25;
+
+  /// Record-count shift (relative only; reaches warn, never drift — a
+  /// growing table is normal, but worth seeing).
+  double record_count_rel = 0.10;
+
+  /// Phase timing regression (current vs baseline mean; increase only;
+  /// capped at warn severity).
+  double timing_abs_ms = 100.0;
+  double timing_rel = 0.50;
+};
+
+/// \brief One detected difference between baseline and current.
+struct DriftFinding {
+  /// "suspicion_rate", "rule_violation", "rule_set", "record_count",
+  /// "schema_change", "input_change", "config_change", "timing".
+  std::string kind;
+  DriftSeverity severity = DriftSeverity::kInfo;
+  /// What moved: a rule name, a timing phase, an input label, or "" for
+  /// whole-run signals.
+  std::string subject;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta_abs = 0.0;  ///< current - baseline (signed)
+  double delta_rel = 0.0;  ///< delta_abs / max(|baseline|, tiny) (signed)
+  std::string message;     ///< one human-readable line
+};
+
+/// \brief The full comparison result.
+struct DriftReport {
+  /// Bumped whenever the drift-report JSON layout changes.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string baseline_desc;  ///< e.g. "runs 1..5 (mean of 5)"
+  std::string current_desc;   ///< e.g. "run 6 (2026-08-08T...)"
+  size_t baseline_runs = 0;
+  /// Ranked most-severe first by the deterministic total order.
+  std::vector<DriftFinding> findings;
+
+  /// \brief True when any finding reached drift severity (exit code 3).
+  bool HasDrift() const;
+
+  size_t CountAtLeast(DriftSeverity severity) const;
+
+  /// \brief Aligned text rendering, one line per finding.
+  std::string RenderText() const;
+
+  /// \brief Pretty JSON rendering (schema in docs/OBSERVABILITY.md).
+  std::string ToJson(int indent = 2) const;
+};
+
+/// \brief Compares `current` against a baseline window of earlier runs
+/// (newest last). Numeric baselines are the arithmetic means across the
+/// window; manifest comparisons use the newest baseline record. At least
+/// one baseline record is required.
+DriftReport DetectDrift(const std::vector<HistoryRecord>& baseline,
+                        const HistoryRecord& current,
+                        const DriftThresholds& thresholds = {});
+
+}  // namespace dq::obs
+
+#endif  // DQ_OBS_DRIFT_H_

@@ -1,0 +1,98 @@
+// Run-history store: an append-only, schema-versioned JSONL ledger of
+// audit runs. Each line is one self-contained record — the run manifest
+// (tool, seed, input hashes, UTC start), a compact audit summary (record
+// and suspicion counts, per-rule violation counts, top-k confidences,
+// timing phases) and the metrics snapshot — so any two runs of the same
+// pipeline can be compared long after the processes exited. The drift
+// engine (obs/drift.h) and the dqmon CLI consume this ledger; dqaudit
+// appends to it under --history.
+//
+// The ledger is deliberately JSONL, not one growing JSON document:
+// appends are O(line), a crashed writer corrupts at most its own line
+// (damaged lines are reported and skipped on read), and standard text
+// tools (tail, grep, jq) work on it directly.
+
+#ifndef DQ_OBS_HISTORY_H_
+#define DQ_OBS_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+
+namespace dq::obs {
+
+/// \brief Compact whole-run audit aggregates embedded in every history
+/// record. Everything here is derived from the ranked report — small
+/// enough to keep forever, complete enough to detect drift without the
+/// report files themselves.
+struct AuditSummary {
+  uint64_t records = 0;     ///< rows audited
+  uint64_t suspicious = 0;  ///< rows at or above the confidence limit
+  double suspicion_rate = 0.0;  ///< suspicious / records (0 when empty)
+
+  /// Expert-rule violation counts, (rule name, violating rows) in rule
+  /// order; empty when the run had no --rules-file.
+  std::vector<std::pair<std::string, uint64_t>> rule_violations;
+
+  /// Strongest suspicion confidences, descending (at most kTopK).
+  std::vector<double> top_confidences;
+
+  /// Wall-clock phase breakdown, (phase, ms) in pipeline order. Recorded
+  /// as 0 under a fixed test clock (EpochClockOverridden) so records stay
+  /// byte-stable.
+  std::vector<std::pair<std::string, double>> timings_ms;
+
+  static constexpr size_t kTopK = 10;
+};
+
+/// \brief One line of the ledger.
+struct HistoryRecord {
+  /// Bumped whenever the record JSON layout changes.
+  static constexpr int kSchemaVersion = 1;
+
+  RunManifest manifest;
+  AuditSummary summary;
+  MetricsSnapshot metrics;
+
+  /// \brief Renders the record as one compact JSON line (no trailing
+  /// newline). Deterministic for a fixed input.
+  std::string ToJsonLine() const;
+
+  /// \brief Rebuilds a record from a parsed ledger line.
+  static Result<HistoryRecord> FromJson(const JsonValue& json);
+};
+
+/// \brief Append/read access to one history directory. The ledger lives
+/// at <dir>/history.jsonl; Append creates the directory on first use.
+class HistoryStore {
+ public:
+  static constexpr const char* kLedgerName = "history.jsonl";
+
+  explicit HistoryStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+  std::string ledger_path() const;
+
+  /// \brief Appends one record as a JSONL line (creating the directory
+  /// and ledger as needed) and flushes before returning.
+  Status Append(const HistoryRecord& record) const;
+
+  /// \brief Reads every parseable record, oldest first. Lines that fail
+  /// to parse (a crashed writer's torn tail) are skipped; the count of
+  /// skipped lines is returned through `damaged_lines` when non-null.
+  /// A missing ledger file is an error; an empty one yields no records.
+  Result<std::vector<HistoryRecord>> ReadAll(
+      size_t* damaged_lines = nullptr) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace dq::obs
+
+#endif  // DQ_OBS_HISTORY_H_

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace dq::obs {
 
@@ -75,14 +77,39 @@ std::string JsonObjectWriter::Render(int indent) const {
 
 namespace {
 
-/// Recursive-descent JSON scanner; validates without building a DOM.
+/// Appends `code_point` to `out` as UTF-8.
+void AppendUtf8(uint32_t code_point, std::string* out) {
+  if (code_point < 0x80) {
+    out->push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+/// Recursive-descent JSON scanner; validates, and optionally builds a
+/// JsonValue DOM when the entry point receives a non-null sink.
 class JsonScanner {
  public:
   explicit JsonScanner(std::string_view text) : text_(text) {}
 
-  bool Validate(std::string* error) {
+  bool Validate(std::string* error) { return Run(nullptr, error); }
+
+  bool Parse(JsonValue* out, std::string* error) { return Run(out, error); }
+
+ private:
+  bool Run(JsonValue* out, std::string* error) {
     SkipWs();
-    if (!Value()) return Fail(error);
+    if (!Value(out)) return Fail(error);
     SkipWs();
     if (pos_ != text_.size()) {
       reason_ = "trailing characters after JSON value";
@@ -91,7 +118,6 @@ class JsonScanner {
     return true;
   }
 
- private:
   bool Fail(std::string* error) {
     if (error != nullptr) {
       *error = "offset " + std::to_string(pos_) + ": " +
@@ -117,7 +143,35 @@ class JsonScanner {
     return true;
   }
 
-  bool String() {
+  /// Parses the 4 hex digits after "\u"; `pos_` is on the 'u'.
+  bool HexEscape(uint32_t* code_unit) {
+    uint32_t value = 0;
+    for (int i = 1; i <= 4; ++i) {
+      if (pos_ + static_cast<size_t>(i) >= text_.size()) {
+        reason_ = "invalid \\u escape";
+        return false;
+      }
+      const char h = text_[pos_ + static_cast<size_t>(i)];
+      if (std::isxdigit(static_cast<unsigned char>(h)) == 0) {
+        reason_ = "invalid \\u escape";
+        return false;
+      }
+      uint32_t digit = 0;
+      if (h >= '0' && h <= '9') {
+        digit = static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        digit = static_cast<uint32_t>(h - 'a') + 10;
+      } else {
+        digit = static_cast<uint32_t>(h - 'A') + 10;
+      }
+      value = (value << 4) | digit;
+    }
+    pos_ += 4;
+    *code_unit = value;
+    return true;
+  }
+
+  bool String(std::string* decoded) {
     if (pos_ >= text_.size() || text_[pos_] != '"') {
       reason_ = "expected string";
       return false;
@@ -138,28 +192,54 @@ class JsonScanner {
         if (pos_ >= text_.size()) break;
         const char esc = text_[pos_];
         if (esc == 'u') {
-          for (int i = 1; i <= 4; ++i) {
-            if (pos_ + static_cast<size_t>(i) >= text_.size() ||
-                std::isxdigit(static_cast<unsigned char>(
-                    text_[pos_ + static_cast<size_t>(i)])) == 0) {
-              reason_ = "invalid \\u escape";
-              return false;
+          uint32_t unit = 0;
+          if (!HexEscape(&unit)) return false;
+          // Combine a surrogate pair when a low surrogate follows; an
+          // unpaired surrogate decodes to U+FFFD rather than failing (the
+          // emitters never produce one, but ledgers are long-lived files).
+          if (unit >= 0xD800 && unit <= 0xDBFF &&
+              pos_ + 2 < text_.size() && text_[pos_ + 1] == '\\' &&
+              text_[pos_ + 2] == 'u') {
+            pos_ += 2;
+            uint32_t low = 0;
+            if (!HexEscape(&low)) return false;
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              unit = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              if (decoded != nullptr) AppendUtf8(0xFFFD, decoded);
+              unit = low >= 0xD800 && low <= 0xDFFF ? 0xFFFD : low;
             }
+          } else if (unit >= 0xD800 && unit <= 0xDFFF) {
+            unit = 0xFFFD;
           }
-          pos_ += 4;
-        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
-                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          if (decoded != nullptr) AppendUtf8(unit, decoded);
+        } else if (esc == '"' || esc == '\\' || esc == '/') {
+          if (decoded != nullptr) decoded->push_back(esc);
+        } else if (esc == 'b') {
+          if (decoded != nullptr) decoded->push_back('\b');
+        } else if (esc == 'f') {
+          if (decoded != nullptr) decoded->push_back('\f');
+        } else if (esc == 'n') {
+          if (decoded != nullptr) decoded->push_back('\n');
+        } else if (esc == 'r') {
+          if (decoded != nullptr) decoded->push_back('\r');
+        } else if (esc == 't') {
+          if (decoded != nullptr) decoded->push_back('\t');
+        } else {
           reason_ = "invalid escape character";
           return false;
         }
+        ++pos_;
+        continue;
       }
+      if (decoded != nullptr) decoded->push_back(c);
       ++pos_;
     }
     reason_ = "unterminated string";
     return false;
   }
 
-  bool Number() {
+  bool Number(std::string* raw) {
     const size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     if (pos_ >= text_.size() ||
@@ -202,10 +282,13 @@ class JsonScanner {
         ++pos_;
       }
     }
+    if (pos_ > start && raw != nullptr) {
+      raw->assign(text_.substr(start, pos_ - start));
+    }
     return pos_ > start;
   }
 
-  bool Value() {
+  bool Value(JsonValue* out) {
     if (++depth_ > kMaxDepth) {
       reason_ = "nesting too deep";
       return false;
@@ -217,32 +300,45 @@ class JsonScanner {
     } else {
       switch (text_[pos_]) {
         case '{':
-          ok = Object();
+          if (out != nullptr) out->kind = JsonValue::Kind::kObject;
+          ok = Object(out);
           break;
         case '[':
-          ok = Array();
+          if (out != nullptr) out->kind = JsonValue::Kind::kArray;
+          ok = Array(out);
           break;
         case '"':
-          ok = String();
+          if (out != nullptr) out->kind = JsonValue::Kind::kString;
+          ok = String(out != nullptr ? &out->string_value : nullptr);
           break;
         case 't':
           ok = Literal("true");
+          if (ok && out != nullptr) {
+            out->kind = JsonValue::Kind::kBool;
+            out->bool_value = true;
+          }
           break;
         case 'f':
           ok = Literal("false");
+          if (ok && out != nullptr) {
+            out->kind = JsonValue::Kind::kBool;
+            out->bool_value = false;
+          }
           break;
         case 'n':
           ok = Literal("null");
+          if (ok && out != nullptr) out->kind = JsonValue::Kind::kNull;
           break;
         default:
-          ok = Number();
+          if (out != nullptr) out->kind = JsonValue::Kind::kNumber;
+          ok = Number(out != nullptr ? &out->number_raw : nullptr);
       }
     }
     --depth_;
     return ok;
   }
 
-  bool Object() {
+  bool Object(JsonValue* out) {
     ++pos_;  // '{'
     SkipWs();
     if (pos_ < text_.size() && text_[pos_] == '}') {
@@ -251,14 +347,20 @@ class JsonScanner {
     }
     for (;;) {
       SkipWs();
-      if (!String()) return false;
+      std::string key;
+      if (!String(out != nullptr ? &key : nullptr)) return false;
       SkipWs();
       if (pos_ >= text_.size() || text_[pos_] != ':') {
         reason_ = "expected ':' in object";
         return false;
       }
       ++pos_;
-      if (!Value()) return false;
+      JsonValue* member = nullptr;
+      if (out != nullptr) {
+        out->members.emplace_back(std::move(key), JsonValue());
+        member = &out->members.back().second;
+      }
+      if (!Value(member)) return false;
       SkipWs();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
@@ -273,7 +375,7 @@ class JsonScanner {
     }
   }
 
-  bool Array() {
+  bool Array(JsonValue* out) {
     ++pos_;  // '['
     SkipWs();
     if (pos_ < text_.size() && text_[pos_] == ']') {
@@ -281,7 +383,12 @@ class JsonScanner {
       return true;
     }
     for (;;) {
-      if (!Value()) return false;
+      JsonValue* item = nullptr;
+      if (out != nullptr) {
+        out->items.emplace_back();
+        item = &out->items.back();
+      }
+      if (!Value(item)) return false;
       SkipWs();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
@@ -307,6 +414,48 @@ class JsonScanner {
 
 bool ValidateJson(std::string_view text, std::string* error) {
   return JsonScanner(text).Validate(error);
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtod(number_raw.c_str(), nullptr);
+}
+
+int64_t JsonValue::AsInt64(int64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  // Fractional/exponent spellings fall back to the double path so "3.0"
+  // still reads as 3.
+  if (number_raw.find_first_of(".eE") != std::string::npos) {
+    return static_cast<int64_t>(AsDouble(static_cast<double>(fallback)));
+  }
+  return static_cast<int64_t>(std::strtoll(number_raw.c_str(), nullptr, 10));
+}
+
+uint64_t JsonValue::AsUint64(uint64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  if (!number_raw.empty() && number_raw[0] == '-') return fallback;
+  if (number_raw.find_first_of(".eE") != std::string::npos) {
+    return static_cast<uint64_t>(AsDouble(static_cast<double>(fallback)));
+  }
+  return static_cast<uint64_t>(
+      std::strtoull(number_raw.c_str(), nullptr, 10));
+}
+
+std::string JsonValue::AsString(std::string fallback) const {
+  return kind == Kind::kString ? string_value : std::move(fallback);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  return JsonScanner(text).Parse(out, error);
 }
 
 }  // namespace dq::obs

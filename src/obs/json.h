@@ -77,6 +77,46 @@ class JsonObjectWriter {
 /// and, when `error` is non-null, a byte offset + reason message.
 bool ValidateJson(std::string_view text, std::string* error = nullptr);
 
+/// \brief Parsed JSON value. The monitoring layer reads its own history
+/// records and metrics snapshots back; a tiny DOM keeps that in-tree
+/// instead of pulling in a third-party JSON dependency. Object members
+/// preserve insertion order (duplicate keys keep every occurrence; Find
+/// returns the first).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  /// Numbers keep their source spelling so 64-bit counters survive a
+  /// round trip that a double would truncate.
+  std::string number_raw;
+  std::string string_value;  ///< unescaped content
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< objects
+  std::vector<JsonValue> items;                            ///< arrays
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  double AsDouble(double fallback = 0.0) const;
+  int64_t AsInt64(int64_t fallback = 0) const;
+  uint64_t AsUint64(uint64_t fallback = 0) const;
+  /// String value, or `fallback` for non-strings.
+  std::string AsString(std::string fallback = {}) const;
+
+  /// \brief First member named `key` of an object; null otherwise.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// \brief Parses `text` (one complete JSON value, no trailing garbage)
+/// into `out`. Escape sequences are decoded (\uXXXX becomes UTF-8, with
+/// surrogate pairs combined). On failure returns false and, when `error`
+/// is non-null, a byte offset + reason message.
+bool ParseJson(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
+
 }  // namespace dq::obs
 
 #endif  // DQ_OBS_JSON_H_

@@ -24,9 +24,28 @@ uint64_t Fnv1a64(std::string_view data);
 /// \brief Fixed-width lowercase hex rendering of a 64-bit hash.
 std::string HashHex(uint64_t hash);
 
+/// \brief Clock seam for run timestamps. `EpochMillisNow` returns wall
+/// milliseconds since the Unix epoch; tests (and the CLI shell tests, via
+/// the DQ_UTC_OVERRIDE_MS environment variable read on first use) inject a
+/// fixed value so stamped manifests and history records stay byte-stable.
+int64_t EpochMillisNow();
+
+/// \brief Overrides the epoch clock (<0 restores the real clock, taking
+/// precedence over DQ_UTC_OVERRIDE_MS).
+void SetEpochMillisForTesting(int64_t fixed_ms);
+
+/// \brief True when a fixed clock is active (setter or environment). Wall
+/// durations are recorded as 0 under a fixed clock so that two runs of the
+/// same configuration produce byte-identical records.
+bool EpochClockOverridden();
+
+/// \brief "YYYY-MM-DDThh:mm:ss.mmmZ" for a Unix-epoch millisecond count.
+std::string FormatUtcTimestamp(int64_t epoch_ms);
+
 struct RunManifest {
   /// Bumped whenever the manifest JSON layout changes.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: added started_utc / started_unix_ms / wall_ms (PR 9).
+  static constexpr int kSchemaVersion = 2;
 
   std::string tool;               ///< binary name, e.g. "dqaudit"
   std::string version;            ///< project version (defaults below)
@@ -35,11 +54,19 @@ struct RunManifest {
   uint64_t seed = 0;              ///< RNG seed driving the run (0 = none)
   int threads_requested = 0;      ///< --threads as given (0 = auto)
   int threads_used = 1;           ///< resolved worker count
+  int64_t started_unix_ms = 0;    ///< run start, Unix epoch milliseconds
+  std::string started_utc;        ///< run start as an ISO-8601 UTC string
+  double wall_ms = 0.0;           ///< wall-clock duration stamped at export
 
   /// Content hashes of the input files the run depends on, as
   /// (label, hex-hash) in insertion order — e.g. ("schema", "1f..."),
   /// ("rules", "ab...").
   std::vector<std::pair<std::string, std::string>> input_hashes;
+
+  /// \brief Stamps wall_ms with the elapsed time since started_unix_ms.
+  /// Call once, immediately before exporting. Under a fixed test clock the
+  /// duration is 0 by construction.
+  void StampWallClock();
 
   /// \brief Renders the manifest as one JSON object (schema in
   /// docs/OBSERVABILITY.md).
@@ -48,6 +75,11 @@ struct RunManifest {
   /// \brief Adds the manifest as a nested "manifest" member of `out`.
   void AppendTo(JsonObjectWriter* out, int indent = 2) const;
 };
+
+/// \brief Rebuilds a manifest from its parsed JSON rendering (the inverse
+/// of ToJson, used by the run-history reader). Unknown members are
+/// ignored; missing members keep their defaults.
+Status RunManifestFromJson(const JsonValue& json, RunManifest* out);
 
 /// \brief Builds a manifest for this process: tool name, project version,
 /// build type and the hash of the full command line. Seed/threads stay at

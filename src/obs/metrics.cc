@@ -83,6 +83,20 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  return snapshot;
+}
+
 std::string MetricsRegistry::ToJson(const RunManifest* manifest) const {
   std::lock_guard<std::mutex> lock(mu_);
   JsonObjectWriter out;

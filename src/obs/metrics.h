@@ -73,6 +73,13 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// \brief Point-in-time copy of every counter and gauge, sorted by name
+/// (histograms are omitted — the history ledger keeps records compact).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
 /// \brief Name -> metric registry. Registration takes a mutex once per
 /// call site (cache the returned pointer in a static); updates through the
 /// returned objects are lock-free. Metric objects live until process exit.
@@ -92,6 +99,9 @@ class MetricsRegistry {
   /// \brief Zeroes every metric value (registrations survive). For tests
   /// and for tools that run several pipelines in one process.
   void Reset();
+
+  /// \brief Copies the current counter and gauge values, sorted by name.
+  MetricsSnapshot Snapshot() const;
 
   /// \brief Deterministic snapshot: metrics sorted by name, schema in
   /// docs/OBSERVABILITY.md. `manifest` (optional) is embedded.

@@ -33,6 +33,40 @@ TEST(JsonTest, EscapeHandlesQuotesBackslashesAndControls) {
   EXPECT_EQ(JsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
 }
 
+TEST(JsonTest, EscapeEdgeCasesStayWellFormedAndRoundTrip) {
+  // Strings that really occur in history records: rule names with
+  // quotes/backslashes, Windows-style file paths, UTF-8 multibyte text
+  // and embedded control characters. Every one must render to valid JSON
+  // and decode back to the original bytes.
+  const std::string cases[] = {
+      "rule \"A\" -> B",                    // embedded quotes
+      "C:\\data\\table.csv",                // backslash path
+      "naïve — ü (日本語)",                  // UTF-8 multibyte, untouched
+      std::string("a\x00z", 3),             // embedded NUL
+      "\x1f\x7f",                            // boundary control chars
+      "line1\r\nline2\ttab\ffeed\bback",    // short escapes
+      "trailing backslash\\",
+      "",                                    // empty string
+  };
+  for (const std::string& original : cases) {
+    const std::string rendered = "\"" + JsonEscape(original) + "\"";
+    std::string error;
+    ASSERT_TRUE(ValidateJson(rendered, &error)) << error << "\n" << rendered;
+    JsonValue decoded;
+    ASSERT_TRUE(ParseJson(rendered, &decoded, &error)) << error;
+    EXPECT_EQ(decoded.AsString(), original);
+  }
+}
+
+TEST(JsonTest, EscapeControlCharsUseUnicodeEscapes) {
+  EXPECT_EQ(JsonEscape(std::string_view("\x00", 1)), "\\u0000");
+  EXPECT_EQ(JsonEscape("\x1f"), "\\u001f");
+  // 0x7f (DEL) is not a JSON control character; it passes through.
+  // Multibyte UTF-8 must never be split or escaped byte-wise.
+  EXPECT_EQ(JsonEscape("é"), "é");
+  EXPECT_EQ(JsonEscape("😀"), "😀");
+}
+
 TEST(JsonTest, DoubleRendersFiniteAndSanitizesNonFinite) {
   EXPECT_TRUE(ValidateJson(JsonDouble(1.5)));
   EXPECT_TRUE(ValidateJson(JsonDouble(-0.25)));

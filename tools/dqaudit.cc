@@ -58,6 +58,9 @@
 //                      is identical for every --threads value
 //   --metrics-out FILE write the metrics registry snapshot (counters,
 //                      gauges, histograms) as JSON, with the run manifest
+//   --history DIR      append one run-history record (manifest + audit
+//                      summary + metrics snapshot) to DIR/history.jsonl;
+//                      dqmon reads the ledger back for drift detection
 //   --log-level LEVEL  debug | info | warn | error | off (default info)
 
 #include <cstdio>
@@ -65,6 +68,8 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "audit/review.h"
 #include "audit/rule_export.h"
@@ -75,6 +80,7 @@
 #include "eval/report_io.h"
 #include "lint/lint.h"
 #include "logic/rule_parser.h"
+#include "obs/history.h"
 #include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -100,7 +106,7 @@ struct Options {
   std::string ingest_report_path;
   std::string trace_out_path;
   std::string metrics_out_path;
-  std::string log_level = "info";
+  std::string history_dir;
   double min_conf = 0.8;
   double level = 0.95;
   std::string inducer = "c45";
@@ -130,7 +136,7 @@ void Usage() {
                "  [--spill-dir DIR] [--segment-rows 65536]\n"
                "  [--on-error fail|skip] [--ingest-report report.json]\n"
                "  [--trace-out trace.json] [--metrics-out metrics.json]\n"
-               "  [--log-level debug|info|warn|error|off]\n");
+               "  [--history DIR] [--log-level debug|info|warn|error|off]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -160,7 +166,11 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--metrics-out" && need_value(&opts->metrics_out_path)) {
       continue;
     }
-    if (arg == "--log-level" && need_value(&opts->log_level)) continue;
+    if (arg == "--history" && need_value(&opts->history_dir)) continue;
+    if (arg == "--log-level" && need_value(&value)) {
+      if (!ParseLogLevelFlag(arg, value)) return false;
+      continue;
+    }
     if (arg == "--min-conf" && need_value(&value)) {
       if (!ParseDoubleFlag(arg, value, 0.0, 1.0, &opts->min_conf)) {
         return false;
@@ -244,10 +254,6 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     std::fprintf(stderr, "--on-error must be 'fail' or 'skip'\n");
     return false;
   }
-  if (!obs::ParseLogLevel(opts->log_level).has_value()) {
-    std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
-    return false;
-  }
   if (opts->split_mode != "histogram" && opts->split_mode != "exact") {
     std::fprintf(stderr, "--split-mode must be 'histogram' or 'exact'\n");
     return false;
@@ -289,7 +295,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  obs::SetLogLevel(*obs::ParseLogLevel(opts.log_level));
   // Recording a handful of phase spans costs nothing measurable, and an
   // always-on tracer lets the timings line below report ingest through the
   // same span tree the exported trace shows.
@@ -310,6 +315,7 @@ int main(int argc, char** argv) {
     (void)obs::AddInputFileHash(&manifest, "model", opts.load_model_path);
   }
   auto export_observability = [&opts, &manifest]() -> Status {
+    manifest.StampWallClock();
     if (!opts.trace_out_path.empty()) {
       Status written = obs::Tracer::Global().WriteChromeTraceFile(
           opts.trace_out_path, &manifest);
@@ -323,6 +329,49 @@ int main(int argc, char** argv) {
       if (!written.ok()) return written;
       std::printf("wrote metrics to %s\n", opts.metrics_out_path.c_str());
     }
+    return Status::OK();
+  };
+
+  // Run-history append (--history): one compact JSONL record per run for
+  // dqmon's drift detection. Appended before the metrics/trace export so
+  // the embedded metrics snapshot never depends on which export flags were
+  // also given. Timing phases are recorded as 0 under a fixed test clock
+  // (DQ_UTC_OVERRIDE_MS) so two identical runs yield byte-identical lines.
+  auto append_history =
+      [&opts, &manifest](
+          uint64_t audited_records, const std::vector<Suspicion>& suspicious,
+          std::vector<std::pair<std::string, uint64_t>> rule_violations,
+          const AuditTimings& timings) -> Status {
+    if (opts.history_dir.empty()) return Status::OK();
+    manifest.StampWallClock();
+    obs::HistoryRecord record;
+    record.manifest = manifest;
+    record.summary.records = audited_records;
+    record.summary.suspicious = suspicious.size();
+    record.summary.suspicion_rate =
+        audited_records > 0
+            ? static_cast<double>(suspicious.size()) /
+                  static_cast<double>(audited_records)
+            : 0.0;
+    record.summary.rule_violations = std::move(rule_violations);
+    const size_t top_k =
+        std::min(suspicious.size(), obs::AuditSummary::kTopK);
+    for (size_t i = 0; i < top_k; ++i) {
+      record.summary.top_confidences.push_back(
+          suspicious[i].error_confidence);
+    }
+    const bool fixed_clock = obs::EpochClockOverridden();
+    record.summary.timings_ms = {
+        {"ingest", fixed_clock ? 0.0 : timings.ingest_ms},
+        {"induce", fixed_clock ? 0.0 : timings.induce_ms},
+        {"audit", fixed_clock ? 0.0 : timings.audit_ms},
+    };
+    record.metrics = obs::MetricsRegistry::Global().Snapshot();
+    obs::HistoryStore store(opts.history_dir);
+    Status appended = store.Append(record);
+    if (!appended.ok()) return appended;
+    std::printf("appended history record to %s\n",
+                store.ledger_path().c_str());
     return Status::OK();
   };
 
@@ -429,6 +478,9 @@ int main(int argc, char** argv) {
       std::printf("wrote ranked report to %s\n", opts.report_path.c_str());
     }
     manifest.threads_used = timings.threads_used;
+    Status history_appended = append_history(result->total_rows,
+                                             result->suspicious, {}, timings);
+    if (!history_appended.ok()) return Fail(history_appended);
     Status exported = export_observability();
     if (!exported.ok()) return Fail(exported);
     return 0;
@@ -458,6 +510,7 @@ int main(int argc, char** argv) {
 
   // Expert-rule deviation check: deterministic violations of the
   // domain-expert dependencies, complementing the induced structure model.
+  std::vector<std::pair<std::string, uint64_t>> rule_violation_counts;
   if (!opts.rules_path.empty()) {
     if (opts.lint) {
       Linter linter(&*schema);
@@ -486,6 +539,8 @@ int main(int argc, char** argv) {
         }
       }
       total_violations += count;
+      rule_violation_counts.emplace_back(rule.ToString(*schema),
+                                         static_cast<uint64_t>(count));
       if (count > 0) {
         std::printf("expert rule %zu violated by %zu rows (first: row %zu): "
                     "%s\n",
@@ -517,6 +572,13 @@ int main(int argc, char** argv) {
                   schema->ValueToString(s.attr, s.observed).c_str(),
                   schema->ValueToString(s.attr, s.suggestion).c_str());
     }
+    AuditTimings check_timings;
+    check_timings.threads_used = manifest.threads_used;
+    check_timings.ingest_ms = obs::Tracer::Global().AggregateMs("ingest");
+    Status history_appended =
+        append_history(data->num_rows(), report->suspicious,
+                       std::move(rule_violation_counts), check_timings);
+    if (!history_appended.ok()) return Fail(history_appended);
     Status exported = export_observability();
     if (!exported.ok()) return Fail(exported);
     return 0;
@@ -618,6 +680,10 @@ int main(int argc, char** argv) {
   }
 
   manifest.threads_used = timings.threads_used;
+  Status history_appended =
+      append_history(data->num_rows(), report->suspicious,
+                     std::move(rule_violation_counts), timings);
+  if (!history_appended.ok()) return Fail(history_appended);
   Status exported = export_observability();
   if (!exported.ok()) return Fail(exported);
   return 0;

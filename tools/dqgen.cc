@@ -83,7 +83,6 @@ struct Options {
   std::string ingest_report_path;
   std::string trace_out_path;
   std::string metrics_out_path;
-  std::string log_level = "info";
 };
 
 void Usage() {
@@ -174,12 +173,11 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--metrics-out" && need_value(&opts->metrics_out_path)) {
       continue;
     }
-    if (arg == "--log-level" && need_value(&opts->log_level)) continue;
+    if (arg == "--log-level" && need_value(&value)) {
+      if (!ParseLogLevelFlag(arg, value)) return false;
+      continue;
+    }
     std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
-    return false;
-  }
-  if (!obs::ParseLogLevel(opts->log_level).has_value()) {
-    std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
     return false;
   }
   if (opts->chunk_rows > 0) {
@@ -237,7 +235,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  obs::SetLogLevel(*obs::ParseLogLevel(opts.log_level));
   obs::Tracer::Global().SetEnabled(true);
 
   obs::RunManifest manifest = obs::MakeRunManifest("dqgen", argc, argv);
@@ -264,6 +261,7 @@ int main(int argc, char** argv) {
       std::printf("wrote ingest report to %s\n",
                   opts.ingest_report_path.c_str());
     }
+    manifest.StampWallClock();
     if (!opts.trace_out_path.empty()) {
       Status traced = obs::Tracer::Global().WriteChromeTraceFile(
           opts.trace_out_path, &manifest);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "flag_parse.h"
 #include "lint/lint.h"
 #include "obs/log.h"
 #include "obs/manifest.h"
@@ -46,7 +47,6 @@ struct Options {
   bool list_checks = false;
   std::string trace_out_path;
   std::string metrics_out_path;
-  std::string log_level = "info";
 };
 
 void Usage() {
@@ -93,16 +93,15 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--metrics-out" && need_value(&opts->metrics_out_path)) {
       continue;
     }
-    if (arg == "--log-level" && need_value(&opts->log_level)) continue;
+    if (arg == "--log-level" && need_value(&value)) {
+      if (!ParseLogLevelFlag(arg, value)) return false;
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
       return false;
     }
     opts->rule_files.push_back(arg);
-  }
-  if (!obs::ParseLogLevel(opts->log_level).has_value()) {
-    std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
-    return false;
   }
   if (opts->list_checks) return true;
   if (opts->format != "text" && opts->format != "json") {
@@ -132,7 +131,6 @@ int main(int argc, char** argv) {
     ListChecks();
     return 0;
   }
-  obs::SetLogLevel(*obs::ParseLogLevel(opts.log_level));
   obs::Tracer::Global().SetEnabled(true);
 
   obs::RunManifest manifest = obs::MakeRunManifest("dqlint", argc, argv);
@@ -175,6 +173,7 @@ int main(int argc, char** argv) {
   obs::GetCounter("lint.errors")->Add(errors);
   obs::GetCounter("lint.warnings")->Add(warnings);
 
+  manifest.StampWallClock();
   if (!opts.trace_out_path.empty()) {
     Status written = obs::Tracer::Global().WriteChromeTraceFile(
         opts.trace_out_path, &manifest);

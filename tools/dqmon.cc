@@ -1,0 +1,365 @@
+// dqmon: continuous-monitoring companion to dqaudit.
+//
+// The survey literature separates deployed data-quality tooling from
+// prototypes at monitoring: re-audit the same table over time and notice
+// when the quality profile moves. dqaudit --history DIR appends one
+// JSONL record per run (manifest + audit summary + metrics snapshot);
+// dqmon reads that ledger back and answers the operational questions:
+//
+//   dqmon log        --history DIR        list the recorded runs
+//   dqmon diff       --history DIR        compare two runs (default: last two)
+//   dqmon check      --history DIR        newest run vs rolling baseline
+//   dqmon rules-diff BEFORE AFTER         diff two annotated rule files
+//
+// Shared flags:
+//   --format text|json   output format (default text)
+//   --log-level LEVEL    debug | info | warn | error | off (default info)
+// diff / check:
+//   --baseline I / --current J   1-based run indices (diff only)
+//   --window N           baseline size for check (default 5)
+//   --rate-abs X / --rate-rel X          suspicion-rate drift gates
+//   --rule-abs X / --rule-rel X          per-rule violation drift gates
+//   --record-rel X                       record-count warn gate
+//   --timing-abs-ms X / --timing-rel X   timing warn gates
+// rules-diff:
+//   --fail-on-change     exit 3 when the rule sets differ
+//
+// Exit codes: 0 = no drift / no gated change, 1 = runtime error,
+// 2 = usage error, 3 = drift past threshold (diff/check) or rule-set
+// changes under --fail-on-change.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flag_parse.h"
+#include "obs/drift.h"
+#include "obs/history.h"
+#include "obs/log.h"
+#include "obs/rule_diff.h"
+
+namespace dq {
+namespace {
+
+struct Options {
+  std::string command;
+  std::string history_dir;
+  std::string format = "text";
+  std::string before_rules_path;
+  std::string after_rules_path;
+  size_t baseline_index = 0;  // 1-based; 0 = auto
+  size_t current_index = 0;   // 1-based; 0 = auto
+  size_t window = 5;
+  size_t last = 0;  // log: show only the last N records (0 = all)
+  bool fail_on_change = false;
+  obs::DriftThresholds thresholds;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dqmon COMMAND [flags]\n"
+      "  dqmon log   --history DIR [--last N]\n"
+      "  dqmon diff  --history DIR [--baseline I] [--current J]\n"
+      "  dqmon check --history DIR [--window 5]\n"
+      "  dqmon rules-diff BEFORE.rules AFTER.rules [--fail-on-change]\n"
+      "shared: [--format text|json] [--log-level debug|info|warn|error|off]\n"
+      "thresholds (diff/check): [--rate-abs 0.002] [--rate-rel 0.1]\n"
+      "  [--rule-abs 5] [--rule-rel 0.25] [--record-rel 0.1]\n"
+      "  [--timing-abs-ms 100] [--timing-rel 0.5]\n"
+      "exit: 0 = clean, 1 = error, 2 = usage, 3 = drift past threshold\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  if (argc < 2) {
+    std::fprintf(stderr, "missing command\n");
+    return false;
+  }
+  opts->command = argv[1];
+  if (opts->command != "log" && opts->command != "diff" &&
+      opts->command != "check" && opts->command != "rules-diff") {
+    std::fprintf(stderr, "unknown command: %s\n", opts->command.c_str());
+    return false;
+  }
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    auto need_value = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--history" && need_value(&opts->history_dir)) continue;
+    if (arg == "--format" && need_value(&opts->format)) continue;
+    if (arg == "--log-level" && need_value(&value)) {
+      if (!ParseLogLevelFlag(arg, value)) return false;
+      continue;
+    }
+    if (arg == "--baseline" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1, 1'000'000'000,
+                         &opts->baseline_index)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--current" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1, 1'000'000'000, &opts->current_index)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--window" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1, 1'000'000, &opts->window)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--last" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1, 1'000'000'000, &opts->last)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--rate-abs" && need_value(&value)) {
+      if (!ParseDoubleFlag(arg, value, 0.0, 1.0,
+                           &opts->thresholds.suspicion_rate_abs)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--rate-rel" && need_value(&value)) {
+      if (!ParseDoubleFlag(arg, value, 0.0, 1e9,
+                           &opts->thresholds.suspicion_rate_rel)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--rule-abs" && need_value(&value)) {
+      if (!ParseDoubleFlag(arg, value, 0.0, 1e18,
+                           &opts->thresholds.rule_violations_abs)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--rule-rel" && need_value(&value)) {
+      if (!ParseDoubleFlag(arg, value, 0.0, 1e9,
+                           &opts->thresholds.rule_violations_rel)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--record-rel" && need_value(&value)) {
+      if (!ParseDoubleFlag(arg, value, 0.0, 1e9,
+                           &opts->thresholds.record_count_rel)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--timing-abs-ms" && need_value(&value)) {
+      if (!ParseDoubleFlag(arg, value, 0.0, 1e12,
+                           &opts->thresholds.timing_abs_ms)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--timing-rel" && need_value(&value)) {
+      if (!ParseDoubleFlag(arg, value, 0.0, 1e9,
+                           &opts->thresholds.timing_rel)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--fail-on-change") {
+      opts->fail_on_change = true;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown or incomplete argument: %s\n",
+                   arg.c_str());
+      return false;
+    }
+    positional.push_back(arg);
+  }
+  if (opts->format != "text" && opts->format != "json") {
+    std::fprintf(stderr, "--format must be 'text' or 'json'\n");
+    return false;
+  }
+  if (opts->command == "rules-diff") {
+    if (positional.size() != 2) {
+      std::fprintf(stderr,
+                   "rules-diff needs exactly two rule files "
+                   "(BEFORE.rules AFTER.rules)\n");
+      return false;
+    }
+    opts->before_rules_path = positional[0];
+    opts->after_rules_path = positional[1];
+    return true;
+  }
+  if (!positional.empty()) {
+    std::fprintf(stderr, "unexpected argument: %s\n", positional[0].c_str());
+    return false;
+  }
+  if (opts->history_dir.empty()) {
+    std::fprintf(stderr, "%s needs --history DIR\n", opts->command.c_str());
+    return false;
+  }
+  if (opts->command == "diff" &&
+      (opts->baseline_index != 0) != (opts->current_index != 0)) {
+    std::fprintf(stderr,
+                 "--baseline and --current must be given together\n");
+    return false;
+  }
+  return true;
+}
+
+/// Reads the ledger, logging a warning for torn lines.
+bool LoadLedger(const Options& opts, std::vector<obs::HistoryRecord>* records) {
+  obs::HistoryStore store(opts.history_dir);
+  size_t damaged = 0;
+  auto read = store.ReadAll(&damaged);
+  if (!read.ok()) {
+    std::fprintf(stderr, "dqmon: %s\n", read.status().message().c_str());
+    return false;
+  }
+  if (damaged > 0) {
+    DQ_LOG_WARN("dqmon", "%zu damaged line(s) skipped in %s", damaged,
+                store.ledger_path().c_str());
+  }
+  *records = std::move(*read);
+  return true;
+}
+
+int RunLog(const Options& opts) {
+  std::vector<obs::HistoryRecord> records;
+  if (!LoadLedger(opts, &records)) return 1;
+  size_t first = 0;
+  if (opts.last > 0 && opts.last < records.size()) {
+    first = records.size() - opts.last;
+  }
+  if (opts.format == "json") {
+    std::string out = "[";
+    for (size_t i = first; i < records.size(); ++i) {
+      if (i > first) out += ",";
+      out += records[i].ToJsonLine();
+    }
+    out += "]\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+  std::printf("%zu run(s) in %s\n", records.size(), opts.history_dir.c_str());
+  std::printf("%5s  %-24s  %-10s  %12s  %10s  %9s\n", "run", "started",
+              "tool", "records", "suspicious", "rate");
+  for (size_t i = first; i < records.size(); ++i) {
+    const obs::HistoryRecord& r = records[i];
+    std::printf("%5zu  %-24s  %-10s  %12llu  %10llu  %9.6f\n", i + 1,
+                r.manifest.started_utc.c_str(), r.manifest.tool.c_str(),
+                static_cast<unsigned long long>(r.summary.records),
+                static_cast<unsigned long long>(r.summary.suspicious),
+                r.summary.suspicion_rate);
+  }
+  return 0;
+}
+
+int EmitDriftReport(const Options& opts, const obs::DriftReport& report) {
+  if (opts.format == "json") {
+    std::fputs(report.ToJson().c_str(), stdout);
+  } else {
+    std::fputs(report.RenderText().c_str(), stdout);
+  }
+  return report.HasDrift() ? 3 : 0;
+}
+
+int RunDiff(const Options& opts) {
+  std::vector<obs::HistoryRecord> records;
+  if (!LoadLedger(opts, &records)) return 1;
+  if (records.size() < 2) {
+    std::fprintf(stderr,
+                 "dqmon: diff needs at least 2 history records, have %zu\n",
+                 records.size());
+    return 1;
+  }
+  size_t baseline = opts.baseline_index != 0 ? opts.baseline_index
+                                             : records.size() - 1;
+  size_t current = opts.current_index != 0 ? opts.current_index
+                                           : records.size();
+  if (baseline > records.size() || current > records.size()) {
+    std::fprintf(stderr, "dqmon: run index out of range (ledger has %zu)\n",
+                 records.size());
+    return 1;
+  }
+  std::vector<obs::HistoryRecord> window = {records[baseline - 1]};
+  obs::DriftReport report =
+      DetectDrift(window, records[current - 1], opts.thresholds);
+  report.baseline_desc = "run " + std::to_string(baseline) + " (" +
+                         records[baseline - 1].manifest.started_utc + ")";
+  report.current_desc = "run " + std::to_string(current) + " (" +
+                        records[current - 1].manifest.started_utc + ")";
+  return EmitDriftReport(opts, report);
+}
+
+int RunCheck(const Options& opts) {
+  std::vector<obs::HistoryRecord> records;
+  if (!LoadLedger(opts, &records)) return 1;
+  if (records.size() < 2) {
+    // One run (or none) is a trivially clean baseline — nothing to
+    // compare against yet, and a brand-new pipeline must not fail CI.
+    if (opts.format == "json") {
+      std::fputs(obs::DriftReport{}.ToJson().c_str(), stdout);
+    } else {
+      std::printf("%zu run(s) in ledger: nothing to compare yet\n",
+                  records.size());
+    }
+    return 0;
+  }
+  const size_t window_size = std::min(opts.window, records.size() - 1);
+  const std::vector<obs::HistoryRecord> window(
+      records.end() - 1 - static_cast<ptrdiff_t>(window_size),
+      records.end() - 1);
+  obs::DriftReport report =
+      DetectDrift(window, records.back(), opts.thresholds);
+  report.baseline_desc =
+      "runs " + std::to_string(records.size() - window_size) + ".." +
+      std::to_string(records.size() - 1) + " (mean of " +
+      std::to_string(window_size) + ")";
+  report.current_desc = "run " + std::to_string(records.size()) + " (" +
+                        records.back().manifest.started_utc + ")";
+  return EmitDriftReport(opts, report);
+}
+
+int RunRulesDiff(const Options& opts) {
+  auto before = obs::LoadAnnotatedRuleFile(opts.before_rules_path);
+  if (!before.ok()) {
+    std::fprintf(stderr, "dqmon: %s\n", before.status().message().c_str());
+    return 1;
+  }
+  auto after = obs::LoadAnnotatedRuleFile(opts.after_rules_path);
+  if (!after.ok()) {
+    std::fprintf(stderr, "dqmon: %s\n", after.status().message().c_str());
+    return 1;
+  }
+  const obs::RuleSetDiff diff = DiffRuleSets(*before, *after);
+  if (opts.format == "json") {
+    std::fputs(diff.ToJson().c_str(), stdout);
+  } else {
+    std::fputs(diff.RenderText().c_str(), stdout);
+  }
+  return opts.fail_on_change && diff.HasChanges() ? 3 : 0;
+}
+
+}  // namespace
+}  // namespace dq
+
+int main(int argc, char** argv) {
+  dq::Options opts;
+  if (!dq::ParseArgs(argc, argv, &opts)) {
+    dq::Usage();
+    return 2;
+  }
+  if (opts.command == "log") return dq::RunLog(opts);
+  if (opts.command == "diff") return dq::RunDiff(opts);
+  if (opts.command == "check") return dq::RunCheck(opts);
+  return dq::RunRulesDiff(opts);
+}

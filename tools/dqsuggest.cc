@@ -70,7 +70,6 @@ struct Options {
   std::string on_error = "fail";
   std::string trace_out_path;
   std::string metrics_out_path;
-  std::string log_level = "info";
   double min_confidence = 0.85;
   size_t min_support = 2;
   size_t max_rules = 0;
@@ -111,7 +110,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     if (arg == "--metrics-out" && need_value(&opts->metrics_out_path)) {
       continue;
     }
-    if (arg == "--log-level" && need_value(&opts->log_level)) continue;
+    if (arg == "--log-level" && need_value(&value)) {
+      if (!ParseLogLevelFlag(arg, value)) return false;
+      continue;
+    }
     if (arg == "--min-confidence" && need_value(&value)) {
       if (!ParseDoubleFlag(arg, value, 0.0, 1.0, &opts->min_confidence)) {
         return false;
@@ -173,10 +175,6 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     std::fprintf(stderr, "--on-error must be 'fail' or 'skip'\n");
     return false;
   }
-  if (!obs::ParseLogLevel(opts->log_level).has_value()) {
-    std::fprintf(stderr, "--log-level must be debug|info|warn|error|off\n");
-    return false;
-  }
   return true;
 }
 
@@ -227,7 +225,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  obs::SetLogLevel(*obs::ParseLogLevel(opts.log_level));
   obs::Tracer::Global().SetEnabled(true);
 
   obs::RunManifest manifest = obs::MakeRunManifest("dqsuggest", argc, argv);
@@ -350,6 +347,7 @@ int main(int argc, char** argv) {
                  opts.emit_path.c_str());
   }
 
+  manifest.StampWallClock();
   if (!opts.trace_out_path.empty()) {
     Status traced = obs::Tracer::Global().WriteChromeTraceFile(
         opts.trace_out_path, &manifest);

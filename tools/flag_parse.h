@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/strings.h"
+#include "obs/log.h"
 
 namespace dq {
 
@@ -94,6 +95,24 @@ inline bool ParseByteSizeFlag(const std::string& flag,
     return false;
   }
   *out = v;
+  return true;
+}
+
+/// \brief Parses a --log-level value ("debug", "info", "warn", "error",
+/// "off") and applies it to the process-wide logger. Prints a diagnostic
+/// listing the accepted names and returns false on anything else, so a
+/// typo exits with usage instead of silently keeping the default level.
+inline bool ParseLogLevelFlag(const std::string& flag,
+                              const std::string& value) {
+  const std::optional<obs::LogLevel> level = obs::ParseLogLevel(value);
+  if (!level.has_value()) {
+    std::fprintf(stderr,
+                 "invalid value '%s' for %s: expected one of debug, info, "
+                 "warn, error, off\n",
+                 value.c_str(), flag.c_str());
+    return false;
+  }
+  obs::SetLogLevel(*level);
   return true;
 }
 

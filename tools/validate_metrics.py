@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
-"""Validates a --metrics-out dump against the schema in docs/OBSERVABILITY.md.
+"""Validates observability artifacts against the schemas in
+docs/OBSERVABILITY.md and docs/FORMATS.md.
 
-Usage: validate_metrics.py METRICS_JSON [TRACE_JSON ...]
+Usage:
+  validate_metrics.py METRICS_JSON [TRACE_JSON ...]
+  validate_metrics.py --history HISTORY_JSONL [...]
+  validate_metrics.py --drift DRIFT_JSON [...]
 
-Extra arguments are checked as trace files (traceEvents array + manifest).
-Exits non-zero with a message on the first violation.
+Positional arguments are checked as a metrics dump followed by trace
+files; --history arguments as run-history JSONL ledgers; --drift
+arguments as dqmon drift reports. Exits non-zero with a message on the
+first violation.
 """
 
 import json
@@ -35,9 +41,22 @@ def check_manifest(manifest, context):
             fail(f"{context}: manifest missing '{key}'")
         if not isinstance(manifest[key], kind):
             fail(f"{context}: manifest '{key}' is not {kind.__name__}")
-    if manifest["schema_version"] != 1:
-        fail(f"{context}: unknown manifest schema_version "
-             f"{manifest['schema_version']}")
+    version = manifest["schema_version"]
+    if version not in (1, 2):
+        fail(f"{context}: unknown manifest schema_version {version}")
+    if version >= 2:
+        # v2 added the wall-clock fields (PR 9).
+        for key, kind in (("started_unix_ms", int), ("started_utc", str),
+                          ("wall_ms", (int, float))):
+            if key not in manifest:
+                fail(f"{context}: manifest v2 missing '{key}'")
+            if not isinstance(manifest[key], kind):
+                fail(f"{context}: manifest '{key}' has wrong type")
+        utc = manifest["started_utc"]
+        if manifest["started_unix_ms"] > 0 and (
+                len(utc) != 24 or utc[4] != "-" or utc[10] != "T"
+                or not utc.endswith("Z")):
+            fail(f"{context}: started_utc '{utc}' is not ISO-8601 UTC")
     if len(manifest["config_hash"]) != 16:
         fail(f"{context}: config_hash is not a 64-bit hex hash")
     for label, digest in manifest["input_hashes"].items():
@@ -101,11 +120,117 @@ def check_trace(path):
     print(f"{path}: ok ({len(spans)} spans)")
 
 
+def check_history_record(record, context):
+    if record.get("schema_version") != 1:
+        fail(f"{context}: unknown history schema_version "
+             f"{record.get('schema_version')}")
+    if "manifest" not in record:
+        fail(f"{context}: missing manifest")
+    check_manifest(record["manifest"], context)
+    summary = record.get("summary")
+    if not isinstance(summary, dict):
+        fail(f"{context}: missing summary object")
+    for key, kind in (("records", int), ("suspicious", int),
+                      ("suspicion_rate", (int, float)),
+                      ("rule_violations", dict), ("top_confidences", list),
+                      ("timings_ms", dict)):
+        if key not in summary:
+            fail(f"{context}: summary missing '{key}'")
+        if not isinstance(summary[key], kind):
+            fail(f"{context}: summary '{key}' has wrong type")
+    if summary["suspicious"] > summary["records"]:
+        fail(f"{context}: suspicious exceeds records")
+    if not 0.0 <= summary["suspicion_rate"] <= 1.0:
+        fail(f"{context}: suspicion_rate outside [0, 1]")
+    confidences = summary["top_confidences"]
+    if any(confidences[i] < confidences[i + 1]
+           for i in range(len(confidences) - 1)):
+        fail(f"{context}: top_confidences not descending")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{context}: missing metrics object")
+    for section in ("counters", "gauges"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"{context}: metrics missing '{section}' object")
+
+
+def check_history(path):
+    records = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON ({e})")
+            check_history_record(record, f"{path}:{lineno}")
+            records += 1
+    if records == 0:
+        fail(f"{path}: no history records")
+    print(f"{path}: ok ({records} history records)")
+
+
+def check_drift(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: unknown drift schema_version "
+             f"{doc.get('schema_version')}")
+    for key, kind in (("baseline", str), ("current", str),
+                      ("baseline_runs", int), ("has_drift", bool),
+                      ("severity_counts", dict), ("findings", list)):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+        if not isinstance(doc[key], kind):
+            fail(f"{path}: '{key}' has wrong type")
+    severities = {"info", "warn", "drift"}
+    drift_found = 0
+    for i, finding in enumerate(doc["findings"]):
+        for key, kind in (("kind", str), ("severity", str), ("subject", str),
+                          ("baseline", (int, float)),
+                          ("current", (int, float)),
+                          ("delta_abs", (int, float)),
+                          ("delta_rel", (int, float)), ("message", str)):
+            if key not in finding:
+                fail(f"{path}: finding {i} missing '{key}'")
+            if not isinstance(finding[key], kind):
+                fail(f"{path}: finding {i} '{key}' has wrong type")
+        if finding["severity"] not in severities:
+            fail(f"{path}: finding {i} has unknown severity "
+                 f"'{finding['severity']}'")
+        if finding["severity"] == "drift":
+            drift_found += 1
+    counts = doc["severity_counts"]
+    if counts.get("drift") != drift_found:
+        fail(f"{path}: severity_counts.drift ({counts.get('drift')}) "
+             f"disagrees with findings ({drift_found})")
+    if doc["has_drift"] != (drift_found > 0):
+        fail(f"{path}: has_drift disagrees with findings")
+    print(f"{path}: ok ({len(doc['findings'])} findings, "
+          f"{drift_found} at drift severity)")
+
+
 def main():
-    if len(sys.argv) < 2:
-        fail("usage: validate_metrics.py METRICS_JSON [TRACE_JSON ...]")
-    check_metrics(sys.argv[1])
-    for trace in sys.argv[2:]:
+    argv = sys.argv[1:]
+    if not argv:
+        fail("usage: validate_metrics.py METRICS_JSON [TRACE_JSON ...] | "
+             "--history LEDGER... | --drift REPORT...")
+    if argv[0] == "--history":
+        if len(argv) < 2:
+            fail("--history needs at least one ledger path")
+        for path in argv[1:]:
+            check_history(path)
+        return
+    if argv[0] == "--drift":
+        if len(argv) < 2:
+            fail("--drift needs at least one report path")
+        for path in argv[1:]:
+            check_drift(path)
+        return
+    check_metrics(argv[0])
+    for trace in argv[1:]:
         check_trace(trace)
 
 
