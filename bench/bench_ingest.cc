@@ -1,17 +1,21 @@
 // CSV ingest throughput: serial vs parallel streaming parse of the QUIS
 // surrogate, clean and with injected malformed records (the quarantine
-// path). The audit workflow starts by pointing the tool at a real
-// operational extract, so ingest is a first-class phase next to induce and
-// audit; this emitter makes its cost and recovery behaviour diffable.
+// path), plus the dqcol binary columnar load of the same table. The audit
+// workflow starts by pointing the tool at a real operational extract, so
+// ingest is a first-class phase next to induce and audit; this emitter
+// makes its cost and recovery behaviour diffable.
 
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <string>
 
 #include "bench_util.h"
 #include "obs/metrics.h"
 #include "quis/quis_sample.h"
+#include "table/columnar.h"
 #include "table/csv.h"
+#include "table/csv_scan.h"
 
 using namespace dq;
 
@@ -109,6 +113,48 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // dqcol axis: snapshot the parsed table once, then measure the binary
+  // columnar load of the identical rows. The loaded table must match the
+  // CSV decode cell for cell — the speedup is only meaningful if the two
+  // paths deliver the same bytes.
+  const std::string dqcol_path =
+      (std::filesystem::temp_directory_path() / "bench_ingest_quis.dqcol")
+          .string();
+  double dqcol_ms = 0.0;
+  double dqcol_mb = 0.0;
+  {
+    std::istringstream is(clean);
+    auto parsed = ReadCsv(schema, &is, serial_opts);
+    if (!parsed.ok() || !WriteDqcolFile(*parsed, dqcol_path).ok()) {
+      std::fprintf(stderr, "dqcol snapshot failed\n");
+      return 1;
+    }
+    dqcol_mb = static_cast<double>(std::filesystem::file_size(dqcol_path)) /
+               (1024.0 * 1024.0);
+    IngestReport dqcol_report;
+    auto loaded = ReadDqcolFile(schema, dqcol_path, &dqcol_report);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "dqcol load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    dqcol_ms = dqcol_report.parse_ms;
+    if (loaded->num_rows() != parsed->num_rows()) {
+      std::fprintf(stderr, "dqcol row count mismatch\n");
+      return 1;
+    }
+    for (size_t r = 0; r < parsed->num_rows(); ++r) {
+      for (size_t a = 0; a < schema.num_attributes(); ++a) {
+        if (!loaded->cell(r, a).StrictEquals(parsed->cell(r, a))) {
+          std::fprintf(stderr, "dqcol cell mismatch at row %zu attr %zu\n",
+                       r, a);
+          return 1;
+        }
+      }
+    }
+    std::filesystem::remove(dqcol_path);
+  }
+
   size_t injected = 0;
   const std::string dirty = InjectDirt(clean, 100, &injected);
   CsvOptions lenient_opts;
@@ -125,12 +171,17 @@ int main(int argc, char** argv) {
   }
 
   std::printf("# CSV ingest throughput (QUIS surrogate)\n");
-  std::printf("records:        %zu  (%.1f MB of CSV)\n", serial_rows, mb);
+  std::printf("records:        %zu  (%.1f MB of CSV, scan kernel %s)\n",
+              serial_rows, mb, csvscan::SimdLevel());
   std::printf("serial parse:   %8.1f ms  (%.1f MB/s)\n", serial_ms,
               mb / (serial_ms / 1000.0));
   std::printf("parallel parse: %8.1f ms  (%.1f MB/s, threads=%d)\n",
               parallel_ms, mb / (parallel_ms / 1000.0),
               parallel_report.threads_used);
+  std::printf("dqcol load:     %8.1f ms  (%.1f MB file, %.1fx vs serial "
+              "CSV)\n",
+              dqcol_ms, dqcol_mb,
+              dqcol_ms > 0.0 ? serial_ms / dqcol_ms : 0.0);
   std::printf("dirty parse:    %8.1f ms  (%zu of %zu records quarantined)\n",
               dirty_ms, dirty_report.records_quarantined,
               dirty_report.records_total);
@@ -153,6 +204,11 @@ int main(int argc, char** argv) {
   json.Add("parallel_ms", parallel_ms);
   json.Add("serial_mb_per_s", mb / (serial_ms / 1000.0));
   json.Add("parallel_mb_per_s", mb / (parallel_ms / 1000.0));
+  json.Add("scan_kernel", csvscan::SimdLevel());
+  json.Add("dqcol_ms", dqcol_ms);
+  json.Add("dqcol_mb", dqcol_mb);
+  json.Add("dqcol_speedup_vs_serial_csv",
+           dqcol_ms > 0.0 ? serial_ms / dqcol_ms : 0.0);
   json.Add("dirty_ms", dirty_ms);
   json.Add("dirty_injected", injected);
   json.Add("dirty_quarantined", dirty_report.records_quarantined);

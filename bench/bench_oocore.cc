@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
 
   // Phase 2: budgeted streaming audit.
   const auto audit_t0 = std::chrono::steady_clock::now();
-  auto budgeted = RunStreamingCsvAudit(gen->schema(), csv_path, options);
+  auto budgeted = RunStreamingAudit(gen->schema(), csv_path, options);
   const double budgeted_s = Seconds(audit_t0);
   if (!budgeted.ok()) {
     std::fprintf(stderr, "audit: %s\n", budgeted.status().ToString().c_str());
@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
   StreamAuditOptions unbounded = options;
   unbounded.store.memory_budget_bytes = 0;
   const auto ctrl_t0 = std::chrono::steady_clock::now();
-  auto control = RunStreamingCsvAudit(gen->schema(), csv_path, unbounded);
+  auto control = RunStreamingAudit(gen->schema(), csv_path, unbounded);
   const double control_s = Seconds(ctrl_t0);
   if (!control.ok()) {
     std::fprintf(stderr, "control: %s\n",

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <utility>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "table/csv.h"
+#include "table/ingest_backend.h"
 
 namespace dq {
 
@@ -38,8 +42,8 @@ class StreamingIngestSink : public CsvChunkSink {
 
 }  // namespace
 
-Result<StreamAuditResult> RunStreamingCsvAudit(
-    const Schema& schema, const std::string& csv_path,
+Result<StreamAuditResult> RunStreamingAudit(
+    const Schema& schema, const std::string& input_path,
     const StreamAuditOptions& options) {
   if (options.sample_rows == 0) {
     return Status::InvalidArgument("sample_rows must be positive");
@@ -48,8 +52,8 @@ Result<StreamAuditResult> RunStreamingCsvAudit(
   SegmentStore store(schema, options.store);
   ReservoirSampler sampler(options.sample_rows, options.sample_seed);
   StreamingIngestSink sink(&store, &sampler);
-  DQ_RETURN_NOT_OK(
-      ReadCsvFileChunks(schema, csv_path, options.csv, &sink, &result.ingest));
+  DQ_RETURN_NOT_OK(ReadTableFileChunks(options.format, schema, input_path,
+                                       options.csv, &sink, &result.ingest));
   DQ_RETURN_NOT_OK(store.Finish());
   result.timings.ingest_ms = result.ingest.parse_ms;
   result.total_rows = store.num_rows();
@@ -64,23 +68,57 @@ Result<StreamAuditResult> RunStreamingCsvAudit(
   // one another (Def. 7/8 look only at the model), so segment-local audits
   // see the same confidences the whole-table audit would. Only each
   // segment's suspicious list survives — the per-record score vectors die
-  // with the segment, so audit memory is bounded by one segment plus the
-  // flagged rows.
-  for (size_t s = 0; s < store.num_segments(); ++s) {
-    DQ_ASSIGN_OR_RETURN(const Table* segment, store.Pin(s));
-    AuditTimings segment_timings;
-    DQ_ASSIGN_OR_RETURN(AuditReport report,
-                        auditor.Audit(result.model, *segment,
-                                      &segment_timings));
-    result.timings.audit_ms += segment_timings.audit_ms;
-    const size_t base = store.segment_base_row(s);
-    result.suspicious.reserve(result.suspicious.size() +
-                              report.suspicious.size());
-    for (Suspicion& suspicion : report.suspicious) {
-      suspicion.row += base;  // segment-local -> global row index
-      result.suspicious.push_back(std::move(suspicion));
+  // with the segment, so audit memory is bounded by the pin window plus
+  // the flagged rows.
+  //
+  // Segments are checked in parallel across a bounded pin window of
+  // `threads` segments: each window is pinned serially (the store is not
+  // thread-safe), audited concurrently with one auditor thread per
+  // segment into pre-assigned report slots, then merged and unpinned
+  // serially in segment order. Per-segment reports are thread-count
+  // invariant and the merge order is fixed, so the ranking is bitwise
+  // identical for every thread count — parallelism changes only who
+  // computes each slot.
+  const int threads = ResolveThreadCount(options.auditor.num_threads);
+  const auto window =
+      std::max<size_t>(1, static_cast<size_t>(threads));
+  AuditorConfig segment_config = options.auditor;
+  segment_config.num_threads = 1;  // parallelism is across segments
+  const Auditor segment_auditor(segment_config);
+  std::optional<ThreadPool> pool;
+  if (window > 1 && store.num_segments() > 1) pool.emplace(threads);
+
+  std::vector<const Table*> pinned(window);
+  std::vector<Result<AuditReport>> reports;
+  std::vector<AuditTimings> segment_timings(window);
+  for (size_t s0 = 0; s0 < store.num_segments(); s0 += window) {
+    const size_t count = std::min(window, store.num_segments() - s0);
+    for (size_t i = 0; i < count; ++i) {
+      DQ_ASSIGN_OR_RETURN(pinned[i], store.Pin(s0 + i));
     }
-    DQ_RETURN_NOT_OK(store.Unpin(s));
+    reports.assign(count, Status::Internal("segment audit did not run"));
+    auto audit_one = [&](size_t i) {
+      reports[i] = segment_auditor.Audit(result.model, *pinned[i],
+                                         &segment_timings[i]);
+    };
+    if (pool.has_value()) {
+      pool->RunBatch(count, audit_one);
+    } else {
+      for (size_t i = 0; i < count; ++i) audit_one(i);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (!reports[i].ok()) return reports[i].status();
+      AuditReport& report = *reports[i];
+      result.timings.audit_ms += segment_timings[i].audit_ms;
+      const size_t base = store.segment_base_row(s0 + i);
+      result.suspicious.reserve(result.suspicious.size() +
+                                report.suspicious.size());
+      for (Suspicion& suspicion : report.suspicious) {
+        suspicion.row += base;  // segment-local -> global row index
+        result.suspicious.push_back(std::move(suspicion));
+      }
+      DQ_RETURN_NOT_OK(store.Unpin(s0 + i));
+    }
   }
 
   // Merge: each per-segment list is already stable-ranked (confidence

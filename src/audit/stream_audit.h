@@ -30,6 +30,7 @@
 #include "audit/auditor.h"
 #include "mining/sample.h"
 #include "table/csv.h"
+#include "table/ingest_backend.h"
 #include "table/segment_store.h"
 
 namespace dq {
@@ -50,6 +51,11 @@ struct StreamAuditOptions {
   /// CSV dialect, error policy and decode threads for the single pass.
   CsvOptions csv;
 
+  /// On-disk format of the input file (CSV text or dqcol columnar). The
+  /// dqcol path feeds the same chunk sink, so the audit output is byte
+  /// identical for a faithfully converted file.
+  IngestFormat format = IngestFormat::kCsv;
+
   AuditorConfig auditor;
 };
 
@@ -68,10 +74,15 @@ struct StreamAuditResult {
   SegmentStore::Stats store_stats;
 };
 
-/// \brief Runs the full streaming audit over a CSV file.
-Result<StreamAuditResult> RunStreamingCsvAudit(const Schema& schema,
-                                               const std::string& csv_path,
-                                               const StreamAuditOptions& options);
+/// \brief Runs the full streaming audit over a CSV or dqcol file
+/// (options.format). Deviation detection is segment-parallel when
+/// options.auditor.num_threads allows: segments are pinned in a bounded
+/// window and audited concurrently, one auditor thread per segment, then
+/// merged serially in segment order — so the ranking stays bitwise
+/// identical for every thread count.
+Result<StreamAuditResult> RunStreamingAudit(const Schema& schema,
+                                            const std::string& input_path,
+                                            const StreamAuditOptions& options);
 
 /// \brief Writes the ranked streaming suspicions in exactly the classic
 /// report CSV format (rank,row,error_confidence,attribute,observed,

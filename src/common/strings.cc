@@ -71,9 +71,19 @@ std::string FormatDoubleRoundTrip(double v) {
 bool ParseDouble(std::string_view s, double* out) {
   s = TrimWhitespace(s);
   if (s.empty()) return false;
+  // Fast path: from_chars parses without the NUL-terminated copy strtod
+  // needs, and both are correctly rounded, so any input both accept yields
+  // the same bits. Inputs only strtod accepts (leading '+', hex floats)
+  // fall through to the original path below.
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec == std::errc() && ptr == s.data() + s.size()) {
+    *out = v;
+    return true;
+  }
   std::string buf(s);
   char* end = nullptr;
-  double v = std::strtod(buf.c_str(), &end);
+  v = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) return false;
   *out = v;
   return true;

@@ -1,5 +1,6 @@
 #include "obs/history.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -141,6 +142,64 @@ Status HistoryStore::Append(const HistoryRecord& record) const {
   if (!out) {
     return Status::IOError("short write to history ledger '" + path + "'");
   }
+  return Status::OK();
+}
+
+Status HistoryStore::Compact(size_t max_runs, size_t* dropped_runs,
+                             size_t* dropped_damaged) const {
+  if (dropped_runs != nullptr) *dropped_runs = 0;
+  if (dropped_damaged != nullptr) *dropped_damaged = 0;
+  if (max_runs == 0) {
+    return Status::InvalidArgument("max_runs must be positive");
+  }
+  const std::string path = ledger_path();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::OK();  // nothing to compact yet
+
+  // Keep the original bytes of every valid line: compaction must never
+  // rewrite a record (ToJsonLine drift would silently corrupt history
+  // diffs), only drop whole lines.
+  std::vector<std::string> valid;
+  size_t damaged = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    JsonValue json;
+    if (!ParseJson(line, &json) || !HistoryRecord::FromJson(json).ok()) {
+      ++damaged;
+      continue;
+    }
+    valid.push_back(line);
+  }
+  in.close();
+
+  const size_t keep = std::min(valid.size(), max_runs);
+  const size_t dropped = valid.size() - keep;
+  if (dropped == 0 && damaged == 0) return Status::OK();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open '" + tmp + "' for compaction");
+    }
+    for (size_t i = valid.size() - keep; i < valid.size(); ++i) {
+      out << valid[i] << '\n';
+    }
+    out.flush();
+    if (!out) {
+      return Status::IOError("short write to '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot replace history ledger '" + path + "'");
+  }
+  if (dropped_runs != nullptr) *dropped_runs = dropped;
+  if (dropped_damaged != nullptr) *dropped_damaged = damaged;
   return Status::OK();
 }
 

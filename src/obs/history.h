@@ -89,6 +89,18 @@ class HistoryStore {
   Result<std::vector<HistoryRecord>> ReadAll(
       size_t* damaged_lines = nullptr) const;
 
+  /// \brief Bounds the ledger to the newest `max_runs` valid records.
+  /// Valid lines are kept byte-for-byte (records are never re-rendered);
+  /// damaged lines are dropped — exactly the lines ReadAll would have
+  /// skipped anyway, so read semantics are unchanged. The rewrite goes
+  /// through a temp file in the same directory plus an atomic rename, so
+  /// a crash mid-compaction leaves either the old or the new ledger, never
+  /// a torn one. A missing ledger is a no-op. `dropped_runs` /
+  /// `dropped_damaged` (when non-null) report how many old records and
+  /// damaged lines were removed.
+  Status Compact(size_t max_runs, size_t* dropped_runs = nullptr,
+                 size_t* dropped_damaged = nullptr) const;
+
  private:
   std::string dir_;
 };

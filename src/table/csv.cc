@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "table/csv_parser.h"
+#include "table/date.h"
 
 namespace dq {
 
@@ -88,17 +89,59 @@ struct DecodedRecord {
   IngestError error;
 };
 
+/// Per-slot decode scratch: field views (into the record text for
+/// quote-free records, into `storage` otherwise) plus the unescape
+/// storage. Reused across batches so the buffers keep their capacity.
+struct FieldScratch {
+  std::vector<std::string_view> views;
+  std::vector<std::string> storage;
+};
+
+/// Fast per-cell decode straight from the field view into the chunk
+/// column. Returns false on ANY failure without touching the cell; the
+/// caller then re-runs the field through Schema::ParseValue, whose
+/// diagnosis (and error message) is authoritative. A true return stores
+/// exactly the value the ParseValue + InDomain path would have stored.
+bool FastDecodeCell(const AttributeDef& def, std::string_view field,
+                    TableChunk* chunk, size_t slot, size_t attr) {
+  switch (def.type) {
+    case DataType::kNumeric: {
+      double d = 0;
+      if (!ParseDouble(field, &d)) return false;
+      if (!(d >= def.numeric_min && d <= def.numeric_max)) return false;
+      chunk->Set(slot, attr, Value::Numeric(d));
+      return true;
+    }
+    case DataType::kNominal: {
+      const auto it = def.category_index.find(field);
+      if (it == def.category_index.end()) return false;
+      chunk->Set(slot, attr, Value::Nominal(it->second));
+      return true;
+    }
+    case DataType::kDate: {
+      auto days = ParseDate(field);
+      if (!days.ok()) return false;
+      if (!(*days >= def.date_min && *days <= def.date_max)) return false;
+      chunk->Set(slot, attr, Value::Date(*days));
+      return true;
+    }
+  }
+  return false;
+}
+
 /// Raw record -> typed cells of chunk slot `slot`, fully validated against
 /// the schema (so assembly can bulk-append unchecked). Runs on worker
 /// threads: touches only its own chunk slot / output slot and const state.
 /// A slot whose record fails decoding may hold a partial prefix of cells;
 /// the keep mask drops it at AppendChunk time.
 void DecodeRecord(const Schema& schema, const CsvOptions& options,
-                  const RawCsvRecord& rec, std::vector<std::string>* fields,
+                  const RawCsvRecord& rec, FieldScratch* fields,
                   TableChunk* chunk, size_t slot, DecodedRecord* out) {
+  out->ok = false;  // slots are reused across batches without re-init
   out->error.line = rec.line;
   CsvFieldError ferr;
-  if (!SplitCsvRecord(rec.text, options.separator, fields, &ferr)) {
+  if (!SplitCsvRecordViews(rec.text, options.separator, &fields->views,
+                           &fields->storage, &ferr)) {
     out->error.kind = ferr.kind;
     out->error.column = ferr.column;
     out->error.message = ferr.kind == CsvErrorKind::kUnterminatedQuote
@@ -108,20 +151,31 @@ void DecodeRecord(const Schema& schema, const CsvOptions& options,
     out->error.raw = TruncatedRaw(rec.text);
     return;
   }
-  if (fields->size() != schema.num_attributes()) {
+  if (fields->views.size() != schema.num_attributes()) {
     out->error.kind = CsvErrorKind::kArityMismatch;
     out->error.message = "expected " +
                          std::to_string(schema.num_attributes()) +
-                         " fields, got " + std::to_string(fields->size());
+                         " fields, got " +
+                         std::to_string(fields->views.size());
     out->error.raw = TruncatedRaw(rec.text);
     return;
   }
-  for (size_t a = 0; a < fields->size(); ++a) {
-    auto value = schema.ParseValue(static_cast<int>(a), (*fields)[a],
-                                   options.null_token);
+  for (size_t a = 0; a < fields->views.size(); ++a) {
+    const std::string_view field = fields->views[a];
     const AttributeDef& def = schema.attribute(a);
+    if (field == options.null_token) {
+      chunk->Set(slot, a, Value::Null());
+      continue;
+    }
+    if (FastDecodeCell(def, field, chunk, slot, a)) continue;
+    // Slow path: the cell is malformed or out of domain. Re-diagnose with
+    // the schema's parser so the quarantine entry carries the exact same
+    // message the ParseValue-based decoder produced.
+    const std::string field_str(field);
+    auto value = schema.ParseValue(static_cast<int>(a), field_str,
+                                   options.null_token);
     if (value.ok() && !def.InDomain(*value)) {
-      value = Status::InvalidArgument("value '" + (*fields)[a] +
+      value = Status::InvalidArgument("value '" + field_str +
                                       "' outside the attribute's domain");
     }
     if (!value.ok()) {
@@ -131,7 +185,7 @@ void DecodeRecord(const Schema& schema, const CsvOptions& options,
       out->error.raw = TruncatedRaw(rec.text);
       return;
     }
-    chunk->Set(slot, a, *value);
+    chunk->Set(slot, a, *value);  // fast path was conservative; keep going
   }
   out->ok = true;
 }
@@ -188,9 +242,17 @@ Status ReadCsvDriver(const Schema& schema, std::istream* in,
   if (threads > 1) pool.emplace(threads);
 
   CsvRecordReader reader(in, options.separator, options.chunk_bytes);
+  // `batch` slots are reused across flushes (records land in them straight
+  // from the reader, and flushing resets the count, not the vector), so a
+  // record's text buffer keeps its capacity from one batch to the next.
   std::vector<RawCsvRecord> batch;
+  size_t batch_n = 0;
+  auto slot = [&]() -> RawCsvRecord& {
+    if (batch_n == batch.size()) batch.emplace_back();
+    return batch[batch_n];
+  };
   std::vector<DecodedRecord> decoded;
-  std::vector<std::vector<std::string>> scratch;  // per-slot field buffers
+  std::vector<FieldScratch> scratch;  // per-slot field buffers
   TableChunk chunk(schema);  // columnar batch staging, reused across flushes
   std::vector<uint8_t> keep;
 
@@ -212,11 +274,18 @@ Status ReadCsvDriver(const Schema& schema, std::istream* in,
   };
 
   auto flush_batch = [&]() -> Status {
-    if (batch.empty()) return Status::OK();
-    decoded.clear();
-    decoded.resize(batch.size());
-    scratch.resize(batch.size());
-    chunk.Reset(batch.size());
+    if (batch_n == 0) return Status::OK();
+    // Slot buffers (decode outcomes, per-slot field vectors) are only ever
+    // grown: DecodeRecord fully re-initializes the slots it touches, and
+    // keeping the old objects preserves their string capacity.
+    if (decoded.size() < batch_n) decoded.resize(batch_n);
+    if (scratch.size() < batch_n) {
+      scratch.resize(batch_n);
+      for (auto& fields : scratch) {
+        fields.views.reserve(schema.num_attributes());
+      }
+    }
+    chunk.Reset(batch_n);
     // Workers decode straight into disjoint chunk slots — no Row
     // materialization between the parser and the consumer's columns.
     auto decode_one = [&](size_t i) {
@@ -224,17 +293,17 @@ Status ReadCsvDriver(const Schema& schema, std::istream* in,
                    &decoded[i]);
     };
     if (pool.has_value()) {
-      pool->ParallelFor(batch.size(), decode_one);
+      pool->ParallelFor(batch_n, decode_one);
     } else {
-      for (size_t i = 0; i < batch.size(); ++i) decode_one(i);
+      for (size_t i = 0; i < batch_n; ++i) decode_one(i);
     }
     // Serial bookkeeping in record order (quarantine entries land in the
     // same sequence for every thread count), then one bulk delivery of the
     // kept slots. Under kFail, slots after the failing record stay unkept —
     // the consumer holds exactly the records before the error.
-    keep.assign(batch.size(), 0);
+    keep.assign(batch_n, 0);
     Status failed = Status::OK();
-    for (size_t i = 0; i < batch.size(); ++i) {
+    for (size_t i = 0; i < batch_n; ++i) {
       ++rep->records_total;
       if (decoded[i].ok) {
         ++rep->records_kept;
@@ -250,35 +319,44 @@ Status ReadCsvDriver(const Schema& schema, std::istream* in,
     }
     Status delivered = deliver(chunk, keep);
     if (!delivered.ok()) return delivered;  // sink failure aborts the read
-    batch.clear();
+    batch_n = 0;
     return failed;
   };
 
-  RawCsvRecord rec;
   bool saw_header = !options.expect_header;
   // Blank records of a multi-attribute table are held back: trailing blank
   // lines are silently dropped at end of input, while interior blank lines
   // are real (arity-violating) records. For a single-attribute schema a
   // blank line IS a legitimate record (the empty string / an empty null
-  // token), so it is never held back.
-  std::vector<RawCsvRecord> pending_blanks;
-  while (reader.Next(&rec)) {
+  // token), so it is never held back. Only the line numbers are held (the
+  // text is empty by definition).
+  std::vector<size_t> pending_blank_lines;
+  for (;;) {
+    if (!reader.Next(&slot())) break;
     if (!saw_header) {
       saw_header = true;
-      Status header = CheckHeader(schema, options, rec, rep);
+      Status header = CheckHeader(schema, options, batch[batch_n], rep);
       if (!header.ok()) return finish(std::move(header));
+      continue;  // slot not consumed; the next record overwrites it
+    }
+    if (batch[batch_n].text.empty() && schema.num_attributes() > 1) {
+      pending_blank_lines.push_back(batch[batch_n].line);
       continue;
     }
-    if (rec.text.empty() && schema.num_attributes() > 1) {
-      pending_blanks.push_back(rec);
-      continue;
+    if (!pending_blank_lines.empty()) {
+      // The held-back blanks precede the current record: shift it past them.
+      RawCsvRecord held = std::move(batch[batch_n]);
+      for (size_t blank_line : pending_blank_lines) {
+        RawCsvRecord& blank = slot();
+        blank.text.clear();
+        blank.line = blank_line;
+        ++batch_n;
+      }
+      pending_blank_lines.clear();
+      slot() = std::move(held);
     }
-    for (RawCsvRecord& blank : pending_blanks) {
-      batch.push_back(std::move(blank));
-    }
-    pending_blanks.clear();
-    batch.push_back(std::move(rec));
-    if (batch.size() >= options.batch_records) {
+    ++batch_n;
+    if (batch_n >= options.batch_records) {
       Status flushed = flush_batch();
       if (!flushed.ok()) return finish(std::move(flushed));
     }

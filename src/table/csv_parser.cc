@@ -1,7 +1,11 @@
 #include "table/csv_parser.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <istream>
+
+#include "table/csv_scan.h"
 
 namespace dq {
 
@@ -21,57 +25,119 @@ const char* CsvErrorKindToString(CsvErrorKind kind) {
   return "unknown";
 }
 
+namespace {
+
+/// First occurrence of `c` in text[from, end); text.size() when absent.
+size_t FindByte(std::string_view text, size_t from, char c) {
+  const void* hit = std::memchr(text.data() + from, c, text.size() - from);
+  if (hit == nullptr) return text.size();
+  return static_cast<size_t>(static_cast<const char*>(hit) - text.data());
+}
+
+/// Quote-free fast path: without a '"' anywhere in the record the state
+/// machine below degenerates to plain separator splitting (a quote is the
+/// only character that can change how a separator is interpreted), so the
+/// fields are exactly the memchr-delimited substrings. Fields are assigned
+/// in place so the caller's buffers keep their capacity across records.
+void SplitUnquoted(std::string_view text, char separator,
+                   std::vector<std::string>* fields) {
+  size_t nf = 0;
+  size_t start = 0;
+  for (;;) {
+    const size_t end = FindByte(text, start, separator);
+    if (nf == fields->size()) fields->emplace_back();
+    (*fields)[nf].assign(text.data() + start, end - start);
+    ++nf;
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  fields->resize(nf);
+}
+
+}  // namespace
+
 bool SplitCsvRecord(std::string_view text, char separator,
                     std::vector<std::string>* fields, CsvFieldError* error) {
-  fields->clear();
-  std::string cur;
+  if (text.empty()) {  // one empty field; also keeps memchr off a null data()
+    fields->resize(1);
+    (*fields)[0].clear();
+    return true;
+  }
+  if (std::memchr(text.data(), '"', text.size()) == nullptr) {
+    SplitUnquoted(text, separator, fields);
+    return true;
+  }
+  // Quoted slow path. Content still moves in memchr-delimited bulk spans;
+  // the state machine only touches the separators and quotes between them.
+  // Fields build up in place in the caller's buffers (contents are
+  // unspecified on error, when the function returns false).
+  size_t nf = 0;  // fields committed so far; slot nf is under construction
+  if (fields->empty()) fields->emplace_back();
+  std::string* cur = &(*fields)[0];
+  cur->clear();
+  auto commit = [&]() {
+    ++nf;
+    if (nf == fields->size()) fields->emplace_back();
+    cur = &(*fields)[nf];
+    cur->clear();
+  };
   enum class State { kFieldStart, kUnquoted, kQuoted, kAfterQuoted };
   State state = State::kFieldStart;
   size_t quote_open = 0;  // 1-based offset of the field's opening quote
-  for (size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
+  size_t i = 0;
+  while (i < text.size()) {
     switch (state) {
       case State::kFieldStart:
-        if (c == '"') {
+        if (text[i] == '"') {
           state = State::kQuoted;
           quote_open = i + 1;
-        } else if (c == separator) {
-          fields->emplace_back();
+          ++i;
+        } else if (text[i] == separator) {
+          commit();  // empty field
+          ++i;
         } else {
-          cur += c;
-          state = State::kUnquoted;
+          state = State::kUnquoted;  // reconsume as content
         }
         break;
-      case State::kUnquoted:
-        if (c == separator) {
-          fields->push_back(std::move(cur));
-          cur.clear();
-          state = State::kFieldStart;
-        } else if (c == '"') {
+      case State::kUnquoted: {
+        // Content runs to the next separator or (illegal here) quote.
+        const size_t sp = FindByte(text, i, separator);
+        const size_t qp = FindByte(text, i, '"');
+        if (qp < sp) {
           error->kind = CsvErrorKind::kStrayQuote;
-          error->column = i + 1;
+          error->column = qp + 1;
           return false;
-        } else {
-          cur += c;
         }
-        break;
-      case State::kQuoted:
-        if (c == '"') {
-          if (i + 1 < text.size() && text[i + 1] == '"') {
-            cur += '"';
-            ++i;
-          } else {
-            state = State::kAfterQuoted;
-          }
-        } else {
-          cur += c;
-        }
-        break;
-      case State::kAfterQuoted:
-        if (c == separator) {
-          fields->push_back(std::move(cur));
-          cur.clear();
+        cur->append(text.data() + i, sp - i);
+        i = sp;
+        if (i < text.size()) {
+          commit();
           state = State::kFieldStart;
+          ++i;
+        }
+        break;
+      }
+      case State::kQuoted: {
+        const size_t qp = FindByte(text, i, '"');
+        cur->append(text.data() + i, qp - i);
+        if (qp == text.size()) {
+          i = qp;
+          break;  // unterminated; diagnosed after the loop
+        }
+        if (qp + 1 < text.size() && text[qp + 1] == '"') {
+          *cur += '"';  // "" escape stays quoted
+          i = qp + 2;
+        } else {
+          state = State::kAfterQuoted;
+          i = qp + 1;
+        }
+        break;
+      }
+      case State::kAfterQuoted:
+        if (text[i] == separator) {
+          commit();
+          state = State::kFieldStart;
+          ++i;
         } else {
           error->kind = CsvErrorKind::kStrayQuote;
           error->column = i + 1;
@@ -85,20 +151,69 @@ bool SplitCsvRecord(std::string_view text, char separator,
     error->column = quote_open;
     return false;
   }
-  fields->push_back(std::move(cur));
+  fields->resize(nf + 1);
+  return true;
+}
+
+bool SplitCsvRecordViews(std::string_view text, char separator,
+                         std::vector<std::string_view>* views,
+                         std::vector<std::string>* storage,
+                         CsvFieldError* error) {
+  views->clear();
+  if (text.empty()) {
+    views->emplace_back();
+    return true;
+  }
+  if (std::memchr(text.data(), '"', text.size()) == nullptr) {
+    // Quote-free: every field is a verbatim slice of the record.
+    size_t start = 0;
+    for (;;) {
+      const size_t end = FindByte(text, start, separator);
+      views->push_back(text.substr(start, end - start));
+      if (end == text.size()) return true;
+      start = end + 1;
+    }
+  }
+  // Quoted: unescape into the storage strings, then view them.
+  if (!SplitCsvRecord(text, separator, storage, error)) return false;
+  views->reserve(storage->size());
+  for (const std::string& field : *storage) views->emplace_back(field);
   return true;
 }
 
 CsvRecordReader::CsvRecordReader(std::istream* in, char separator,
                                  size_t chunk_bytes)
-    : in_(in), sep_(separator), buf_(std::max<size_t>(chunk_bytes, 16)) {}
+    : in_(in), sep_(separator), buf_(std::max<size_t>(chunk_bytes, 16)) {
+  structural_.resize(csvscan::StructuralWords(buf_.size()));
+}
 
 bool CsvRecordReader::Refill() {
   if (in_ == nullptr || !in_->good()) return false;
   in_->read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
   len_ = static_cast<size_t>(in_->gcount());
   pos_ = 0;
+  if (len_ > 0) {
+    // Stage one: one SIMD classification pass builds the structural index
+    // of the whole chunk. Next() consults only this index to find the
+    // bytes where the state machine has to run.
+    csvscan::ScanStructural(buf_.data(), len_, sep_, structural_.data());
+  }
   return len_ > 0;
+}
+
+size_t CsvRecordReader::NextStructural(size_t from) const {
+  size_t w = from >> 6;
+  const size_t words = csvscan::StructuralWords(len_);
+  if (w >= words) return len_;
+  uint64_t bits = structural_[w] & (~uint64_t{0} << (from & 63));
+  for (;;) {
+    if (bits != 0) {
+      const size_t i = (w << 6) + static_cast<size_t>(std::countr_zero(bits));
+      return std::min(i, len_);
+    }
+    if (++w >= words) return len_;
+    bits = structural_[w];
+  }
 }
 
 bool CsvRecordReader::Next(RawCsvRecord* out) {
@@ -117,15 +232,33 @@ bool CsvRecordReader::Next(RawCsvRecord* out) {
   }
   out->text.clear();
   out->line = line_;
-  // Tracks just enough quoting state to find the record terminator; the
-  // precise error classification is SplitCsvRecord's job, and the two state
-  // machines agree on when a quote opens a quoted field (only at field
-  // start) so they always delimit the same records.
+  // Stage two: the quoting state machine advances only at structural
+  // positions (separators, quotes, CR, LF — the bits of the index); the
+  // plain-content runs in between are bulk appends. It tracks just enough
+  // state to find the record terminator; the precise error classification
+  // is SplitCsvRecord's job, and the two machines agree on when a quote
+  // opens a quoted field (only at field start) so they always delimit the
+  // same records.
   enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
   State state = State::kFieldStart;
   bool any = false;
   for (;;) {
     if (pos_ >= len_ && !Refill()) break;  // end of input
+    const size_t next = NextStructural(pos_);
+    if (next > pos_) {
+      // A run of plain content bytes: nothing in it can be a separator,
+      // quote or terminator, so the only state effect is leaving field
+      // start (first content byte of a field) or closing a pending quote
+      // (the "" escape already resolved by the byte after it).
+      out->text.append(buf_.data() + pos_, next - pos_);
+      bytes_read_ += next - pos_;
+      pos_ = next;
+      any = true;
+      if (state == State::kFieldStart || state == State::kQuoteInQuoted) {
+        state = State::kUnquoted;
+      }
+      continue;
+    }
     const char c = buf_[pos_++];
     ++bytes_read_;
     any = true;

@@ -1,16 +1,21 @@
 // Low-level streaming RFC-4180 tokenizer: bytes -> raw records -> fields.
 //
 // Layering: CsvRecordReader scans the input stream in fixed-size chunks and
-// yields one raw record at a time. The scan is quote-aware, so quoted fields
-// may span record terminators (LF, CRLF or lone CR) and memory use is
-// bounded by the chunk size plus the largest single record, independent of
-// file size. SplitCsvRecord then turns a raw record into its fields or a
-// typed, position-annotated error. The schema-aware layer in table/csv.h
-// builds Tables and IngestReports on top of these two primitives.
+// yields one raw record at a time. The scan is two-stage: a SIMD pass
+// (csv_scan.h) classifies each chunk into a structural index — one bit per
+// byte, set at separators, quotes and record terminators — and the
+// quote-aware state machine then advances only at the set bits, bulk-
+// appending the plain-content runs in between. Quoted fields may span
+// record terminators (LF, CRLF or lone CR) and memory use is bounded by
+// the chunk size plus the largest single record, independent of file size.
+// SplitCsvRecord then turns a raw record into its fields or a typed,
+// position-annotated error. The schema-aware layer in table/csv.h builds
+// Tables and IngestReports on top of these two primitives.
 
 #ifndef DQ_TABLE_CSV_PARSER_H_
 #define DQ_TABLE_CSV_PARSER_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -52,6 +57,17 @@ struct CsvFieldError {
 bool SplitCsvRecord(std::string_view text, char separator,
                     std::vector<std::string>* fields, CsvFieldError* error);
 
+/// \brief Zero-copy variant of SplitCsvRecord for the decode hot path: the
+/// fields come back as views. For a quote-free record (the common case)
+/// they point straight into `text`; a record with quotes is unescaped into
+/// `storage` and the views point there. Either way the views are valid
+/// until `text` or `storage` is next modified. Error behavior (and the
+/// resulting field sequence) is identical to SplitCsvRecord.
+bool SplitCsvRecordViews(std::string_view text, char separator,
+                         std::vector<std::string_view>* views,
+                         std::vector<std::string>* storage,
+                         CsvFieldError* error);
+
 /// \brief Pulls raw records out of a stream in fixed-size chunks.
 ///
 /// A UTF-8 byte-order mark at the start of the stream is skipped. LF, CRLF
@@ -70,12 +86,21 @@ class CsvRecordReader {
   size_t bytes_read() const { return bytes_read_; }
 
  private:
-  /// Refills the chunk buffer; false at end of stream.
+  /// Refills the chunk buffer and rebuilds its structural index; false at
+  /// end of stream.
   bool Refill();
+
+  /// First structural position (separator, quote, CR or LF) at or after
+  /// `from` in the current chunk; len_ when the rest is plain content.
+  size_t NextStructural(size_t from) const;
 
   std::istream* in_;
   char sep_;
   std::vector<char> buf_;
+  /// Structural index of buf_[0, len_): one bit per byte, set at
+  /// separators, quotes and record terminators (csv_scan.h). Rebuilt by
+  /// Refill with one SIMD pass; Next() walks only the set bits.
+  std::vector<uint64_t> structural_;
   size_t pos_ = 0;
   size_t len_ = 0;
   size_t line_ = 1;

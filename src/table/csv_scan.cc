@@ -1,0 +1,154 @@
+#include "table/csv_scan.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace dq::csvscan {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernel. Byte classification is exact, so this defines
+// the result every wide variant must reproduce bit-for-bit.
+
+void ScanStructuralScalar(const char* data, size_t n, char sep,
+                          uint64_t* words) {
+  std::fill(words, words + StructuralWords(n), uint64_t{0});
+  for (size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      words[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 (baseline on x86-64): four byte-compares per 16-byte lane, OR'd and
+// movemask'd into 16 index bits; four lanes fill one 64-bit word.
+
+#if defined(DQ_CSV_SCAN_SSE2)
+
+void ScanStructuralSse2(const char* data, size_t n, char sep,
+                        uint64_t* words) {
+  std::fill(words, words + StructuralWords(n), uint64_t{0});
+  const __m128i vsep = _mm_set1_epi8(sep);
+  const __m128i vquote = _mm_set1_epi8('"');
+  const __m128i vlf = _mm_set1_epi8('\n');
+  const __m128i vcr = _mm_set1_epi8('\r');
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i hit = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, vsep), _mm_cmpeq_epi8(v, vquote)),
+        _mm_or_si128(_mm_cmpeq_epi8(v, vlf), _mm_cmpeq_epi8(v, vcr)));
+    const auto bits =
+        static_cast<uint64_t>(static_cast<uint32_t>(_mm_movemask_epi8(hit)));
+    words[i >> 6] |= bits << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const char c = data[i];
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      words[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+#endif  // DQ_CSV_SCAN_SSE2
+
+// ---------------------------------------------------------------------------
+// AVX2: same classification two 32-byte lanes per word. The build baseline
+// does not enable -mavx2, so the body carries a target attribute and the
+// dispatcher gates on HasAvx2().
+
+#if defined(DQ_CSV_SCAN_AVX2)
+
+bool HasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+__attribute__((target("avx2"))) void ScanStructuralAvx2(const char* data,
+                                                        size_t n, char sep,
+                                                        uint64_t* words) {
+  std::fill(words, words + StructuralWords(n), uint64_t{0});
+  const __m256i vsep = _mm256_set1_epi8(sep);
+  const __m256i vquote = _mm256_set1_epi8('"');
+  const __m256i vlf = _mm256_set1_epi8('\n');
+  const __m256i vcr = _mm256_set1_epi8('\r');
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i hit = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, vsep),
+                        _mm256_cmpeq_epi8(v, vquote)),
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, vlf),
+                        _mm256_cmpeq_epi8(v, vcr)));
+    const auto bits = static_cast<uint64_t>(
+        static_cast<uint32_t>(_mm256_movemask_epi8(hit)));
+    words[i >> 6] |= bits << (i & 63);
+  }
+  for (; i < n; ++i) {
+    const char c = data[i];
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      words[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+#endif  // DQ_CSV_SCAN_AVX2
+
+// ---------------------------------------------------------------------------
+// Dispatch (mirrors mining/split_kernels).
+
+namespace {
+
+enum class Level { kScalar, kSse2, kAvx2 };
+
+Level PickLevel() {
+#if defined(DQ_CSV_SCAN_AVX2)
+  if (HasAvx2()) return Level::kAvx2;
+#endif
+#if defined(DQ_CSV_SCAN_SSE2)
+  return Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level CachedLevel() {
+  static const Level level = PickLevel();
+  return level;
+}
+
+}  // namespace
+
+const char* SimdLevel() {
+  switch (CachedLevel()) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+void ScanStructural(const char* data, size_t n, char sep, uint64_t* words) {
+  switch (CachedLevel()) {
+#if defined(DQ_CSV_SCAN_AVX2)
+    case Level::kAvx2:
+      ScanStructuralAvx2(data, n, sep, words);
+      return;
+#endif
+#if defined(DQ_CSV_SCAN_SSE2)
+    case Level::kSse2:
+      ScanStructuralSse2(data, n, sep, words);
+      return;
+#endif
+    default:
+      ScanStructuralScalar(data, n, sep, words);
+  }
+}
+
+}  // namespace dq::csvscan

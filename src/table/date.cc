@@ -54,20 +54,30 @@ std::string FormatDate(int32_t days) {
   return buf;
 }
 
-Result<int32_t> ParseDate(const std::string& text) {
-  auto parts = SplitString(text, '-');
-  if (parts.size() != 3) {
-    return Status::InvalidArgument("expected YYYY-MM-DD, got '" + text + "'");
+Result<int32_t> ParseDate(std::string_view text) {
+  // Split on '-' without materializing the parts: this runs once per date
+  // cell on the ingest hot path. Exactly two separators, same as a
+  // three-way SplitString.
+  const size_t p1 = text.find('-');
+  const size_t p2 =
+      p1 == std::string_view::npos ? p1 : text.find('-', p1 + 1);
+  if (p1 == std::string_view::npos || p2 == std::string_view::npos ||
+      text.find('-', p2 + 1) != std::string_view::npos) {
+    return Status::InvalidArgument("expected YYYY-MM-DD, got '" +
+                                   std::string(text) + "'");
   }
   int64_t y = 0, m = 0, d = 0;
-  if (!ParseInt64(parts[0], &y) || !ParseInt64(parts[1], &m) ||
-      !ParseInt64(parts[2], &d)) {
-    return Status::InvalidArgument("non-numeric date component in '" + text + "'");
+  if (!ParseInt64(text.substr(0, p1), &y) ||
+      !ParseInt64(text.substr(p1 + 1, p2 - p1 - 1), &m) ||
+      !ParseInt64(text.substr(p2 + 1), &d)) {
+    return Status::InvalidArgument("non-numeric date component in '" +
+                                   std::string(text) + "'");
   }
   CivilDate c{static_cast<int32_t>(y), static_cast<int32_t>(m),
               static_cast<int32_t>(d)};
   if (!IsValidCivil(c)) {
-    return Status::InvalidArgument("invalid calendar date '" + text + "'");
+    return Status::InvalidArgument("invalid calendar date '" +
+                                   std::string(text) + "'");
   }
   return DaysFromCivil(c);
 }

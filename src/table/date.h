@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 
@@ -32,7 +33,7 @@ bool IsValidCivil(const CivilDate& d);
 std::string FormatDate(int32_t days);
 
 /// \brief Parses "YYYY-MM-DD" into a day count.
-Result<int32_t> ParseDate(const std::string& text);
+Result<int32_t> ParseDate(std::string_view text);
 
 }  // namespace dq
 

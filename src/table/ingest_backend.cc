@@ -1,0 +1,69 @@
+#include "table/ingest_backend.h"
+
+#include "table/columnar.h"
+
+namespace dq {
+
+const char* IngestFormatToString(IngestFormat format) {
+  switch (format) {
+    case IngestFormat::kCsv:
+      return "csv";
+    case IngestFormat::kDqcol:
+      return "dqcol";
+  }
+  return "csv";
+}
+
+Result<IngestFormat> IngestFormatFromName(std::string_view name) {
+  if (name == "csv") return IngestFormat::kCsv;
+  if (name == "dqcol") return IngestFormat::kDqcol;
+  return Status::InvalidArgument("unknown format '" + std::string(name) +
+                                 "' (expected csv or dqcol)");
+}
+
+IngestFormat InferIngestFormat(const std::string& path) {
+  constexpr std::string_view kExt = ".dqcol";
+  if (path.size() >= kExt.size() &&
+      std::string_view(path).substr(path.size() - kExt.size()) == kExt) {
+    return IngestFormat::kDqcol;
+  }
+  return IngestFormat::kCsv;
+}
+
+Result<Table> ReadTableFile(IngestFormat format, const Schema& schema,
+                            const std::string& path, const CsvOptions& csv,
+                            IngestReport* report) {
+  switch (format) {
+    case IngestFormat::kCsv:
+      return ReadCsvFile(schema, path, csv, report);
+    case IngestFormat::kDqcol:
+      return ReadDqcolFile(schema, path, report);
+  }
+  return Status::Internal("unreachable ingest format");
+}
+
+Status ReadTableFileChunks(IngestFormat format, const Schema& schema,
+                           const std::string& path, const CsvOptions& csv,
+                           CsvChunkSink* sink, IngestReport* report) {
+  switch (format) {
+    case IngestFormat::kCsv:
+      return ReadCsvFileChunks(schema, path, csv, sink, report);
+    case IngestFormat::kDqcol:
+      return ReadDqcolFileChunks(schema, path, csv.batch_records, sink,
+                                 report);
+  }
+  return Status::Internal("unreachable ingest format");
+}
+
+Status WriteTableFile(const Table& table, IngestFormat format,
+                      const std::string& path, const CsvOptions& csv) {
+  switch (format) {
+    case IngestFormat::kCsv:
+      return WriteCsvFile(table, path, csv);
+    case IngestFormat::kDqcol:
+      return WriteDqcolFile(table, path);
+  }
+  return Status::Internal("unreachable ingest format");
+}
+
+}  // namespace dq

@@ -1,0 +1,64 @@
+// Pluggable ingest backends: one seam, two on-disk formats.
+//
+// Every consumer of tabular input (the classic auditor, the streaming
+// out-of-core auditor, the generator round-trip checks) reads through this
+// dispatch layer, which routes to either the CSV parser (table/csv.h) or
+// the dqcol binary columnar codec (table/columnar.h). Both backends
+// produce the same two shapes — a whole Table or a chunk stream into a
+// CsvChunkSink — and populate the same IngestReport, so swapping --format
+// changes only how bytes become columns, never what the downstream
+// pipeline sees: a table ingested from CSV and its dqcol conversion yield
+// byte-identical audit reports.
+
+#ifndef DQ_TABLE_INGEST_BACKEND_H_
+#define DQ_TABLE_INGEST_BACKEND_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace dq {
+
+/// \brief On-disk table format of an ingest source or export target.
+enum class IngestFormat {
+  kCsv,    ///< RFC-4180 subset text (table/csv.h)
+  kDqcol,  ///< dqcol v1 binary columnar (table/columnar.h)
+};
+
+/// \brief Stable spelling used by --format flags: "csv" or "dqcol".
+const char* IngestFormatToString(IngestFormat format);
+
+/// \brief Parses a --format value; accepts "csv" and "dqcol".
+Result<IngestFormat> IngestFormatFromName(std::string_view name);
+
+/// \brief Format implied by a path's extension: ".dqcol" means dqcol,
+/// anything else means CSV.
+IngestFormat InferIngestFormat(const std::string& path);
+
+/// \brief Reads a whole table from `path` in the given format. CSV obeys
+/// every CsvOptions knob; dqcol uses none of them (the file is
+/// self-describing and already validated at write time, so there is no
+/// dialect and no quarantine) but fills `report` with the same counters.
+Result<Table> ReadTableFile(IngestFormat format, const Schema& schema,
+                            const std::string& path, const CsvOptions& csv,
+                            IngestReport* report = nullptr);
+
+/// \brief Chunk-streaming variant of ReadTableFile: decoded batches flow
+/// to `sink` in record order with memory bounded by one batch. dqcol
+/// chunks carry csv.batch_records rows (rounded up to a 64-row multiple).
+Status ReadTableFileChunks(IngestFormat format, const Schema& schema,
+                           const std::string& path, const CsvOptions& csv,
+                           CsvChunkSink* sink,
+                           IngestReport* report = nullptr);
+
+/// \brief Writes `table` to `path` in the given format (CSV honors the
+/// write-side CsvOptions).
+Status WriteTableFile(const Table& table, IngestFormat format,
+                      const std::string& path, const CsvOptions& csv);
+
+}  // namespace dq
+
+#endif  // DQ_TABLE_INGEST_BACKEND_H_

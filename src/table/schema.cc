@@ -68,6 +68,9 @@ Status Schema::AddNominal(const std::string& name,
   def.name = name;
   def.type = DataType::kNominal;
   def.categories = std::move(categories);
+  for (size_t i = 0; i < def.categories.size(); ++i) {
+    def.category_index.emplace(def.categories[i], static_cast<int32_t>(i));
+  }
   index_[name] = static_cast<int>(attrs_.size());
   attrs_.push_back(std::move(def));
   return Status::OK();
@@ -133,9 +136,8 @@ Result<int32_t> Schema::CategoryCode(int attr, const std::string& category) cons
   if (def.type != DataType::kNominal) {
     return Status::InvalidArgument("attribute '" + def.name + "' is not nominal");
   }
-  for (size_t i = 0; i < def.categories.size(); ++i) {
-    if (def.categories[i] == category) return static_cast<int32_t>(i);
-  }
+  const auto it = def.category_index.find(category);
+  if (it != def.category_index.end()) return it->second;
   return Status::NotFound("category '" + category + "' not in attribute '" +
                           def.name + "'");
 }

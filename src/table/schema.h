@@ -9,7 +9,9 @@
 #ifndef DQ_TABLE_SCHEMA_H_
 #define DQ_TABLE_SCHEMA_H_
 
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +20,15 @@
 
 namespace dq {
 
+/// \brief Transparent string hash so category lookups work directly on
+/// string_view fields without materializing a std::string key.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// \brief One attribute of the target relation.
 struct AttributeDef {
   std::string name;
@@ -25,6 +36,14 @@ struct AttributeDef {
 
   /// Nominal domain: category spellings; a cell stores an index into this.
   std::vector<std::string> categories;
+
+  /// Spelling -> code lookup over `categories`, maintained by
+  /// Schema::AddNominal so CategoryCode is O(1) on the ingest hot path
+  /// instead of a linear scan per cell. Heterogeneous: find() accepts a
+  /// string_view.
+  std::unordered_map<std::string, int32_t, TransparentStringHash,
+                     std::equal_to<>>
+      category_index;
 
   /// Numeric domain: inclusive range.
   double numeric_min = 0.0;

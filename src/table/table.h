@@ -64,6 +64,9 @@ class TableChunk {
 
  private:
   friend class Table;
+  // The dqcol reader fills chunk columns by bulk copy from the file's
+  // column payloads (table/columnar.h) instead of per-cell Set calls.
+  friend class ColumnarCodec;
 
   struct Column {
     DataType type = DataType::kNominal;
@@ -242,8 +245,11 @@ class Table {
  private:
   // The segment store serializes column payloads verbatim to its spill
   // files and rebuilds them on load; it is the table's paging layer, so it
-  // sees the raw columns instead of a public raw-mutation API.
+  // sees the raw columns instead of a public raw-mutation API. The dqcol
+  // codec (table/columnar.h) is the interchange-format sibling of that
+  // path and reads/writes the same raw columns.
   friend class SegmentStore;
+  friend class ColumnarCodec;
 
   struct Column {
     DataType type = DataType::kNominal;

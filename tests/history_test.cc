@@ -174,6 +174,80 @@ TEST(HistoryStoreTest, MissingLedgerIsAnError) {
   EXPECT_FALSE(store.ReadAll().ok());
 }
 
+TEST(HistoryStoreTest, CompactKeepsNewestRunsByteForByte) {
+  const std::string dir =
+      ::testing::TempDir() + "/dq_history_compact_test";
+  HistoryStore store(dir);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store.Append(MakeRecord(100, i)).ok());
+  }
+  // Snapshot the raw bytes of the lines that should survive (the newest
+  // three) — compaction must keep them verbatim, never re-render.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(store.ledger_path(), std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 6u);
+
+  size_t dropped_runs = 0;
+  size_t dropped_damaged = 0;
+  ASSERT_TRUE(store.Compact(3, &dropped_runs, &dropped_damaged).ok());
+  EXPECT_EQ(dropped_runs, 3u);
+  EXPECT_EQ(dropped_damaged, 0u);
+  {
+    std::ifstream in(store.ledger_path(), std::ios::binary);
+    std::string line;
+    std::vector<std::string> kept;
+    while (std::getline(in, line)) kept.push_back(line);
+    ASSERT_EQ(kept.size(), 3u);
+    EXPECT_EQ(kept[0], lines[3]);
+    EXPECT_EQ(kept[1], lines[4]);
+    EXPECT_EQ(kept[2], lines[5]);
+  }
+  auto records = store.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].summary.suspicious, 3u);
+  EXPECT_EQ((*records)[2].summary.suspicious, 5u);
+  std::remove(store.ledger_path().c_str());
+}
+
+TEST(HistoryStoreTest, CompactDropsDamagedLinesAndToleratesNoOp) {
+  const std::string dir =
+      ::testing::TempDir() + "/dq_history_compact_damaged";
+  HistoryStore store(dir);
+  ASSERT_TRUE(store.Append(MakeRecord(100, 1)).ok());
+  {
+    std::ofstream out(store.ledger_path(), std::ios::app | std::ios::binary);
+    out << "{\"schema_version\":1,\"torn\n";
+  }
+  ASSERT_TRUE(store.Append(MakeRecord(100, 2)).ok());
+
+  size_t dropped_runs = 0;
+  size_t dropped_damaged = 0;
+  ASSERT_TRUE(store.Compact(10, &dropped_runs, &dropped_damaged).ok());
+  EXPECT_EQ(dropped_runs, 0u);  // both records fit under the cap
+  EXPECT_EQ(dropped_damaged, 1u);
+  size_t damaged = 0;
+  auto records = store.ReadAll(&damaged);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+  EXPECT_EQ(damaged, 0u);  // the torn line is gone from the file
+
+  // Already compact: a second call is a no-op that must not rewrite.
+  ASSERT_TRUE(store.Compact(10, &dropped_runs, &dropped_damaged).ok());
+  EXPECT_EQ(dropped_runs, 0u);
+  EXPECT_EQ(dropped_damaged, 0u);
+
+  // Zero cap is rejected; a missing ledger is a clean no-op.
+  EXPECT_FALSE(store.Compact(0).ok());
+  HistoryStore missing(::testing::TempDir() + "/dq_history_compact_missing");
+  EXPECT_TRUE(missing.Compact(5).ok());
+  std::remove(store.ledger_path().c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Drift engine
 

@@ -13,6 +13,7 @@
 #include "eval/report_io.h"
 #include "gtest/gtest.h"
 #include "quis/quis_sample.h"
+#include "table/columnar.h"
 #include "table/csv.h"
 
 namespace dq {
@@ -107,7 +108,7 @@ TEST_F(StreamAuditTest, StreamingEqualsClassicWhenSampleCoversTable) {
   ASSERT_TRUE(classic.ok());
   ASSERT_GT(classic->suspicious.size(), 0u);
 
-  auto streamed = RunStreamingCsvAudit(table_.schema(), csv_path_, options);
+  auto streamed = RunStreamingAudit(table_.schema(), csv_path_, options);
   ASSERT_TRUE(streamed.ok());
   EXPECT_EQ(streamed->total_rows, table_.num_rows());
   EXPECT_EQ(streamed->sampled_rows, table_.num_rows());
@@ -125,14 +126,14 @@ TEST_F(StreamAuditTest, StreamingEqualsClassicWhenSampleCoversTable) {
 
 TEST_F(StreamAuditTest, ReportIsInvariantUnderMemoryBudget) {
   StreamAuditOptions unbudgeted = FullSampleOptions();
-  auto wide = RunStreamingCsvAudit(table_.schema(), csv_path_, unbudgeted);
+  auto wide = RunStreamingAudit(table_.schema(), csv_path_, unbudgeted);
   ASSERT_TRUE(wide.ok());
   EXPECT_EQ(wide->store_stats.spill_writes, 0u);
 
   StreamAuditOptions budgeted = FullSampleOptions();
   budgeted.store.memory_budget_bytes = 8 * 1024;  // forces spilling
   budgeted.store.spill_dir = ::testing::TempDir() + "/stream_audit_spill";
-  auto tight = RunStreamingCsvAudit(table_.schema(), csv_path_, budgeted);
+  auto tight = RunStreamingAudit(table_.schema(), csv_path_, budgeted);
   ASSERT_TRUE(tight.ok());
   EXPECT_GT(tight->store_stats.spill_writes, 0u);
   EXPECT_GT(tight->store_stats.spill_reads, 0u);
@@ -145,10 +146,10 @@ TEST_F(StreamAuditTest, ReportIsInvariantUnderMemoryBudget) {
 TEST_F(StreamAuditTest, SubSampledModelStillRanksDeterministically) {
   StreamAuditOptions options = FullSampleOptions();
   options.sample_rows = 800;  // genuine subsample
-  auto first = RunStreamingCsvAudit(table_.schema(), csv_path_, options);
+  auto first = RunStreamingAudit(table_.schema(), csv_path_, options);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first->sampled_rows, 800u);
-  auto second = RunStreamingCsvAudit(table_.schema(), csv_path_, options);
+  auto second = RunStreamingAudit(table_.schema(), csv_path_, options);
   ASSERT_TRUE(second.ok());
   ExpectSameSuspicions(first->suspicious, second->suspicious);
   // Ranking is confidence-descending with row-ascending tie-breaks.
@@ -162,10 +163,60 @@ TEST_F(StreamAuditTest, SubSampledModelStillRanksDeterministically) {
   }
 }
 
+TEST_F(StreamAuditTest, SegmentParallelRankingIsThreadCountInvariant) {
+  // The bounded-window parallel checker must reproduce the serial ranking
+  // bit for bit: per-segment reports are thread-count invariant and the
+  // merge walks segments in order regardless of who computed them.
+  StreamAuditOptions serial = FullSampleOptions();
+  serial.auditor.num_threads = 1;
+  auto one = RunStreamingAudit(table_.schema(), csv_path_, serial);
+  ASSERT_TRUE(one.ok());
+  ASSERT_GT(one->suspicious.size(), 0u);
+  for (int threads : {2, 3, 8}) {
+    StreamAuditOptions parallel = FullSampleOptions();
+    parallel.auditor.num_threads = threads;
+    auto many = RunStreamingAudit(table_.schema(), csv_path_, parallel);
+    ASSERT_TRUE(many.ok()) << "threads=" << threads;
+    ExpectSameSuspicions(one->suspicious, many->suspicious);
+  }
+}
+
+TEST_F(StreamAuditTest, DqcolInputReproducesCsvReport) {
+  // Convert the CSV to dqcol and stream-audit both: the ingest backend
+  // seam must make the report independent of the on-disk format.
+  auto loaded = ReadCsvFile(table_.schema(), csv_path_);
+  ASSERT_TRUE(loaded.ok());
+  const std::string dqcol_path =
+      ::testing::TempDir() + "/stream_audit_quis.dqcol";
+  ASSERT_TRUE(WriteDqcolFile(*loaded, dqcol_path).ok());
+
+  const StreamAuditOptions csv_options = FullSampleOptions();
+  auto from_csv = RunStreamingAudit(table_.schema(), csv_path_, csv_options);
+  ASSERT_TRUE(from_csv.ok());
+
+  StreamAuditOptions dqcol_options = FullSampleOptions();
+  dqcol_options.format = IngestFormat::kDqcol;
+  auto from_dqcol =
+      RunStreamingAudit(table_.schema(), dqcol_path, dqcol_options);
+  ASSERT_TRUE(from_dqcol.ok());
+  EXPECT_EQ(from_dqcol->total_rows, from_csv->total_rows);
+  ExpectSameSuspicions(from_csv->suspicious, from_dqcol->suspicious);
+
+  std::ostringstream csv_report;
+  ASSERT_TRUE(WriteStreamAuditReportCsv(from_csv->suspicious, table_.schema(),
+                                        &csv_report)
+                  .ok());
+  std::ostringstream dqcol_report;
+  ASSERT_TRUE(WriteStreamAuditReportCsv(from_dqcol->suspicious,
+                                        table_.schema(), &dqcol_report)
+                  .ok());
+  EXPECT_EQ(csv_report.str(), dqcol_report.str());
+}
+
 TEST_F(StreamAuditTest, RejectsZeroSampleRows) {
   StreamAuditOptions options = FullSampleOptions();
   options.sample_rows = 0;
-  auto result = RunStreamingCsvAudit(table_.schema(), csv_path_, options);
+  auto result = RunStreamingAudit(table_.schema(), csv_path_, options);
   EXPECT_FALSE(result.ok());
 }
 

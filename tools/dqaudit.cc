@@ -5,9 +5,14 @@
 //
 // Options:
 //   --schema FILE      schema specification (see table/schema_spec.h)
-//   --data FILE        CSV data to audit (header row required)
-//   --train FILE       CSV data to induce on (default: the audit data;
+//   --data FILE        data to audit (CSV needs a header row)
+//   --train FILE       data to induce on (default: the audit data;
 //                      sec. 2.2's asynchronous regime)
+//   --format FMT       on-disk format of --data and --train: csv or dqcol
+//                      (default: infer from the extension — '.dqcol' means
+//                      dqcol, anything else CSV). The audit report is byte
+//                      identical across formats for a faithfully converted
+//                      file (see dqconvert)
 //   --min-conf X       minimal error confidence (default 0.8)
 //   --level X          confidence level for the bounds (default 0.95)
 //   --inducer NAME     c45 | naive-bayes | knn | oner (default c45)
@@ -61,6 +66,10 @@
 //   --history DIR      append one run-history record (manifest + audit
 //                      summary + metrics snapshot) to DIR/history.jsonl;
 //                      dqmon reads the ledger back for drift detection
+//   --history-max-runs N
+//                      compact the ledger after appending: keep only the
+//                      newest N records (kept lines stay byte-identical;
+//                      damaged lines are dropped). Requires --history
 //   --log-level LEVEL  debug | info | warn | error | off (default info)
 
 #include <cstdio>
@@ -86,6 +95,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "table/csv.h"
+#include "table/ingest_backend.h"
 #include "table/schema_spec.h"
 #include "flag_parse.h"
 
@@ -107,6 +117,8 @@ struct Options {
   std::string trace_out_path;
   std::string metrics_out_path;
   std::string history_dir;
+  std::string format;  ///< "", "csv" or "dqcol"; "" = infer from extension
+  size_t history_max_runs = 0;  ///< 0 = never compact
   double min_conf = 0.8;
   double level = 0.95;
   std::string inducer = "c45";
@@ -126,7 +138,8 @@ struct Options {
 void Usage() {
   std::fprintf(stderr,
                "usage: dqaudit --schema spec.txt --data table.csv\n"
-               "  [--train t.csv] [--min-conf 0.8] [--level 0.95]\n"
+               "  [--train t.csv] [--format csv|dqcol]\n"
+               "  [--min-conf 0.8] [--level 0.95]\n"
                "  [--inducer c45|naive-bayes|knn|oner]\n"
                "  [--split-mode histogram|exact] [--save-model m]\n"
                "  [--load-model m] [--top 20] [--explain 5] [--rules]\n"
@@ -136,7 +149,8 @@ void Usage() {
                "  [--spill-dir DIR] [--segment-rows 65536]\n"
                "  [--on-error fail|skip] [--ingest-report report.json]\n"
                "  [--trace-out trace.json] [--metrics-out metrics.json]\n"
-               "  [--history DIR] [--log-level debug|info|warn|error|off]\n");
+               "  [--history DIR] [--history-max-runs N]\n"
+               "  [--log-level debug|info|warn|error|off]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -167,6 +181,15 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       continue;
     }
     if (arg == "--history" && need_value(&opts->history_dir)) continue;
+    if (arg == "--history-max-runs" && need_value(&value)) {
+      if (!ParseSizeFlag(arg, value, 1,
+                         std::numeric_limits<int64_t>::max(),
+                         &opts->history_max_runs)) {
+        return false;
+      }
+      continue;
+    }
+    if (arg == "--format" && need_value(&opts->format)) continue;
     if (arg == "--log-level" && need_value(&value)) {
       if (!ParseLogLevelFlag(arg, value)) return false;
       continue;
@@ -252,6 +275,10 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
   }
   if (opts->on_error != "fail" && opts->on_error != "skip") {
     std::fprintf(stderr, "--on-error must be 'fail' or 'skip'\n");
+    return false;
+  }
+  if (opts->history_max_runs > 0 && opts->history_dir.empty()) {
+    std::fprintf(stderr, "--history-max-runs requires --history\n");
     return false;
   }
   if (opts->split_mode != "histogram" && opts->split_mode != "exact") {
@@ -372,11 +399,32 @@ int main(int argc, char** argv) {
     if (!appended.ok()) return appended;
     std::printf("appended history record to %s\n",
                 store.ledger_path().c_str());
+    if (opts.history_max_runs > 0) {
+      size_t dropped_runs = 0;
+      size_t dropped_damaged = 0;
+      Status compacted = store.Compact(opts.history_max_runs, &dropped_runs,
+                                       &dropped_damaged);
+      if (!compacted.ok()) return compacted;
+      if (dropped_runs > 0 || dropped_damaged > 0) {
+        std::printf("compacted history ledger to newest %zu runs "
+                    "(%zu old records, %zu damaged lines dropped)\n",
+                    opts.history_max_runs, dropped_runs, dropped_damaged);
+      }
+    }
     return Status::OK();
   };
 
   auto schema = ParseSchemaSpecFile(opts.schema_path);
   if (!schema.ok()) return Fail(schema.status());
+  // --format pins both inputs; otherwise each path's extension decides.
+  IngestFormat data_format = InferIngestFormat(opts.data_path);
+  IngestFormat train_format = InferIngestFormat(opts.train_path);
+  if (!opts.format.empty()) {
+    auto parsed_format = IngestFormatFromName(opts.format);
+    if (!parsed_format.ok()) return Fail(parsed_format.status());
+    data_format = *parsed_format;
+    train_format = *parsed_format;
+  }
   CsvOptions csv_options;
   csv_options.on_error = opts.on_error == "skip"
                              ? CsvErrorPolicy::kSkipAndReport
@@ -405,8 +453,9 @@ int main(int argc, char** argv) {
     stream.store.spill_dir =
         opts.spill_dir.empty() ? opts.data_path + ".spill" : opts.spill_dir;
     stream.csv = csv_options;
+    stream.format = data_format;
     stream.auditor = config;
-    auto result = RunStreamingCsvAudit(*schema, opts.data_path, stream);
+    auto result = RunStreamingAudit(*schema, opts.data_path, stream);
     if (!result.ok()) return Fail(result.status());
     std::printf("streamed %zu records x %zu attributes from %s\n",
                 result->total_rows, schema->num_attributes(),
@@ -487,7 +536,8 @@ int main(int argc, char** argv) {
   }
 
   IngestReport ingest;
-  auto data = ReadCsvFile(*schema, opts.data_path, csv_options, &ingest);
+  auto data = ReadTableFile(data_format, *schema, opts.data_path, csv_options,
+                            &ingest);
   if (!data.ok()) {
     if (!opts.ingest_report_path.empty()) {
       (void)ingest.WriteJsonFile(opts.ingest_report_path);
@@ -589,8 +639,8 @@ int main(int argc, char** argv) {
   std::optional<Table> train_storage;
   IngestReport train_ingest;
   if (!opts.train_path.empty()) {
-    auto loaded =
-        ReadCsvFile(*schema, opts.train_path, csv_options, &train_ingest);
+    auto loaded = ReadTableFile(train_format, *schema, opts.train_path,
+                                csv_options, &train_ingest);
     if (!loaded.ok()) return Fail(loaded.status());
     if (train_ingest.HasErrors()) {
       std::printf("ingest (train): %s\n", train_ingest.Summary().c_str());

@@ -11,8 +11,15 @@
 //   --rules-file FILE use expert-written rules instead of random ones
 //                     (one "premise -> consequent" per line, # comments)
 //   --seed S          random seed (default 1)
-//   --clean FILE      write the clean database as CSV
+//   --clean FILE      write the clean database
 //   --dirty FILE      additionally pollute and write the dirty database
+//   --format FMT      on-disk format of --clean/--dirty: csv or dqcol
+//                     (default: infer from each path's extension — '.dqcol'
+//                     means dqcol, anything else CSV). dqcol is the binary
+//                     columnar format (docs/FORMATS.md); auditing a dqcol
+//                     file yields a byte-identical report to its CSV twin.
+//                     dqcol is write-once whole-table, so it is
+//                     incompatible with --chunk-rows streaming
 //   --factor F        pollution factor (default 1.0)
 //   --log FILE        write the corruption log
 //   --truth FILE      write per-dirty-row ground truth (row,corrupted,origin)
@@ -30,9 +37,9 @@
 //   --print-rules     print the generated rule set
 //   --lint            run the dqlint check battery over the rule set before
 //                     generating; lint errors abort with exit code 1
-//   --verify-roundtrip  re-read every written CSV with the strict streaming
-//                     parser and assert it is bitwise-identical to the
-//                     in-memory table (guards the writer/reader pair)
+//   --verify-roundtrip  re-read every written file with the strict reader
+//                     for its format and assert it is bitwise-identical to
+//                     the in-memory table (guards the writer/reader pair)
 //   --ingest-report F write the verification reader's ingest report as JSON
 //   --trace-out FILE  write the span tree of the run as Chrome trace-event
 //                     JSON (load in Perfetto / chrome://tracing)
@@ -56,6 +63,7 @@
 #include "pollution/pipeline.h"
 #include "quis/quis_sample.h"
 #include "table/csv.h"
+#include "table/ingest_backend.h"
 #include "table/schema_spec.h"
 #include "tdg/data_generator.h"
 #include "tdg/rule_generator.h"
@@ -76,6 +84,7 @@ struct Options {
   uint64_t seed = 1;
   double factor = 1.0;
   size_t chunk_rows = 0;  ///< 0 = one-shot generation
+  std::string format;     ///< "", "csv" or "dqcol"; "" = infer per path
   bool quis = false;
   bool print_rules = false;
   bool lint = false;
@@ -89,7 +98,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: dqgen --schema spec.txt --records N --clean out.csv\n"
                "  [--quis] [--chunk-rows N] [--rules 25] [--seed 1]\n"
-               "  [--dirty out.csv] [--factor 1.0]\n"
+               "  [--dirty out.csv] [--format csv|dqcol] [--factor 1.0]\n"
                "  [--log corruption.log] [--truth truth.csv] [--print-rules]\n"
                "  [--rules-file rules.txt] [--lint] [--verify-roundtrip]\n"
                "  [--ingest-report report.json] [--trace-out trace.json]\n"
@@ -150,6 +159,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       }
       continue;
     }
+    if (arg == "--format" && need_value(&opts->format)) continue;
     if (arg == "--quis") {
       opts->quis = true;
       continue;
@@ -180,6 +190,11 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
     std::fprintf(stderr, "unknown or incomplete argument: %s\n", arg.c_str());
     return false;
   }
+  if (!opts->format.empty() && opts->format != "csv" &&
+      opts->format != "dqcol") {
+    std::fprintf(stderr, "--format must be 'csv' or 'dqcol'\n");
+    return false;
+  }
   if (opts->chunk_rows > 0) {
     if (!opts->quis) {
       std::fprintf(stderr, "--chunk-rows requires --quis\n");
@@ -192,6 +207,14 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
                    "--log and --verify-roundtrip\n");
       return false;
     }
+    if (opts->format == "dqcol" ||
+        (opts->format.empty() &&
+         InferIngestFormat(opts->clean_path) == IngestFormat::kDqcol)) {
+      std::fprintf(stderr,
+                   "--chunk-rows streams CSV; dqcol is a write-once "
+                   "whole-table format (generate CSV, then dqconvert)\n");
+      return false;
+    }
   }
   return (opts->quis || !opts->schema_path.empty()) && opts->records > 0 &&
          !opts->clean_path.empty();
@@ -202,11 +225,12 @@ int Fail(const Status& status) {
   return 1;
 }
 
-/// Re-reads `path` with the strict streaming parser and checks it decodes
-/// bitwise-identically to the table that was just written there.
+/// Re-reads `path` with the strict reader for its format and checks it
+/// decodes bitwise-identically to the table that was just written there.
 Status VerifyRoundTrip(const Schema& schema, const Table& original,
-                       const std::string& path, IngestReport* report) {
-  auto back = ReadCsvFile(schema, path, CsvOptions(), report);
+                       IngestFormat format, const std::string& path,
+                       IngestReport* report) {
+  auto back = ReadTableFile(format, schema, path, CsvOptions(), report);
   if (!back.ok()) return back.status();
   if (back->num_rows() != original.num_rows()) {
     return Status::Internal("round-trip of " + path + " read back " +
@@ -242,6 +266,16 @@ int main(int argc, char** argv) {
   (void)obs::AddInputFileHash(&manifest, "schema", opts.schema_path);
   if (!opts.rules_path.empty()) {
     (void)obs::AddInputFileHash(&manifest, "rules", opts.rules_path);
+  }
+
+  // --format pins both outputs; otherwise each path's extension decides.
+  IngestFormat clean_format = InferIngestFormat(opts.clean_path);
+  IngestFormat dirty_format = InferIngestFormat(opts.dirty_path);
+  if (!opts.format.empty()) {
+    auto parsed_format = IngestFormatFromName(opts.format);
+    if (!parsed_format.ok()) return Fail(parsed_format.status());
+    clean_format = *parsed_format;
+    dirty_format = *parsed_format;
   }
 
   Schema schema;
@@ -329,7 +363,8 @@ int main(int argc, char** argv) {
     if (!sample.ok()) return Fail(sample.status());
     clean = std::move(sample->table);
     obs::GetCounter("tdg.records_generated")->Add(clean.num_rows());
-    Status written = WriteCsvFile(clean, opts.clean_path);
+    Status written =
+        WriteTableFile(clean, clean_format, opts.clean_path, CsvOptions());
     if (!written.ok()) return Fail(written);
     std::printf("generated %zu QUIS engine-composition records (planted "
                 "deviation at row %zu) -> %s\n",
@@ -406,15 +441,16 @@ int main(int argc, char** argv) {
     if (!data.ok()) return Fail(data.status());
     clean = std::move(data->table);
     obs::GetCounter("tdg.records_generated")->Add(clean.num_rows());
-    Status written = WriteCsvFile(clean, opts.clean_path);
+    Status written =
+        WriteTableFile(clean, clean_format, opts.clean_path, CsvOptions());
     if (!written.ok()) return Fail(written);
     std::printf("generated %zu records following %zu rules -> %s\n",
                 clean.num_rows(), rules.size(), opts.clean_path.c_str());
   }
 
   if (opts.verify_roundtrip) {
-    Status verified =
-        VerifyRoundTrip(schema, clean, opts.clean_path, &verify_report);
+    Status verified = VerifyRoundTrip(schema, clean, clean_format,
+                                      opts.clean_path, &verify_report);
     if (!verified.ok()) return Fail(verified);
   }
 
@@ -428,13 +464,14 @@ int main(int argc, char** argv) {
   }();
   if (!polluted.ok()) return Fail(polluted.status());
   obs::GetCounter("pollute.records_corrupted")->Add(polluted->CorruptedCount());
-  Status written = WriteCsvFile(polluted->dirty, opts.dirty_path);
+  Status written = WriteTableFile(polluted->dirty, dirty_format,
+                                  opts.dirty_path, CsvOptions());
   if (!written.ok()) return Fail(written);
   std::printf("polluted %zu of %zu records (factor %.2f) -> %s\n",
               polluted->CorruptedCount(), polluted->dirty.num_rows(),
               opts.factor, opts.dirty_path.c_str());
   if (opts.verify_roundtrip) {
-    Status verified = VerifyRoundTrip(schema, polluted->dirty,
+    Status verified = VerifyRoundTrip(schema, polluted->dirty, dirty_format,
                                       opts.dirty_path, &verify_report);
     if (!verified.ok()) return Fail(verified);
   }
